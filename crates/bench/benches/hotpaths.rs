@@ -1,0 +1,100 @@
+//! Criterion microbenchmarks for the suite's hot paths.
+//!
+//! These are not paper figures; they keep the simulation substrate honest:
+//! the DES executor, WAL codec, histogram, drain consolidation and TPC-C
+//! generator all sit on the critical path of every experiment, so
+//! regressions here inflate every wall-clock run.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use rapilog_dbengine::types::{Lsn, PageId, TableId, TxnId};
+use rapilog_dbengine::wal::Record;
+use rapilog_simcore::stats::Histogram;
+use rapilog_simcore::{Sim, SimDuration};
+use rapilog_workload::tpcc::{self, TpccScale};
+
+fn bench_histogram(c: &mut Criterion) {
+    let mut g = c.benchmark_group("histogram");
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("record", |b| {
+        let mut h = Histogram::new();
+        let mut x = 12345u64;
+        b.iter(|| {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            h.record(x >> 33);
+        });
+    });
+    g.bench_function("percentile", |b| {
+        let mut h = Histogram::new();
+        for i in 0..100_000u64 {
+            h.record(i * 37 % 1_000_000);
+        }
+        b.iter(|| h.percentile(99.0));
+    });
+    g.finish();
+}
+
+fn bench_wal_codec(c: &mut Criterion) {
+    let mut g = c.benchmark_group("wal");
+    let rec = Record::Update {
+        txn: TxnId(42),
+        prev: Lsn(1000),
+        table: TableId(3),
+        page: PageId(77),
+        slot: 5,
+        key: 123456,
+        before: vec![0xAA; 128],
+        after: vec![0xBB; 128],
+    };
+    let encoded = rec.encode(Lsn(9000));
+    g.throughput(Throughput::Bytes(encoded.len() as u64));
+    g.bench_function("encode_update", |b| b.iter(|| rec.encode(Lsn(9000))));
+    g.bench_function("decode_update", |b| {
+        b.iter(|| Record::decode(&encoded, Lsn(9000)).expect("decodes"))
+    });
+    g.finish();
+}
+
+fn bench_executor(c: &mut Criterion) {
+    let mut g = c.benchmark_group("simcore");
+    g.bench_function("spawn_sleep_1000_tasks", |b| {
+        b.iter(|| {
+            let mut sim = Sim::new(1);
+            let ctx = sim.ctx();
+            for i in 0..1000u64 {
+                let ctx = ctx.clone();
+                sim.spawn(async move {
+                    ctx.sleep(SimDuration::from_nanos(i % 997)).await;
+                });
+            }
+            sim.run()
+        });
+    });
+    g.finish();
+}
+
+fn bench_tpcc_generate(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tpcc");
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("generate", |b| {
+        let mut rng = SmallRng::seed_from_u64(7);
+        let scale = TpccScale::small();
+        let mut seq = 0u64;
+        b.iter(|| {
+            seq += 1;
+            tpcc::generate(&mut rng, &scale, 1, seq)
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_histogram,
+    bench_wal_codec,
+    bench_executor,
+    bench_tpcc_generate
+);
+criterion_main!(benches);

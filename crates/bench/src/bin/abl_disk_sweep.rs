@@ -1,0 +1,77 @@
+//! Ablation B: rotational-latency sweep.
+//!
+//! RapiLog's win is exactly the rotation it removes from the commit path:
+//! sweeping the spindle speed (and ending at flash) should show the
+//! speedup shrinking monotonically as the sync path gets cheaper.
+
+use rapilog_bench::table::{f1, f2, TextTable};
+use rapilog_bench::{run_perf, PerfConfig, WorkloadSpec};
+use rapilog_faultsim::{MachineConfig, Setup};
+use rapilog_simcore::SimDuration;
+use rapilog_simdisk::{specs, CacheSpec, DiskSpec, TimingSpec};
+use rapilog_simpower::supplies;
+use rapilog_workload::client::RunConfig;
+use rapilog_workload::tpcb::TpcbScale;
+
+fn hdd_at_rpm(rpm: u32, capacity: u64) -> DiskSpec {
+    DiskSpec {
+        name: format!("hdd-{rpm}"),
+        sectors: capacity / 512,
+        timing: TimingSpec::Hdd {
+            rpm,
+            sectors_per_track: 1900,
+            seek_min: SimDuration::from_micros(600),
+            seek_max: SimDuration::from_millis(9),
+            overhead: SimDuration::from_micros(60),
+        },
+        cache: None::<CacheSpec>,
+        torn_writes: true,
+    }
+}
+
+fn run_one(log_spec: DiskSpec, setup: Setup, measure: u64) -> f64 {
+    let mut machine = MachineConfig::new(setup, specs::instant(1 << 30), log_spec);
+    machine.supply = Some(supplies::atx_psu());
+    run_perf(PerfConfig {
+        seed: 15,
+        machine,
+        workload: WorkloadSpec::Tpcb(TpcbScale::small()),
+        run: RunConfig {
+            clients: 8,
+            warmup: SimDuration::from_secs(1),
+            measure: SimDuration::from_secs(measure),
+            think_time: None,
+        },
+    })
+    .stats
+    .tps()
+}
+
+fn main() {
+    let quick = std::env::var("QUICK").is_ok();
+    let measure = if quick { 2 } else { 5 };
+    println!("Ablation B: RapiLog speedup vs log-device latency, TPC-B 8 clients\n");
+    let mut t = TextTable::new(&["log device", "rotation (ms)", "virt-sync tps", "rapilog tps", "speedup"]);
+    let mut devices: Vec<(String, DiskSpec)> = vec![];
+    for rpm in [5400u32, 7200, 10_000, 15_000] {
+        let spec = hdd_at_rpm(rpm, 512 << 20);
+        devices.push((format!("hdd-{rpm}"), spec));
+    }
+    devices.push(("ssd-sata".to_string(), specs::ssd_sata(512 << 20)));
+    devices.push(("ssd-nvme".to_string(), specs::ssd_nvme(512 << 20)));
+    for (name, spec) in devices {
+        let rotation = spec.rotation_period().as_millis_f64();
+        let sync = run_one(spec.clone(), Setup::Virtualized, measure);
+        let rapi = run_one(spec, Setup::RapiLog, measure);
+        t.row(&[
+            name,
+            f2(rotation),
+            f1(sync),
+            f1(rapi),
+            format!("{}x", f2(rapi / sync)),
+        ]);
+    }
+    println!("{}", t.render());
+    println!("Expected shape: speedup decreases monotonically with rotational latency,");
+    println!("approaching 1x on NVMe.");
+}

@@ -1,0 +1,22 @@
+#![warn(missing_docs)]
+
+//! Benchmark harness: one runnable target per table and figure.
+//!
+//! Each `fig_*`/`table_*` binary under `src/bin/` regenerates the data for
+//! one of the paper's (reconstructed) tables or figures and prints the rows
+//! the reproduction records in EXPERIMENTS.md. This library holds the
+//! shared machinery:
+//!
+//! * [`perf::run_perf`] — a complete performance run: assemble a machine in
+//!   one of the three setups, install and load a workload, drive it with
+//!   closed-loop clients, return the measured statistics;
+//! * [`table`] — plain-text table formatting for the harness output.
+//!
+//! Criterion microbenchmarks for the hot paths (WAL encoding, histogram
+//! recording, executor scheduling, drain consolidation) live under
+//! `benches/`.
+
+pub mod perf;
+pub mod table;
+
+pub use perf::{run_perf, PerfConfig, WorkloadSpec};

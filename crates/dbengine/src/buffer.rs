@@ -1,0 +1,415 @@
+//! Buffer pool with the WAL-before-data rule.
+//!
+//! Pages live in frames; a frame is pinned while any caller holds its
+//! `Rc`. Eviction is LRU over unpinned frames. Before a dirty page goes to
+//! the device — on eviction or checkpoint — the WAL is forced up to the
+//! page's LSN. That single rule is what makes the log the authority for
+//! recovery.
+
+use std::cell::RefCell;
+use std::collections::{HashMap, VecDeque};
+use std::rc::Rc;
+
+use rapilog_simcore::sync::Event;
+use rapilog_simdisk::BlockDevice;
+
+use crate::error::{DbError, DbResult};
+use crate::page::{Page, PageLoad, PAGE_SECTORS, PAGE_SIZE};
+use crate::types::{PageId, TableId};
+use crate::wal::Wal;
+
+/// A resident page plus its dirty flag.
+pub struct Frame {
+    /// The page contents.
+    pub page: Page,
+    /// True if the in-memory page is newer than the device copy.
+    pub dirty: bool,
+}
+
+/// Shared handle to a resident frame; holding it pins the page.
+pub type FrameRef = Rc<RefCell<Frame>>;
+
+/// Cumulative pool statistics.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PoolStats {
+    /// Fetches served from memory.
+    pub hits: u64,
+    /// Fetches that read the device.
+    pub misses: u64,
+    /// Dirty pages written back (evictions + checkpoints).
+    pub writebacks: u64,
+}
+
+struct PoolSt {
+    frames: HashMap<PageId, FrameRef>,
+    lru: VecDeque<PageId>,
+    loading: HashMap<PageId, Event>,
+    stats: PoolStats,
+}
+
+/// The buffer pool.
+#[derive(Clone)]
+pub struct BufferPool {
+    inner: Rc<PoolInner>,
+}
+
+struct PoolInner {
+    dev: Rc<dyn BlockDevice>,
+    wal: Wal,
+    capacity: usize,
+    st: RefCell<PoolSt>,
+}
+
+impl BufferPool {
+    /// Creates a pool of `capacity` pages over `dev`, forcing `wal` before
+    /// data writes.
+    pub fn new(dev: Rc<dyn BlockDevice>, wal: Wal, capacity: usize) -> BufferPool {
+        assert!(capacity >= 2, "buffer pool too small");
+        BufferPool {
+            inner: Rc::new(PoolInner {
+                dev,
+                wal,
+                capacity,
+                st: RefCell::new(PoolSt {
+                    frames: HashMap::new(),
+                    lru: VecDeque::new(),
+                    loading: HashMap::new(),
+                    stats: PoolStats::default(),
+                }),
+            }),
+        }
+    }
+
+    /// Statistics snapshot.
+    pub fn stats(&self) -> PoolStats {
+        self.inner.st.borrow().stats
+    }
+
+    /// Number of resident pages.
+    pub fn resident(&self) -> usize {
+        self.inner.st.borrow().frames.len()
+    }
+
+    /// Fetches a page, reading it from the device on a miss. A blank
+    /// (never-written) page comes back as a fresh page initialised for
+    /// `table`/`slot_size`. A corrupt page is an error unless
+    /// `tolerate_corrupt` (recovery sets it: the page will be rebuilt from
+    /// a full-page image), in which case a fresh page is returned.
+    pub async fn fetch(
+        &self,
+        pid: PageId,
+        table: TableId,
+        slot_size: u16,
+        tolerate_corrupt: bool,
+    ) -> DbResult<FrameRef> {
+        loop {
+            let wait_for: Option<Event> = {
+                let mut st = self.inner.st.borrow_mut();
+                if let Some(frame) = st.frames.get(&pid) {
+                    let frame = Rc::clone(frame);
+                    // Touch LRU.
+                    if let Some(pos) = st.lru.iter().position(|&p| p == pid) {
+                        st.lru.remove(pos);
+                    }
+                    st.lru.push_back(pid);
+                    st.stats.hits += 1;
+                    return Ok(frame);
+                }
+                if let Some(ev) = st.loading.get(&pid) {
+                    Some(ev.clone())
+                } else {
+                    st.loading.insert(pid, Event::new());
+                    st.stats.misses += 1;
+                    None
+                }
+            };
+            if let Some(ev) = wait_for {
+                ev.wait().await;
+                continue;
+            }
+            // We own the load. Make room first, then read.
+            let result = self.load_page(pid, table, slot_size, tolerate_corrupt).await;
+            let ev = {
+                let mut st = self.inner.st.borrow_mut();
+                let ev = st.loading.remove(&pid).expect("loading marker vanished");
+                if let Ok(frame) = &result {
+                    st.frames.insert(pid, Rc::clone(frame));
+                    st.lru.push_back(pid);
+                }
+                ev
+            };
+            ev.set();
+            return result;
+        }
+    }
+
+    async fn load_page(
+        &self,
+        pid: PageId,
+        table: TableId,
+        slot_size: u16,
+        tolerate_corrupt: bool,
+    ) -> DbResult<FrameRef> {
+        self.make_room().await?;
+        let mut buf = vec![0u8; PAGE_SIZE];
+        self.inner.dev.read(pid.0 * PAGE_SECTORS, &mut buf).await?;
+        let page = match Page::load(&buf) {
+            PageLoad::Valid(p) => p,
+            PageLoad::Fresh => Page::new(table, slot_size),
+            PageLoad::Corrupt if tolerate_corrupt => Page::new(table, slot_size),
+            PageLoad::Corrupt => {
+                return Err(DbError::Corrupt(format!("page {pid:?} failed its CRC")))
+            }
+        };
+        Ok(Rc::new(RefCell::new(Frame { page, dirty: false })))
+    }
+
+    async fn make_room(&self) -> DbResult<()> {
+        loop {
+            let victim: Option<(PageId, FrameRef)> = {
+                let st = self.inner.st.borrow();
+                if st.frames.len() < self.inner.capacity {
+                    return Ok(());
+                }
+                st.lru
+                    .iter()
+                    .find(|pid| {
+                        st.frames
+                            .get(pid)
+                            // Pinned frames (extra Rc holders) are skipped.
+                            .map(|f| Rc::strong_count(f) == 1)
+                            .unwrap_or(false)
+                    })
+                    .map(|&pid| (pid, Rc::clone(&st.frames[&pid])))
+            };
+            let Some((pid, frame)) = victim else {
+                // Everything is pinned: allow temporary overcommit rather
+                // than deadlocking; the pool shrinks on later fetches.
+                return Ok(());
+            };
+            self.write_frame(pid, &frame).await?;
+            drop(frame); // release our own pin before re-checking
+            let mut st = self.inner.st.borrow_mut();
+            // The frame may have been re-pinned while we wrote; only drop
+            // it if it is still unpinned (the write was still useful).
+            let unpinned = st
+                .frames
+                .get(&pid)
+                .is_some_and(|f| Rc::strong_count(f) == 1);
+            if unpinned {
+                st.frames.remove(&pid);
+                if let Some(pos) = st.lru.iter().position(|&p| p == pid) {
+                    st.lru.remove(pos);
+                }
+                return Ok(());
+            }
+        }
+    }
+
+    async fn write_frame(&self, pid: PageId, frame: &FrameRef) -> DbResult<()> {
+        let (dirty, lsn, bytes) = {
+            let f = frame.borrow();
+            (f.dirty, f.page.lsn(), f.page.to_disk_bytes())
+        };
+        if !dirty {
+            return Ok(());
+        }
+        // WAL-before-data: the log must cover the page's changes first.
+        self.inner.wal.flush_to(lsn).await?;
+        self.inner.dev.write(pid.0 * PAGE_SECTORS, &bytes, false).await?;
+        frame.borrow_mut().dirty = false;
+        self.inner.st.borrow_mut().stats.writebacks += 1;
+        Ok(())
+    }
+
+    /// Writes every dirty page (checkpoint), then flushes the device cache.
+    pub async fn flush_all(&self) -> DbResult<()> {
+        loop {
+            let next: Option<(PageId, FrameRef)> = {
+                let st = self.inner.st.borrow();
+                st.frames
+                    .iter()
+                    .find(|(_, f)| f.borrow().dirty)
+                    .map(|(pid, f)| (*pid, Rc::clone(f)))
+            };
+            let Some((pid, frame)) = next else { break };
+            self.write_frame(pid, &frame).await?;
+        }
+        self.inner.dev.flush().await?;
+        Ok(())
+    }
+
+    /// Marks a frame dirty (callers mutate the page through the frame).
+    pub fn mark_dirty(frame: &FrameRef) {
+        frame.borrow_mut().dirty = true;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::Lsn;
+    use crate::wal::CommitPolicy;
+    use rapilog_simcore::{DomainId, Sim};
+    use rapilog_simdisk::{specs, Disk};
+    use std::cell::Cell as StdCell;
+
+    fn pool_fixture(sim: &mut Sim, capacity: usize) -> (BufferPool, Disk, Wal) {
+        let ctx = sim.ctx();
+        let data = Disk::new(&ctx, specs::instant(64 << 20));
+        let logd = Disk::new(&ctx, specs::instant(16 << 20));
+        let wal = Wal::new(
+            &ctx,
+            Rc::new(logd),
+            CommitPolicy::default(),
+            Lsn::ZERO,
+            Lsn::ZERO,
+            DomainId::ROOT,
+        );
+        let pool = BufferPool::new(Rc::new(data.clone()), wal.clone(), capacity);
+        (pool, data, wal)
+    }
+
+    #[test]
+    fn fetch_fresh_page_and_cache_hit() {
+        let mut sim = Sim::new(2);
+        let (pool, ..) = pool_fixture(&mut sim, 8);
+        let done = Rc::new(StdCell::new(false));
+        let d2 = Rc::clone(&done);
+        sim.spawn(async move {
+            let f1 = pool.fetch(PageId(5), TableId(1), 64, false).await.unwrap();
+            f1.borrow_mut().page.write_slot(0, 7, b"x");
+            BufferPool::mark_dirty(&f1);
+            drop(f1);
+            let f2 = pool.fetch(PageId(5), TableId(1), 64, false).await.unwrap();
+            assert_eq!(f2.borrow().page.read_slot(0), Some((7, b"x".to_vec())));
+            let s = pool.stats();
+            assert_eq!(s.misses, 1);
+            assert_eq!(s.hits, 1);
+            d2.set(true);
+        });
+        sim.run();
+        assert!(done.get());
+    }
+
+    #[test]
+    fn eviction_respects_capacity_and_persists_dirty_pages() {
+        let mut sim = Sim::new(2);
+        let (pool, data, _wal) = pool_fixture(&mut sim, 4);
+        let done = Rc::new(StdCell::new(false));
+        let d2 = Rc::clone(&done);
+        let p2 = pool.clone();
+        sim.spawn(async move {
+            // Dirty ten distinct pages through a 4-page pool.
+            for i in 0..10u64 {
+                let f = p2.fetch(PageId(i), TableId(1), 64, false).await.unwrap();
+                {
+                    let mut fr = f.borrow_mut();
+                    fr.page.write_slot(0, i, &i.to_le_bytes());
+                    fr.page.set_lsn(Lsn(1)); // pretend it was logged
+                }
+                BufferPool::mark_dirty(&f);
+            }
+            assert!(p2.resident() <= 4, "resident {} > capacity", p2.resident());
+            // Re-read an evicted page: contents came back from the device.
+            let f = p2.fetch(PageId(0), TableId(1), 64, false).await.unwrap();
+            assert_eq!(
+                f.borrow().page.read_slot(0),
+                Some((0, 0u64.to_le_bytes().to_vec()))
+            );
+            d2.set(true);
+        });
+        sim.run();
+        assert!(done.get());
+        assert!(pool.stats().writebacks >= 6, "evictions wrote back");
+        // And the bytes really are on the media.
+        let mut buf = vec![0u8; PAGE_SIZE];
+        data.peek_media(0, &mut buf[..512]);
+        assert!(buf[..512].iter().any(|&b| b != 0), "page 0 reached media");
+    }
+
+    #[test]
+    fn flush_all_writes_every_dirty_page() {
+        let mut sim = Sim::new(2);
+        let (pool, _data, _wal) = pool_fixture(&mut sim, 8);
+        let done = Rc::new(StdCell::new(false));
+        let d2 = Rc::clone(&done);
+        sim.spawn(async move {
+            for i in 0..5u64 {
+                let f = pool.fetch(PageId(i), TableId(1), 64, false).await.unwrap();
+                f.borrow_mut().page.write_slot(0, i, b"d");
+                BufferPool::mark_dirty(&f);
+            }
+            pool.flush_all().await.unwrap();
+            assert_eq!(pool.stats().writebacks, 5);
+            // Everything clean now: a second flush writes nothing.
+            pool.flush_all().await.unwrap();
+            assert_eq!(pool.stats().writebacks, 5);
+            d2.set(true);
+        });
+        sim.run();
+        assert!(done.get());
+    }
+
+    #[test]
+    fn corrupt_page_is_error_unless_tolerated() {
+        let mut sim = Sim::new(2);
+        let ctx = sim.ctx();
+        let data = Disk::new(&ctx, specs::instant(64 << 20));
+        let logd = Disk::new(&ctx, specs::instant(16 << 20));
+        let wal = Wal::new(
+            &ctx,
+            Rc::new(logd),
+            CommitPolicy::default(),
+            Lsn::ZERO,
+            Lsn::ZERO,
+            DomainId::ROOT,
+        );
+        let pool = BufferPool::new(Rc::new(data.clone()), wal, 8);
+        let done = Rc::new(StdCell::new(false));
+        let d2 = Rc::clone(&done);
+        sim.spawn(async move {
+            // Write garbage that is non-blank but not a valid page.
+            let garbage = vec![0xA5u8; PAGE_SIZE];
+            data.write(3 * PAGE_SECTORS, &garbage, true).await.unwrap();
+            let err = pool.fetch(PageId(3), TableId(1), 64, false).await.err();
+            assert!(matches!(err, Some(DbError::Corrupt(_))), "got {err:?}");
+            // Recovery mode: a fresh page replaces the wreck.
+            let f = pool.fetch(PageId(3), TableId(1), 64, true).await.unwrap();
+            assert_eq!(f.borrow().page.lsn(), Lsn::ZERO);
+            d2.set(true);
+        });
+        sim.run();
+        assert!(done.get());
+    }
+
+    #[test]
+    fn concurrent_fetchers_share_one_load() {
+        let mut sim = Sim::new(2);
+        let ctx = sim.ctx();
+        // HDD so the load takes real time and the second fetch overlaps.
+        let data = Disk::new(&ctx, specs::hdd_7200(64 << 20));
+        let logd = Disk::new(&ctx, specs::instant(16 << 20));
+        let wal = Wal::new(
+            &ctx,
+            Rc::new(logd),
+            CommitPolicy::default(),
+            Lsn::ZERO,
+            Lsn::ZERO,
+            DomainId::ROOT,
+        );
+        let pool = BufferPool::new(Rc::new(data), wal, 8);
+        let hits = Rc::new(StdCell::new(0u32));
+        for _ in 0..4 {
+            let pool = pool.clone();
+            let hits = Rc::clone(&hits);
+            sim.spawn(async move {
+                let _f = pool.fetch(PageId(9), TableId(1), 64, false).await.unwrap();
+                hits.set(hits.get() + 1);
+            });
+        }
+        sim.run();
+        assert_eq!(hits.get(), 4);
+        assert_eq!(pool.stats().misses, 1, "only one device read");
+    }
+}

@@ -1,0 +1,71 @@
+//! Engine error type.
+
+use std::fmt;
+
+use rapilog_simdisk::IoError;
+
+use crate::types::{Key, TableId, TxnId};
+
+/// Errors surfaced by the database engine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DbError {
+    /// Underlying device failure.
+    Io(IoError),
+    /// Unknown table id.
+    NoSuchTable(TableId),
+    /// Key not present.
+    NotFound(TableId, Key),
+    /// Key already present on insert.
+    Duplicate(TableId, Key),
+    /// Row bytes exceed the table's slot size.
+    RowTooLarge {
+        /// Offending table.
+        table: TableId,
+        /// Bytes offered.
+        len: usize,
+        /// Slot capacity.
+        cap: usize,
+    },
+    /// The table's fixed region is full.
+    TableFull(TableId),
+    /// Lock wait exceeded the configured timeout; the transaction was
+    /// aborted and must be retried by the client.
+    LockTimeout(TxnId),
+    /// Operation on a transaction that is not active.
+    NoSuchTxn(TxnId),
+    /// The database is shutting down or its generation was crashed.
+    Stopped,
+    /// On-disk structures are inconsistent (checksum mismatch outside
+    /// recovery, catalog corruption, ...).
+    Corrupt(String),
+}
+
+impl fmt::Display for DbError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DbError::Io(e) => write!(f, "device error: {e}"),
+            DbError::NoSuchTable(t) => write!(f, "no such table {t:?}"),
+            DbError::NotFound(t, k) => write!(f, "key {k} not found in {t:?}"),
+            DbError::Duplicate(t, k) => write!(f, "duplicate key {k} in {t:?}"),
+            DbError::RowTooLarge { table, len, cap } => {
+                write!(f, "row of {len} bytes exceeds slot {cap} in {table:?}")
+            }
+            DbError::TableFull(t) => write!(f, "table {t:?} is full"),
+            DbError::LockTimeout(t) => write!(f, "lock timeout, {t:?} aborted"),
+            DbError::NoSuchTxn(t) => write!(f, "{t:?} is not active"),
+            DbError::Stopped => write!(f, "database stopped"),
+            DbError::Corrupt(why) => write!(f, "corruption: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for DbError {}
+
+impl From<IoError> for DbError {
+    fn from(e: IoError) -> Self {
+        DbError::Io(e)
+    }
+}
+
+/// Result alias.
+pub type DbResult<T> = Result<T, DbError>;

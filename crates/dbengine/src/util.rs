@@ -1,0 +1,149 @@
+//! Small utilities: CRC-32 and byte-codec helpers.
+//!
+//! The CRC is used by both the WAL record format and the page format;
+//! implementing it here (≈20 lines, table-driven) avoids pulling in a
+//! dependency for something that is part of the on-disk format under study.
+
+/// CRC-32 (IEEE 802.3 polynomial, reflected), as used by zlib.
+pub fn crc32(data: &[u8]) -> u32 {
+    crc32_update(0xFFFF_FFFF, data) ^ 0xFFFF_FFFF
+}
+
+/// Incremental form: feed `state` from a previous call (start with
+/// `0xFFFF_FFFF`, finish by XORing with `0xFFFF_FFFF`).
+pub fn crc32_update(mut state: u32, data: &[u8]) -> u32 {
+    for &b in data {
+        state ^= b as u32;
+        for _ in 0..8 {
+            let mask = (state & 1).wrapping_neg();
+            state = (state >> 1) ^ (0xEDB8_8320 & mask);
+        }
+    }
+    state
+}
+
+/// Appends a `u16` little-endian.
+pub fn put_u16(buf: &mut Vec<u8>, v: u16) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Appends a `u32` little-endian.
+pub fn put_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Appends a `u64` little-endian.
+pub fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Appends a length-prefixed byte string (`u32` length).
+pub fn put_bytes(buf: &mut Vec<u8>, v: &[u8]) {
+    put_u32(buf, v.len() as u32);
+    buf.extend_from_slice(v);
+}
+
+/// Cursor for decoding the formats written by the `put_*` helpers.
+pub struct Cursor<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    /// Wraps a byte slice.
+    pub fn new(data: &'a [u8]) -> Self {
+        Cursor { data, pos: 0 }
+    }
+
+    /// Bytes remaining.
+    pub fn remaining(&self) -> usize {
+        self.data.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize) -> Option<&'a [u8]> {
+        if self.remaining() < n {
+            return None;
+        }
+        let s = &self.data[self.pos..self.pos + n];
+        self.pos += n;
+        Some(s)
+    }
+
+    /// Reads a `u8`.
+    pub fn u8(&mut self) -> Option<u8> {
+        self.take(1).map(|s| s[0])
+    }
+
+    /// Reads a little-endian `u16`.
+    pub fn u16(&mut self) -> Option<u16> {
+        self.take(2).map(|s| u16::from_le_bytes([s[0], s[1]]))
+    }
+
+    /// Reads a little-endian `u32`.
+    pub fn u32(&mut self) -> Option<u32> {
+        self.take(4)
+            .map(|s| u32::from_le_bytes([s[0], s[1], s[2], s[3]]))
+    }
+
+    /// Reads a little-endian `u64`.
+    pub fn u64(&mut self) -> Option<u64> {
+        self.take(8).map(|s| {
+            u64::from_le_bytes([s[0], s[1], s[2], s[3], s[4], s[5], s[6], s[7]])
+        })
+    }
+
+    /// Reads a length-prefixed byte string.
+    pub fn bytes(&mut self) -> Option<Vec<u8>> {
+        let len = self.u32()? as usize;
+        self.take(len).map(|s| s.to_vec())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_known_vectors() {
+        // Standard zlib test vectors.
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b"hello world"), 0x0D4A_1185);
+    }
+
+    #[test]
+    fn crc32_incremental_matches_oneshot() {
+        let data = b"the quick brown fox jumps over the lazy dog";
+        let whole = crc32(data);
+        let mut st = 0xFFFF_FFFFu32;
+        st = crc32_update(st, &data[..10]);
+        st = crc32_update(st, &data[10..]);
+        assert_eq!(st ^ 0xFFFF_FFFF, whole);
+    }
+
+    #[test]
+    fn codec_roundtrip() {
+        let mut buf = Vec::new();
+        put_u16(&mut buf, 0xABCD);
+        put_u32(&mut buf, 0xDEAD_BEEF);
+        put_u64(&mut buf, 0x0123_4567_89AB_CDEF);
+        put_bytes(&mut buf, b"payload");
+        buf.push(9);
+        let mut c = Cursor::new(&buf);
+        assert_eq!(c.u16(), Some(0xABCD));
+        assert_eq!(c.u32(), Some(0xDEAD_BEEF));
+        assert_eq!(c.u64(), Some(0x0123_4567_89AB_CDEF));
+        assert_eq!(c.bytes().as_deref(), Some(&b"payload"[..]));
+        assert_eq!(c.u8(), Some(9));
+        assert_eq!(c.u8(), None, "exhausted");
+    }
+
+    #[test]
+    fn cursor_rejects_truncated_reads() {
+        let mut buf = Vec::new();
+        put_u32(&mut buf, 100); // claims 100 bytes follow
+        buf.extend_from_slice(b"short");
+        let mut c = Cursor::new(&buf);
+        assert_eq!(c.bytes(), None);
+    }
+}

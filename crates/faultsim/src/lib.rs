@@ -1,0 +1,25 @@
+#![warn(missing_docs)]
+
+//! Fault injection and durability auditing.
+//!
+//! This crate assembles whole machines — disks, power supply, hypervisor,
+//! guest VM, database — in the paper's three configurations
+//! ([`Setup::Native`], [`Setup::Virtualized`], [`Setup::RapiLog`]), injects
+//! the paper's two failure classes (guest/OS crash and mains power cut) at
+//! chosen instants, and audits the recovered database against the
+//! client-side acknowledgement journal:
+//!
+//! * **I1 (durability)** — every acknowledged commit is present after
+//!   recovery;
+//! * **I2 (atomicity)** — no transaction is half-present;
+//! * **no phantoms** — nothing newer than the last *attempted* write
+//!   appears.
+//!
+//! Table 2 of the reproduction is a campaign of these trials; the
+//! [`scenario`] module is its engine.
+
+pub mod machine;
+pub mod scenario;
+
+pub use machine::{Machine, MachineConfig, Setup};
+pub use scenario::{run_trial, FaultKind, TrialConfig, TrialResult};

@@ -1,0 +1,384 @@
+//! Whole-machine assembly in the paper's three configurations.
+//!
+//! A [`Machine`] owns the physical substrate (two disks, optionally a
+//! power supply), the hypervisor with its trusted driver cell, the guest
+//! VM, and the device stack between them:
+//!
+//! ```text
+//! Native:       engine ──────────────────────────▶ data/log disks
+//! Virtualized:  engine ─▶ virtio ─▶ driver cell ──▶ data/log disks
+//! RapiLog:      engine ─▶ virtio ─▶ driver cell ──▶ data disk
+//!                         virtio ─▶ RapiLog buffer ─▶ log disk
+//! ```
+//!
+//! Power wiring: when the supply's residual window expires, both disks
+//! lose power, the guest is crashed and the engine is stopped — all at the
+//! same instant, like a machine browning out.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use rapilog::{AuditReport, RapiLog, RapiLogConfig};
+use rapilog_dbengine::recovery::RecoveryReport;
+use rapilog_dbengine::{Database, DbConfig, DbError, TableDef};
+use rapilog_microvisor::{Cell as HvCell, GuestVm, Hypervisor, Trust, VirtCosts, VirtioBlk};
+use rapilog_simcore::SimCtx;
+use rapilog_simdisk::{BlockDevice, Disk, DiskSpec};
+use rapilog_simpower::{PowerSupply, SupplySpec};
+use rapilog_workload::DbServer;
+
+/// Which of the paper's configurations to assemble.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Setup {
+    /// Engine talks to the raw disks; no hypervisor in the data path.
+    Native,
+    /// Engine runs in a VM; disks reached through virtio (sync logging).
+    Virtualized,
+    /// Like `Virtualized`, but the log disk is the RapiLog virtual disk.
+    RapiLog,
+}
+
+impl Setup {
+    /// Display label used by the benchmark harness.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Setup::Native => "native",
+            Setup::Virtualized => "virt-sync",
+            Setup::RapiLog => "rapilog",
+        }
+    }
+}
+
+/// Machine configuration.
+#[derive(Clone)]
+pub struct MachineConfig {
+    /// The configuration under test.
+    pub setup: Setup,
+    /// Data-disk model.
+    pub data_spec: DiskSpec,
+    /// Log-disk model.
+    pub log_spec: DiskSpec,
+    /// Power supply; `None` = lab bench supply that never fails.
+    pub supply: Option<SupplySpec>,
+    /// Engine configuration (CPU factor is overridden per setup).
+    pub db: DbConfig,
+    /// Virtio crossing costs (Virtualized/RapiLog setups).
+    pub virt_costs: VirtCosts,
+    /// RapiLog configuration (RapiLog setup).
+    pub rapilog: RapiLogConfig,
+    /// CPU tax of running under the hypervisor.
+    pub virt_cpu_factor: f64,
+}
+
+impl MachineConfig {
+    /// A configuration with defaults for everything but the disks.
+    pub fn new(setup: Setup, data_spec: DiskSpec, log_spec: DiskSpec) -> MachineConfig {
+        MachineConfig {
+            setup,
+            data_spec,
+            log_spec,
+            supply: None,
+            db: DbConfig::default(),
+            virt_costs: VirtCosts::default(),
+            rapilog: RapiLogConfig::default(),
+            virt_cpu_factor: 1.05,
+        }
+    }
+}
+
+struct DeviceStack {
+    data_dev: Rc<dyn BlockDevice>,
+    log_dev: Rc<dyn BlockDevice>,
+    rapilog: Option<RapiLog>,
+}
+
+struct MachineInner {
+    ctx: SimCtx,
+    cfg: MachineConfig,
+    hv: Hypervisor,
+    vm: GuestVm,
+    driver_cell: HvCell,
+    data_disk: Disk,
+    log_disk: Disk,
+    psu: Option<PowerSupply>,
+    stack: RefCell<Option<DeviceStack>>,
+    db: Rc<RefCell<Option<Database>>>,
+    /// Audit reports of RapiLog instances retired by stack rebuilds.
+    audit_history: RefCell<Vec<AuditReport>>,
+}
+
+/// A fully wired machine under test.
+#[derive(Clone)]
+pub struct Machine {
+    inner: Rc<MachineInner>,
+}
+
+impl Machine {
+    /// Builds the machine (guest not yet booted, database not installed).
+    pub fn new(ctx: &SimCtx, cfg: MachineConfig) -> Machine {
+        let hv = Hypervisor::new(ctx);
+        let vm = GuestVm::new(&hv, "db-vm");
+        let driver_cell = hv.create_cell("io-drivers", Trust::Trusted);
+        let data_disk = Disk::new(ctx, cfg.data_spec.clone());
+        let log_disk = Disk::new(ctx, cfg.log_spec.clone());
+        let psu = cfg
+            .supply
+            .clone()
+            .map(|spec| PowerSupply::new(ctx, spec));
+        let db: Rc<RefCell<Option<Database>>> = Rc::new(RefCell::new(None));
+        if let Some(psu) = &psu {
+            let data = data_disk.clone();
+            let log = log_disk.clone();
+            let vm2 = vm.clone();
+            let db2 = Rc::clone(&db);
+            psu.on_death(move || {
+                data.power_cut();
+                log.power_cut();
+                vm2.crash();
+                if let Some(db) = db2.borrow().as_ref() {
+                    db.stop();
+                }
+            });
+        }
+        Machine {
+            inner: Rc::new(MachineInner {
+                ctx: ctx.clone(),
+                cfg,
+                hv,
+                vm,
+                driver_cell,
+                data_disk,
+                log_disk,
+                psu,
+                stack: RefCell::new(None),
+                db,
+                audit_history: RefCell::new(Vec::new()),
+            }),
+        }
+    }
+
+    fn build_stack(&self) {
+        let i = &self.inner;
+        // Preserve the retiring instance's verdict before replacing it.
+        if let Some(old) = i.stack.borrow().as_ref().and_then(|s| s.rapilog.as_ref()) {
+            i.audit_history.borrow_mut().push(old.audit_report());
+        }
+        let stack = match i.cfg.setup {
+            Setup::Native => DeviceStack {
+                data_dev: Rc::new(i.data_disk.clone()),
+                log_dev: Rc::new(i.log_disk.clone()),
+                rapilog: None,
+            },
+            Setup::Virtualized => DeviceStack {
+                data_dev: Rc::new(VirtioBlk::new(
+                    &i.ctx,
+                    &i.driver_cell,
+                    Rc::new(i.data_disk.clone()),
+                    i.cfg.virt_costs,
+                )),
+                log_dev: Rc::new(VirtioBlk::new(
+                    &i.ctx,
+                    &i.driver_cell,
+                    Rc::new(i.log_disk.clone()),
+                    i.cfg.virt_costs,
+                )),
+                rapilog: None,
+            },
+            Setup::RapiLog => {
+                let rl = RapiLog::new(
+                    &i.ctx,
+                    &i.driver_cell,
+                    i.log_disk.clone(),
+                    i.psu.as_ref(),
+                    i.cfg.rapilog,
+                );
+                DeviceStack {
+                    data_dev: Rc::new(VirtioBlk::new(
+                        &i.ctx,
+                        &i.driver_cell,
+                        Rc::new(i.data_disk.clone()),
+                        i.cfg.virt_costs,
+                    )),
+                    log_dev: Rc::new(VirtioBlk::new(
+                        &i.ctx,
+                        &i.driver_cell,
+                        Rc::new(rl.device()),
+                        i.cfg.virt_costs,
+                    )),
+                    rapilog: Some(rl),
+                }
+            }
+        };
+        *i.stack.borrow_mut() = Some(stack);
+    }
+
+    fn db_config(&self) -> DbConfig {
+        let mut cfg = self.inner.cfg.db.clone();
+        cfg.cpu_factor = match self.inner.cfg.setup {
+            Setup::Native => cfg.cpu_factor,
+            _ => cfg.cpu_factor * self.inner.cfg.virt_cpu_factor,
+        };
+        cfg
+    }
+
+    /// Boots the guest and creates a fresh database.
+    pub async fn install(&self, defs: &[TableDef]) -> Result<Database, DbError> {
+        self.inner.vm.boot();
+        if self.inner.stack.borrow().is_none() {
+            self.build_stack();
+        }
+        let (data_dev, log_dev) = {
+            let stack = self.inner.stack.borrow();
+            let s = stack.as_ref().expect("stack built");
+            (Rc::clone(&s.data_dev), Rc::clone(&s.log_dev))
+        };
+        let domain = self.inner.vm.domain().expect("guest booted");
+        let db = Database::create(&self.inner.ctx, self.db_config(), defs, data_dev, log_dev, domain)
+            .await?;
+        *self.inner.db.borrow_mut() = Some(db.clone());
+        Ok(db)
+    }
+
+    /// Boots the guest and runs crash recovery over the existing devices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the guest is still up or the power is still out.
+    pub async fn reboot_and_recover(&self) -> Result<(Database, RecoveryReport), DbError> {
+        assert!(!self.inner.vm.is_up(), "guest still running");
+        assert!(
+            !self.inner.log_disk.is_offline() && !self.inner.data_disk.is_offline(),
+            "restore power before rebooting"
+        );
+        // A frozen RapiLog (post power episode) must be rebuilt; the data
+        // it held is on the disk by the drain guarantee.
+        let needs_rebuild = {
+            let stack = self.inner.stack.borrow();
+            match stack.as_ref() {
+                None => true,
+                Some(s) => s
+                    .rapilog
+                    .as_ref()
+                    .is_some_and(|rl| rl.device_frozen()),
+            }
+        };
+        if needs_rebuild {
+            self.build_stack();
+        }
+        self.inner.vm.boot();
+        let (data_dev, log_dev) = {
+            let stack = self.inner.stack.borrow();
+            let s = stack.as_ref().expect("stack built");
+            (Rc::clone(&s.data_dev), Rc::clone(&s.log_dev))
+        };
+        let domain = self.inner.vm.domain().expect("guest booted");
+        let (db, report) =
+            Database::open(&self.inner.ctx, self.db_config(), data_dev, log_dev, domain).await?;
+        *self.inner.db.borrow_mut() = Some(db.clone());
+        Ok((db, report))
+    }
+
+    /// The current database instance, if any.
+    pub fn db(&self) -> Option<Database> {
+        self.inner.db.borrow().clone()
+    }
+
+    /// A session server bound to the current database and guest domain.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no database is installed or the guest is down.
+    pub fn server(&self) -> DbServer {
+        let db = self.db().expect("database installed");
+        let domain = self.inner.vm.domain().expect("guest booted");
+        DbServer::new(&self.inner.ctx, db, domain)
+    }
+
+    /// Crashes the guest OS (kernel panic): all engine tasks die now.
+    /// Returns the number of tasks destroyed.
+    pub fn crash_guest(&self) -> usize {
+        let n = self.inner.vm.crash();
+        if let Some(db) = self.inner.db.borrow_mut().take() {
+            // External waiters (clients) observe the connection reset.
+            db.stop();
+        }
+        n
+    }
+
+    /// Cuts mains power. The warning fires shortly after; the machine dies
+    /// when the residual window expires (see the supply spec).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the machine has no supply configured.
+    pub fn cut_power(&self) {
+        self.inner
+            .psu
+            .as_ref()
+            .expect("no power supply configured")
+            .cut_mains();
+    }
+
+    /// Restores mains power and brings the disks back online.
+    pub fn restore_power(&self) {
+        if let Some(psu) = &self.inner.psu {
+            psu.restore();
+        }
+        self.inner.data_disk.power_restore();
+        self.inner.log_disk.power_restore();
+    }
+
+    /// The power supply, if configured.
+    pub fn psu(&self) -> Option<&PowerSupply> {
+        self.inner.psu.as_ref()
+    }
+
+    /// The raw log disk (for media audits).
+    pub fn log_disk(&self) -> &Disk {
+        &self.inner.log_disk
+    }
+
+    /// The raw data disk (for media audits).
+    pub fn data_disk(&self) -> &Disk {
+        &self.inner.data_disk
+    }
+
+    /// The RapiLog instance, when the setup has one.
+    pub fn rapilog(&self) -> Option<RapiLog> {
+        self.inner
+            .stack
+            .borrow()
+            .as_ref()
+            .and_then(|s| s.rapilog.clone())
+    }
+
+    /// The RapiLog auditor's report for the *current* instance.
+    pub fn rapilog_report(&self) -> Option<AuditReport> {
+        self.rapilog().map(|rl| rl.audit_report())
+    }
+
+    /// The combined verdict over every RapiLog instance this machine has
+    /// run (including those retired by power episodes). `None` when the
+    /// setup never had RapiLog.
+    pub fn rapilog_guarantee_held(&self) -> Option<bool> {
+        let history = self.inner.audit_history.borrow();
+        let current = self.rapilog_report();
+        if history.is_empty() && current.is_none() {
+            return None;
+        }
+        Some(
+            history.iter().all(|r| r.guarantee_held())
+                && current.is_none_or(|r| r.guarantee_held()),
+        )
+    }
+
+    /// Asserts the trusted cells all survived (invariant I6).
+    pub fn assert_trusted_intact(&self) {
+        self.inner.hv.assert_trusted_intact();
+    }
+
+    /// The guest VM handle.
+    pub fn vm(&self) -> &GuestVm {
+        &self.inner.vm
+    }
+}

@@ -1,0 +1,221 @@
+//! Runtime invariant auditor.
+//!
+//! The paper's guarantee is a theorem about the implementation; this module
+//! is the executable check of that theorem's premises in every run:
+//!
+//! * **I3 (order)** — media commits are observed in strictly increasing
+//!   sequence order;
+//! * **I4 (bounded drain)** — when power fails, the occupancy snapshot at
+//!   the warning fits the drain budget, and the drain in fact finishes
+//!   before the residual deadline;
+//! * drain failures (device died with bytes still buffered) are fatal to
+//!   the guarantee and flagged.
+//!
+//! The fault-injection harness asserts [`AuditReport::guarantee_held`]
+//! after every campaign.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use rapilog_simcore::{SimCtx, SimTime};
+use rapilog_simpower::PowerSupply;
+
+/// Outcome of one power-failure episode.
+#[derive(Debug, Clone, Copy)]
+pub struct EmergencyOutcome {
+    /// When the warning reached the watcher.
+    pub warned_at: SimTime,
+    /// Bytes buffered at that instant.
+    pub occupancy_at_warning: u64,
+    /// When output was due to collapse.
+    pub deadline: SimTime,
+    /// When the drain emptied the buffer; `None` if it never did.
+    pub drained_at: Option<SimTime>,
+}
+
+impl EmergencyOutcome {
+    /// True if every buffered byte reached media before the deadline.
+    pub fn met(&self) -> bool {
+        self.drained_at.is_some_and(|t| t <= self.deadline)
+    }
+}
+
+/// The auditor's cumulative findings.
+#[derive(Debug, Clone, Default)]
+pub struct AuditReport {
+    /// Media commits observed.
+    pub commits: u64,
+    /// True if any commit arrived out of sequence order (I3 violation).
+    pub order_violated: bool,
+    /// Power-failure episodes and their outcomes.
+    pub emergencies: Vec<EmergencyOutcome>,
+    /// Times the drain lost the device with bytes still buffered.
+    pub drain_failures: u64,
+    /// Bytes that were still buffered at those failures.
+    pub bytes_lost_at_failure: u64,
+}
+
+impl AuditReport {
+    /// The headline verdict: ordering held, and every power-failure
+    /// episode drained in time. A drain failure is only acceptable if it
+    /// happened *after* the buffer had already emptied (then
+    /// `bytes_lost_at_failure` is zero).
+    pub fn guarantee_held(&self) -> bool {
+        !self.order_violated
+            && self.bytes_lost_at_failure == 0
+            && self.emergencies.iter().all(|e| e.met())
+    }
+}
+
+struct AuditSt {
+    last_seq: Option<u64>,
+    report: AuditReport,
+    pending_emergency: Option<usize>,
+}
+
+/// Cloneable auditor handle.
+#[derive(Clone)]
+pub struct Audit {
+    ctx: SimCtx,
+    st: Rc<RefCell<AuditSt>>,
+    #[allow(dead_code)]
+    supply: Option<PowerSupply>,
+}
+
+impl Audit {
+    /// Creates an auditor.
+    pub fn new(ctx: &SimCtx, supply: Option<PowerSupply>) -> Audit {
+        Audit {
+            ctx: ctx.clone(),
+            st: Rc::new(RefCell::new(AuditSt {
+                last_seq: None,
+                report: AuditReport::default(),
+                pending_emergency: None,
+            })),
+            supply,
+        }
+    }
+
+    /// Records a media commit of every extent up to `seq`.
+    pub fn record_commit(&self, seq: u64) {
+        let mut st = self.st.borrow_mut();
+        if let Some(last) = st.last_seq {
+            if seq <= last {
+                st.report.order_violated = true;
+            }
+        }
+        st.last_seq = Some(seq);
+        st.report.commits += 1;
+    }
+
+    /// Records the power-fail warning with the occupancy snapshot.
+    pub fn record_warning(&self, occupancy: u64, deadline: SimTime) {
+        let now = self.ctx.now();
+        let mut st = self.st.borrow_mut();
+        st.report.emergencies.push(EmergencyOutcome {
+            warned_at: now,
+            occupancy_at_warning: occupancy,
+            deadline,
+            drained_at: None,
+        });
+        let idx = st.report.emergencies.len() - 1;
+        st.pending_emergency = Some(idx);
+    }
+
+    /// Records the emergency drain reaching empty.
+    pub fn record_emergency_drained(&self) {
+        let now = self.ctx.now();
+        let mut st = self.st.borrow_mut();
+        if let Some(idx) = st.pending_emergency.take() {
+            st.report.emergencies[idx].drained_at = Some(now);
+        }
+    }
+
+    /// Records the device dying under the drain with bytes still queued.
+    pub fn record_drain_failure(&self, occupancy: u64) {
+        let mut st = self.st.borrow_mut();
+        st.report.drain_failures += 1;
+        st.report.bytes_lost_at_failure += occupancy;
+    }
+
+    /// Snapshot of the findings.
+    pub fn report(&self) -> AuditReport {
+        self.st.borrow().report.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rapilog_simcore::Sim;
+
+    #[test]
+    fn ordering_violation_detected() {
+        let sim = Sim::new(0);
+        let audit = Audit::new(&sim.ctx(), None);
+        audit.record_commit(1);
+        audit.record_commit(2);
+        assert!(audit.report().guarantee_held());
+        audit.record_commit(2);
+        assert!(audit.report().order_violated);
+        assert!(!audit.report().guarantee_held());
+    }
+
+    #[test]
+    fn emergency_met_iff_drained_before_deadline() {
+        let mut sim = Sim::new(0);
+        let ctx = sim.ctx();
+        let audit = Audit::new(&ctx, None);
+        let a2 = audit.clone();
+        sim.spawn({
+            let ctx = ctx.clone();
+            async move {
+                a2.record_warning(1024, ctx.now() + rapilog_simcore::SimDuration::from_millis(100));
+                ctx.sleep(rapilog_simcore::SimDuration::from_millis(50)).await;
+                a2.record_emergency_drained();
+            }
+        });
+        sim.run();
+        let r = audit.report();
+        assert_eq!(r.emergencies.len(), 1);
+        assert!(r.emergencies[0].met());
+        assert!(r.guarantee_held());
+    }
+
+    #[test]
+    fn late_drain_fails_the_guarantee() {
+        let mut sim = Sim::new(0);
+        let ctx = sim.ctx();
+        let audit = Audit::new(&ctx, None);
+        let a2 = audit.clone();
+        sim.spawn({
+            let ctx = ctx.clone();
+            async move {
+                a2.record_warning(1024, ctx.now() + rapilog_simcore::SimDuration::from_millis(10));
+                ctx.sleep(rapilog_simcore::SimDuration::from_millis(50)).await;
+                a2.record_emergency_drained();
+            }
+        });
+        sim.run();
+        assert!(!audit.report().guarantee_held());
+    }
+
+    #[test]
+    fn unfinished_emergency_fails() {
+        let sim = Sim::new(0);
+        let ctx = sim.ctx();
+        let audit = Audit::new(&ctx, None);
+        audit.record_warning(10, SimTime::from_millis(5));
+        assert!(!audit.report().guarantee_held());
+    }
+
+    #[test]
+    fn drain_failure_with_zero_bytes_is_tolerated() {
+        let sim = Sim::new(0);
+        let audit = Audit::new(&sim.ctx(), None);
+        audit.record_drain_failure(0);
+        assert!(audit.report().guarantee_held(), "nothing was lost");
+        audit.record_drain_failure(512);
+        assert!(!audit.report().guarantee_held());
+    }
+}

@@ -1,0 +1,415 @@
+//! The dependable buffer: bounded, ordered, admission-controlled.
+//!
+//! Writes enter as *extents* (a sector run plus bytes) and leave strictly
+//! in arrival order when the drain commits them to media. A per-sector
+//! overlay provides read-your-writes for data that is acknowledged but not
+//! yet on disk — the guest re-reading its log tail after a reboot sees
+//! exactly what it was promised.
+//!
+//! Admission control is the paper's safety argument in code: occupancy can
+//! never exceed the capacity derived from the residual-energy window, so
+//! the emergency drain always fits. When the buffer is full, writers wait —
+//! that is the graceful degradation to synchronous-disk speed (I5).
+
+use std::cell::RefCell;
+use std::collections::{HashMap, VecDeque};
+use std::rc::Rc;
+
+use rapilog_simcore::sync::Notify;
+use rapilog_simdisk::SECTOR_SIZE;
+
+/// One accepted write.
+#[derive(Debug, Clone)]
+pub struct Extent {
+    /// Arrival order; drains strictly ascending.
+    pub seq: u64,
+    /// First sector of the run.
+    pub sector: u64,
+    /// The bytes (a positive multiple of the sector size).
+    pub data: Vec<u8>,
+}
+
+/// Cumulative buffer statistics.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BufferStats {
+    /// Writes accepted.
+    pub accepted_writes: u64,
+    /// Bytes accepted.
+    pub accepted_bytes: u64,
+    /// Bytes committed to media.
+    pub drained_bytes: u64,
+    /// Highest occupancy ever observed.
+    pub peak_occupancy: u64,
+    /// Times a writer had to wait for space (backpressure engaged).
+    pub backpressure_events: u64,
+}
+
+struct BufSt {
+    queue: VecDeque<Extent>,
+    occupancy: u64,
+    capacity: u64,
+    next_seq: u64,
+    /// Per-sector newest acked-but-possibly-undrained bytes, tagged with
+    /// the extent seq that wrote them.
+    overlay: HashMap<u64, (u64, Vec<u8>)>,
+    frozen: bool,
+    stats: BufferStats,
+}
+
+/// Handle to the buffer; clones share state.
+#[derive(Clone)]
+pub struct DependableBuffer {
+    st: Rc<RefCell<BufSt>>,
+    space: Notify,
+    avail: Notify,
+    empty: Notify,
+}
+
+/// Why a push was refused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PushError {
+    /// The buffer is frozen (power failing): no new admissions.
+    Frozen,
+}
+
+impl DependableBuffer {
+    /// Creates a buffer with the given byte capacity.
+    pub fn new(capacity: u64) -> DependableBuffer {
+        DependableBuffer {
+            st: Rc::new(RefCell::new(BufSt {
+                queue: VecDeque::new(),
+                occupancy: 0,
+                capacity,
+                next_seq: 0,
+                overlay: HashMap::new(),
+                frozen: false,
+                stats: BufferStats::default(),
+            })),
+            space: Notify::new(),
+            avail: Notify::new(),
+            empty: Notify::new(),
+        }
+    }
+
+    /// The admission cap.
+    pub fn capacity(&self) -> u64 {
+        self.st.borrow().capacity
+    }
+
+    /// Bytes currently buffered.
+    pub fn occupancy(&self) -> u64 {
+        self.st.borrow().occupancy
+    }
+
+    /// Statistics snapshot.
+    pub fn stats(&self) -> BufferStats {
+        self.st.borrow().stats
+    }
+
+    /// True once [`freeze`](Self::freeze) was called.
+    pub fn is_frozen(&self) -> bool {
+        self.st.borrow().frozen
+    }
+
+    /// Stops admitting writes (power-fail warning). The drain keeps going.
+    pub fn freeze(&self) {
+        self.st.borrow_mut().frozen = true;
+        // Release writers stuck waiting for space so they see the freeze.
+        self.space.notify_all();
+    }
+
+    /// Accepts a write, waiting for space under backpressure. Returns the
+    /// extent's sequence number.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` is empty, not sector aligned, or alone larger than
+    /// the whole capacity (a configuration error: the caller must split).
+    pub async fn push(&self, sector: u64, data: Vec<u8>) -> Result<u64, PushError> {
+        assert!(
+            !data.is_empty() && data.len().is_multiple_of(SECTOR_SIZE),
+            "extent must be a positive multiple of the sector size"
+        );
+        let len = data.len() as u64;
+        assert!(
+            len <= self.st.borrow().capacity,
+            "single extent of {len} bytes exceeds buffer capacity"
+        );
+        let mut waited = false;
+        loop {
+            {
+                let mut st = self.st.borrow_mut();
+                if st.frozen {
+                    return Err(PushError::Frozen);
+                }
+                if st.occupancy + len <= st.capacity {
+                    let seq = st.next_seq;
+                    st.next_seq += 1;
+                    st.occupancy += len;
+                    st.stats.accepted_writes += 1;
+                    st.stats.accepted_bytes += len;
+                    st.stats.peak_occupancy = st.stats.peak_occupancy.max(st.occupancy);
+                    if waited {
+                        st.stats.backpressure_events += 1;
+                    }
+                    for (i, chunk) in data.chunks_exact(SECTOR_SIZE).enumerate() {
+                        st.overlay
+                            .insert(sector + i as u64, (seq, chunk.to_vec()));
+                    }
+                    st.queue.push_back(Extent { seq, sector, data });
+                    drop(st);
+                    self.avail.notify_one();
+                    return Ok(seq);
+                }
+            }
+            waited = true;
+            self.space.notified().await;
+        }
+    }
+
+    /// Waits until at least one extent is queued.
+    pub async fn wait_avail(&self) {
+        loop {
+            if !self.st.borrow().queue.is_empty() {
+                return;
+            }
+            self.avail.notified().await;
+        }
+    }
+
+    /// Returns (clones of) the head extents totalling at most `max_bytes`
+    /// (always at least one if non-empty), without removing them: the data
+    /// stays readable and crash-safe until [`complete`](Self::complete).
+    pub fn peek_batch(&self, max_bytes: usize) -> Vec<Extent> {
+        let st = self.st.borrow();
+        let mut out = Vec::new();
+        let mut total = 0usize;
+        for e in &st.queue {
+            if !out.is_empty() && total + e.data.len() > max_bytes {
+                break;
+            }
+            total += e.data.len();
+            out.push(e.clone());
+        }
+        out
+    }
+
+    /// Marks every extent with `seq <= up_to` as committed to media:
+    /// removes them, releases space, cleans overlay entries that were not
+    /// superseded by newer writes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called out of order (head seq > `up_to` while older
+    /// extents remain would indicate a drain ordering bug).
+    pub fn complete(&self, up_to: u64) {
+        let became_empty = {
+            let mut st = self.st.borrow_mut();
+            while let Some(head) = st.queue.front() {
+                if head.seq > up_to {
+                    break;
+                }
+                let e = st.queue.pop_front().expect("peeked head vanished");
+                st.occupancy -= e.data.len() as u64;
+                st.stats.drained_bytes += e.data.len() as u64;
+                for i in 0..(e.data.len() / SECTOR_SIZE) as u64 {
+                    let s = e.sector + i;
+                    if st.overlay.get(&s).map(|(q, _)| *q) == Some(e.seq) {
+                        st.overlay.remove(&s);
+                    }
+                }
+            }
+            st.queue.is_empty()
+        };
+        self.space.notify_all();
+        if became_empty {
+            self.empty.notify_all();
+        }
+    }
+
+    /// Waits until the buffer is fully drained.
+    pub async fn drained(&self) {
+        loop {
+            if self.st.borrow().queue.is_empty() {
+                return;
+            }
+            self.empty.notified().await;
+        }
+    }
+
+    /// Read-your-writes: newest acked bytes for `sector`, if buffered.
+    pub fn read_overlay(&self, sector: u64) -> Option<Vec<u8>> {
+        self.st.borrow().overlay.get(&sector).map(|(_, d)| d.clone())
+    }
+
+    /// Extents currently queued (tests/audits).
+    pub fn queued(&self) -> usize {
+        self.st.borrow().queue.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rapilog_simcore::{Sim, SimDuration};
+    use std::cell::Cell as StdCell;
+
+    fn sector_data(tag: u8, sectors: usize) -> Vec<u8> {
+        vec![tag; sectors * SECTOR_SIZE]
+    }
+
+    #[test]
+    fn push_peek_complete_in_order() {
+        let mut sim = Sim::new(0);
+        let buf = DependableBuffer::new(1 << 20);
+        let b2 = buf.clone();
+        sim.spawn(async move {
+            let s0 = b2.push(0, sector_data(1, 2)).await.unwrap();
+            let s1 = b2.push(2, sector_data(2, 1)).await.unwrap();
+            assert!(s1 > s0);
+            assert_eq!(b2.occupancy(), 3 * SECTOR_SIZE as u64);
+            let batch = b2.peek_batch(usize::MAX);
+            assert_eq!(batch.len(), 2);
+            assert_eq!(batch[0].sector, 0);
+            b2.complete(s1);
+            assert_eq!(b2.occupancy(), 0);
+            assert_eq!(b2.queued(), 0);
+        });
+        sim.run();
+        let s = buf.stats();
+        assert_eq!(s.accepted_writes, 2);
+        assert_eq!(s.drained_bytes, 3 * SECTOR_SIZE as u64);
+        assert_eq!(s.peak_occupancy, 3 * SECTOR_SIZE as u64);
+    }
+
+    #[test]
+    fn peek_batch_respects_limit_but_returns_at_least_one() {
+        let mut sim = Sim::new(0);
+        let buf = DependableBuffer::new(1 << 20);
+        let b2 = buf.clone();
+        sim.spawn(async move {
+            b2.push(0, sector_data(1, 4)).await.unwrap();
+            b2.push(4, sector_data(2, 4)).await.unwrap();
+            // Limit below one extent: still returns the head.
+            let batch = b2.peek_batch(SECTOR_SIZE);
+            assert_eq!(batch.len(), 1);
+            // Limit covering one and a half extents: returns one.
+            let batch = b2.peek_batch(6 * SECTOR_SIZE);
+            assert_eq!(batch.len(), 1);
+            let batch = b2.peek_batch(8 * SECTOR_SIZE);
+            assert_eq!(batch.len(), 2);
+        });
+        sim.run();
+    }
+
+    #[test]
+    fn backpressure_blocks_until_space() {
+        let mut sim = Sim::new(0);
+        let ctx = sim.ctx();
+        let buf = DependableBuffer::new(2 * SECTOR_SIZE as u64);
+        let pushed_at = Rc::new(StdCell::new(0u64));
+        let b2 = buf.clone();
+        let p2 = Rc::clone(&pushed_at);
+        sim.spawn({
+            let ctx = ctx.clone();
+            async move {
+                b2.push(0, sector_data(1, 2)).await.unwrap();
+                // Full: this waits until the drain completes something.
+                b2.push(2, sector_data(2, 1)).await.unwrap();
+                p2.set(ctx.now().as_millis());
+            }
+        });
+        let b3 = buf.clone();
+        sim.spawn({
+            let ctx = ctx.clone();
+            async move {
+                ctx.sleep(SimDuration::from_millis(7)).await;
+                b3.complete(0);
+            }
+        });
+        sim.run();
+        assert_eq!(pushed_at.get(), 7, "writer waited for the drain");
+        assert_eq!(buf.stats().backpressure_events, 1);
+    }
+
+    #[test]
+    fn overlay_read_your_writes_and_supersede() {
+        let mut sim = Sim::new(0);
+        let buf = DependableBuffer::new(1 << 20);
+        let b2 = buf.clone();
+        sim.spawn(async move {
+            let s0 = b2.push(5, sector_data(0xAA, 1)).await.unwrap();
+            assert_eq!(b2.read_overlay(5), Some(sector_data(0xAA, 1)));
+            // Newer write to the same sector supersedes.
+            let _s1 = b2.push(5, sector_data(0xBB, 1)).await.unwrap();
+            assert_eq!(b2.read_overlay(5), Some(sector_data(0xBB, 1)));
+            // Completing the OLD extent must not evict the newer overlay.
+            b2.complete(s0);
+            assert_eq!(b2.read_overlay(5), Some(sector_data(0xBB, 1)));
+        });
+        sim.run();
+    }
+
+    #[test]
+    fn freeze_rejects_new_pushes_and_unblocks_waiters() {
+        let mut sim = Sim::new(0);
+        let ctx = sim.ctx();
+        let buf = DependableBuffer::new(SECTOR_SIZE as u64);
+        let outcome = Rc::new(StdCell::new(None));
+        let b2 = buf.clone();
+        let o2 = Rc::clone(&outcome);
+        sim.spawn(async move {
+            b2.push(0, sector_data(1, 1)).await.unwrap();
+            // Blocks on space; the freeze must wake it with an error.
+            o2.set(Some(b2.push(1, sector_data(2, 1)).await));
+        });
+        let b3 = buf.clone();
+        sim.spawn({
+            let ctx = ctx.clone();
+            async move {
+                ctx.sleep(SimDuration::from_millis(1)).await;
+                b3.freeze();
+            }
+        });
+        sim.run();
+        assert_eq!(outcome.get(), Some(Err(PushError::Frozen)));
+        assert!(buf.is_frozen());
+    }
+
+    #[test]
+    fn drained_wakes_when_empty() {
+        let mut sim = Sim::new(0);
+        let ctx = sim.ctx();
+        let buf = DependableBuffer::new(1 << 20);
+        let drained_at = Rc::new(StdCell::new(0u64));
+        let b2 = buf.clone();
+        let d2 = Rc::clone(&drained_at);
+        sim.spawn({
+            let ctx = ctx.clone();
+            async move {
+                b2.push(0, sector_data(1, 1)).await.unwrap();
+                let b3 = b2.clone();
+                let ctx2 = ctx.clone();
+                ctx.spawn(async move {
+                    ctx2.sleep(SimDuration::from_millis(4)).await;
+                    b3.complete(0);
+                });
+                b2.drained().await;
+                d2.set(ctx.now().as_millis());
+            }
+        });
+        sim.run();
+        assert_eq!(drained_at.get(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds buffer capacity")]
+    fn oversized_extent_panics() {
+        let mut sim = Sim::new(0);
+        let buf = DependableBuffer::new(SECTOR_SIZE as u64);
+        sim.spawn(async move {
+            let _ = buf.push(0, sector_data(1, 2)).await;
+        });
+        sim.run();
+    }
+}

@@ -1,0 +1,185 @@
+//! The asynchronous drain: trusted tasks that move buffered log data to
+//! the physical disk, in order, in large batches.
+//!
+//! Two tasks live in the trusted cell:
+//!
+//! * the **drain loop** — work-conserving: whenever extents are queued it
+//!   coalesces the head of the queue into contiguous sector runs (up to the
+//!   configured batch size) and commits them with FUA writes. Large
+//!   sequential batches are what let the drain run at media bandwidth while
+//!   the database's own synchronous writes would pay a rotation each.
+//! * the **power watcher** — on the supply's power-fail warning it freezes
+//!   the buffer (no new admissions: the machine is dying anyway) and
+//!   records, via the [`audit`](crate::audit), whether the remaining bytes
+//!   hit the disk before the residual window expired. With correct sizing
+//!   this is guaranteed; the audit exists to prove it run after run.
+
+use rapilog_microvisor::cell::Cell;
+use rapilog_simcore::SimCtx;
+use rapilog_simdisk::Disk;
+use rapilog_simpower::PowerSupply;
+
+use crate::audit::Audit;
+use crate::buffer::{DependableBuffer, Extent};
+use crate::RapiLogConfig;
+
+/// A consolidated contiguous run ready for one device write.
+pub(crate) struct Run {
+    pub sector: u64,
+    pub data: Vec<u8>,
+}
+
+/// Consolidates a batch of extents into maximal contiguous ascending runs
+/// holding the *newest* bytes per sector.
+///
+/// This is the drain's key trick: a log stream contains endless rewrites of
+/// its tail sector (every group-commit flush re-forces it). Replaying those
+/// rewrites verbatim would cost one disk rotation each — exactly the cost
+/// RapiLog exists to remove. Because the batch is committed (and
+/// acknowledged to [`complete`](crate::buffer::DependableBuffer::complete))
+/// only as a whole, writing the per-sector union preserves the durability
+/// guarantee while turning the batch into a single sequential stream. Later
+/// extents overwrite earlier bytes, so the union is exactly the state the
+/// writer intended.
+pub(crate) fn consolidate(batch: &[Extent]) -> Vec<Run> {
+    use std::collections::BTreeMap;
+    let mut newest: BTreeMap<u64, &[u8]> = BTreeMap::new();
+    for e in batch {
+        for (i, chunk) in e.data.chunks_exact(rapilog_simdisk::SECTOR_SIZE).enumerate() {
+            newest.insert(e.sector + i as u64, chunk);
+        }
+    }
+    let mut runs: Vec<Run> = Vec::new();
+    for (sector, chunk) in newest {
+        match runs.last_mut() {
+            Some(run)
+                if run.sector + (run.data.len() / rapilog_simdisk::SECTOR_SIZE) as u64
+                    == sector =>
+            {
+                run.data.extend_from_slice(chunk);
+            }
+            _ => runs.push(Run {
+                sector,
+                data: chunk.to_vec(),
+            }),
+        }
+    }
+    runs
+}
+
+/// Spawns the drain loop and (with a supply) the power watcher.
+pub(crate) fn start(
+    ctx: &SimCtx,
+    cell: &Cell,
+    buffer: DependableBuffer,
+    disk: Disk,
+    cfg: RapiLogConfig,
+    supply: Option<PowerSupply>,
+    audit: Audit,
+) {
+    let drain_buffer = buffer.clone();
+    let drain_audit = audit.clone();
+    cell.spawn(async move {
+        loop {
+            drain_buffer.wait_avail().await;
+            loop {
+                let batch = drain_buffer.peek_batch(cfg.max_batch);
+                if batch.is_empty() {
+                    break;
+                }
+                let last_seq = batch.last().expect("non-empty batch").seq;
+                let mut failed = false;
+                for run in consolidate(&batch) {
+                    if disk.write(run.sector, &run.data, true).await.is_err() {
+                        failed = true;
+                        break;
+                    }
+                }
+                if failed {
+                    // The disk is gone (power collapse). Whatever remains
+                    // buffered is lost with the machine; the audit decides
+                    // whether that violated the guarantee (it must not,
+                    // if sizing was honest and the warning fired).
+                    drain_audit.record_drain_failure(drain_buffer.occupancy());
+                    drain_buffer.freeze();
+                    return;
+                }
+                drain_audit.record_commit(last_seq);
+                drain_buffer.complete(last_seq);
+            }
+        }
+    });
+    if let Some(psu) = supply {
+        let watcher_ctx = ctx.clone();
+        let watch_audit = audit;
+        cell.spawn(async move {
+            // One power episode per RapiLog instance: after power loss the
+            // instance is frozen and must be replaced by the operator (the
+            // fault harness rebuilds the device stack on reboot).
+            let warning = psu.warning_event();
+            warning.wait().await;
+            // Power is failing: stop admitting, note the state, and watch
+            // the (already eager) drain race the deadline.
+            buffer.freeze();
+            let deadline = watcher_ctx.now()
+                + psu
+                    .time_until_death()
+                    .expect("warning implies residual state");
+            watch_audit.record_warning(buffer.occupancy(), deadline);
+            buffer.drained().await;
+            watch_audit.record_emergency_drained();
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::buffer::Extent;
+    use rapilog_simdisk::SECTOR_SIZE;
+
+    fn ext(seq: u64, sector: u64, sectors: usize) -> Extent {
+        Extent {
+            seq,
+            sector,
+            data: vec![seq as u8; sectors * SECTOR_SIZE],
+        }
+    }
+
+    #[test]
+    fn consolidate_merges_contiguous_runs() {
+        let runs = consolidate(&[ext(0, 0, 2), ext(1, 2, 3), ext(2, 5, 1)]);
+        assert_eq!(runs.len(), 1);
+        assert_eq!(runs[0].sector, 0);
+        assert_eq!(runs[0].data.len(), 6 * SECTOR_SIZE);
+    }
+
+    #[test]
+    fn consolidate_dedupes_tail_rewrites_keeping_newest() {
+        // Extents 1 and 2 both write sector 10; the union must hold the
+        // newest bytes (tag 2), and everything becomes ONE ascending run.
+        let runs = consolidate(&[ext(0, 9, 1), ext(1, 10, 1), ext(2, 10, 1), ext(3, 11, 1)]);
+        assert_eq!(runs.len(), 1);
+        assert_eq!(runs[0].sector, 9);
+        assert_eq!(runs[0].data.len(), 3 * SECTOR_SIZE);
+        assert_eq!(
+            &runs[0].data[SECTOR_SIZE..2 * SECTOR_SIZE],
+            &vec![2u8; SECTOR_SIZE][..],
+            "newest bytes win for the rewritten sector"
+        );
+    }
+
+    #[test]
+    fn consolidate_splits_on_gaps() {
+        let runs = consolidate(&[ext(0, 0, 1), ext(1, 5, 2)]);
+        assert_eq!(runs.len(), 2);
+        assert_eq!(runs[0].sector, 0);
+        assert_eq!(runs[1].sector, 5);
+        assert_eq!(runs[1].data.len(), 2 * SECTOR_SIZE);
+    }
+
+    #[test]
+    fn consolidate_empty() {
+        assert!(consolidate(&[]).is_empty());
+    }
+}

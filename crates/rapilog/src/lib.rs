@@ -1,0 +1,222 @@
+#![warn(missing_docs)]
+
+//! RapiLog: dependable asynchronous logging through verification.
+//!
+//! This crate is the paper's primary contribution. A database forces its
+//! write-ahead log synchronously because it trusts nothing between itself
+//! and the platter: the OS can crash, power can fail. RapiLog inserts a
+//! layer it *can* trust — a buffer owned by a verified hypervisor component
+//! — and turns every synchronous log write into:
+//!
+//! 1. copy into the **dependable buffer** (microseconds),
+//! 2. acknowledge immediately,
+//! 3. drain to the physical disk **asynchronously, in order**, in large
+//!    batches that run at sequential media bandwidth.
+//!
+//! The acknowledgement is honest because the buffer survives everything the
+//! database fears:
+//!
+//! * **Guest/OS crash** — the buffer lives in a trusted cell outside the
+//!   guest; the drain continues unaffected ([`microvisor`] enforces the
+//!   isolation).
+//! * **Power cut** — the machine keeps running for the supply's residual
+//!   window ([`rapilog_simpower`]); the buffer is **admission-controlled**
+//!   to the size that provably drains within that window
+//!   ([`rapilog_simpower::budget`]), and the power-fail warning triggers an
+//!   immediate emergency drain.
+//! * **Overload** — if the log stream exceeds disk bandwidth the buffer
+//!   fills and writers block: RapiLog degrades to exactly the synchronous
+//!   path's throughput, never below it (invariant I5).
+//!
+//! The guest-facing [`RapiLogDevice`] implements
+//! [`BlockDevice`](rapilog_simdisk::BlockDevice), so an unmodified engine
+//! points its log partition at it and cannot tell the difference — except
+//! that "sync" writes return in microseconds.
+//!
+//! # Examples
+//!
+//! ```
+//! use std::rc::Rc;
+//! use rapilog_simcore::Sim;
+//! use rapilog_simdisk::{specs, BlockDevice, Disk};
+//! use rapilog_microvisor::{Hypervisor, Trust};
+//! use rapilog::{RapiLog, RapiLogConfig};
+//!
+//! let mut sim = Sim::new(1);
+//! let ctx = sim.ctx();
+//! let hv = Hypervisor::new(&ctx);
+//! let cell = hv.create_cell("rapilog", Trust::Trusted);
+//! let disk = Disk::new(&ctx, specs::hdd_7200(1 << 30));
+//! let rl = RapiLog::new(&ctx, &cell, disk, None, RapiLogConfig::default());
+//! let dev = rl.device();
+//! sim.spawn(async move {
+//!     // A "synchronous" log write: acknowledged from the buffer.
+//!     dev.write(0, &vec![7u8; 512], true).await.unwrap();
+//! });
+//! sim.run();
+//! ```
+
+pub mod audit;
+pub mod buffer;
+pub mod drain;
+pub mod vdisk;
+
+pub use audit::AuditReport;
+pub use buffer::{BufferStats, DependableBuffer};
+pub use vdisk::RapiLogDevice;
+
+use std::rc::Rc;
+
+use rapilog_microvisor::cell::{Cell, Trust};
+use rapilog_simcore::{SimCtx, SimDuration};
+use rapilog_simdisk::Disk;
+use rapilog_simpower::{budget, PowerSupply};
+
+/// How the buffer capacity is chosen.
+#[derive(Debug, Clone, Copy)]
+pub enum CapacitySpec {
+    /// Fixed size in bytes (ablation studies).
+    Fixed(u64),
+    /// Derived from the power supply's residual window and the physical
+    /// disk's sequential bandwidth — the paper's sizing rule.
+    FromSupply,
+}
+
+/// RapiLog configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct RapiLogConfig {
+    /// Buffer capacity policy.
+    pub capacity: CapacitySpec,
+    /// Largest single drain batch in bytes.
+    pub max_batch: usize,
+    /// Fixed CPU cost of accepting one write into the buffer.
+    pub ack_base: SimDuration,
+    /// Additional copy cost per KiB accepted.
+    pub ack_per_kib: SimDuration,
+}
+
+impl Default for RapiLogConfig {
+    fn default() -> Self {
+        RapiLogConfig {
+            capacity: CapacitySpec::FromSupply,
+            max_batch: 2 * 1024 * 1024,
+            ack_base: SimDuration::from_micros(2),
+            // ~4 GB/s single-copy bandwidth.
+            ack_per_kib: SimDuration::from_nanos(250),
+        }
+    }
+}
+
+/// The assembled RapiLog instance.
+#[derive(Clone)]
+pub struct RapiLog {
+    buffer: DependableBuffer,
+    device: RapiLogDevice,
+    audit: audit::Audit,
+}
+
+impl RapiLog {
+    /// Builds RapiLog inside `cell` (must be trusted), draining to `disk`.
+    /// With a [`PowerSupply`], the buffer is sized from its residual window
+    /// (under [`CapacitySpec::FromSupply`]) and the emergency drain is
+    /// armed on the supply's warning signal; without one, `FromSupply`
+    /// falls back to 16 MiB.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cell` is untrusted: an unverified buffer would make the
+    /// early acknowledgement a lie, which is the whole point of the paper.
+    pub fn new(
+        ctx: &SimCtx,
+        cell: &Cell,
+        disk: Disk,
+        supply: Option<&PowerSupply>,
+        cfg: RapiLogConfig,
+    ) -> RapiLog {
+        assert!(
+            cell.trust() == Trust::Trusted,
+            "RapiLog must live in a trusted (verified) cell"
+        );
+        let bandwidth = disk.spec().sequential_bandwidth();
+        let capacity = match (cfg.capacity, supply) {
+            (CapacitySpec::Fixed(b), _) => b,
+            (CapacitySpec::FromSupply, Some(psu)) => {
+                budget::max_buffer_bytes(psu.spec(), bandwidth)
+            }
+            (CapacitySpec::FromSupply, None) => 16 * 1024 * 1024,
+        };
+        if capacity < rapilog_simdisk::SECTOR_SIZE as u64 {
+            // The residual window cannot cover even one sector's drain:
+            // fall back to write-through — the device forwards every write
+            // synchronously and RapiLog adds nothing but also risks
+            // nothing. The paper's sizing rule exists exactly so that
+            // deployments detect this case up front.
+            let audit = audit::Audit::new(ctx, supply.cloned());
+            let buffer = DependableBuffer::new(0);
+            let device = RapiLogDevice::new_write_through(
+                ctx,
+                Rc::new(disk.clone()),
+                cfg,
+                audit.clone(),
+            );
+            return RapiLog {
+                buffer,
+                device,
+                audit,
+            };
+        }
+        let audit = audit::Audit::new(ctx, supply.cloned());
+        let buffer = DependableBuffer::new(capacity);
+        let device = RapiLogDevice::new(ctx, buffer.clone(), Rc::new(disk.clone()), cfg, audit.clone());
+        drain::start(
+            ctx,
+            cell,
+            buffer.clone(),
+            disk,
+            cfg,
+            supply.cloned(),
+            audit.clone(),
+        );
+        RapiLog {
+            buffer,
+            device,
+            audit,
+        }
+    }
+
+    /// The guest-facing block device for the log partition.
+    pub fn device(&self) -> RapiLogDevice {
+        self.device.clone()
+    }
+
+    /// Buffer statistics snapshot.
+    pub fn stats(&self) -> BufferStats {
+        self.buffer.stats()
+    }
+
+    /// Bytes currently buffered (acked, not yet on media).
+    pub fn occupancy(&self) -> u64 {
+        self.buffer.occupancy()
+    }
+
+    /// The admission cap in bytes.
+    pub fn capacity(&self) -> u64 {
+        self.buffer.capacity()
+    }
+
+    /// Waits until every acknowledged byte is on the physical disk.
+    pub async fn quiesce(&self) {
+        self.buffer.drained().await;
+    }
+
+    /// True once the buffer has frozen (a power-failure episode ran); a
+    /// frozen instance must be replaced after power returns.
+    pub fn device_frozen(&self) -> bool {
+        self.buffer.is_frozen()
+    }
+
+    /// The invariant auditor's report.
+    pub fn audit_report(&self) -> AuditReport {
+        self.audit.report()
+    }
+}

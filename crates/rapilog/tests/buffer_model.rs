@@ -1,0 +1,145 @@
+//! Model-based property test for the dependable buffer.
+//!
+//! A reference model (plain maps) shadows every `push`/`complete` the real
+//! buffer sees; after each step the overlay, occupancy and queue length
+//! must agree exactly. Proptest shrinks any divergence to a minimal
+//! operation sequence.
+
+use std::collections::BTreeMap;
+
+use proptest::prelude::*;
+
+use rapilog::DependableBuffer;
+use rapilog_simcore::Sim;
+use rapilog_simdisk::SECTOR_SIZE;
+
+#[derive(Debug, Clone)]
+enum Op {
+    /// Push `sectors` sectors at `sector` (tag makes contents unique).
+    Push { sector: u64, sectors: usize },
+    /// Complete through the `frac`-quantile of issued sequence numbers.
+    Complete { frac: u8 },
+}
+
+fn arb_ops() -> impl Strategy<Value = Vec<Op>> {
+    proptest::collection::vec(
+        prop_oneof![
+            3 => (0u64..12, 1usize..4).prop_map(|(sector, sectors)| Op::Push { sector, sectors }),
+            1 => (0u8..=100).prop_map(|frac| Op::Complete { frac }),
+        ],
+        1..60,
+    )
+}
+
+/// Reference model of the buffer's externally visible state.
+#[derive(Default)]
+struct Model {
+    /// All extents ever pushed: seq → (first sector, data).
+    extents: BTreeMap<u64, (u64, Vec<u8>)>,
+    /// Highest completed sequence (exclusive horizon: all ≤ are done).
+    completed: Option<u64>,
+}
+
+impl Model {
+    fn live(&self) -> impl Iterator<Item = (&u64, &(u64, Vec<u8>))> {
+        let horizon = self.completed;
+        self.extents
+            .iter()
+            .filter(move |(seq, _)| horizon.is_none_or(|h| **seq > h))
+    }
+
+    fn occupancy(&self) -> u64 {
+        self.live().map(|(_, (_, d))| d.len() as u64).sum()
+    }
+
+    fn queued(&self) -> usize {
+        self.live().count()
+    }
+
+    /// The newest acked bytes for `sector`: taken from the *latest* extent
+    /// ever to write it, visible only while that extent is incomplete.
+    fn overlay(&self, sector: u64) -> Option<Vec<u8>> {
+        let newest = self
+            .extents
+            .iter()
+            .rev()
+            .find(|(_, (first, data))| {
+                let n = (data.len() / SECTOR_SIZE) as u64;
+                (*first..first + n).contains(&sector)
+            })?;
+        let (seq, (first, data)) = newest;
+        if self.completed.is_some_and(|h| *seq <= h) {
+            return None;
+        }
+        let off = ((sector - first) as usize) * SECTOR_SIZE;
+        Some(data[off..off + SECTOR_SIZE].to_vec())
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn buffer_matches_reference_model(ops in arb_ops()) {
+        let mut sim = Sim::new(1);
+        let buf = DependableBuffer::new(1 << 20); // ample: pushes never block
+        let b2 = buf.clone();
+        let ops2 = ops.clone();
+        let failed = std::rc::Rc::new(std::cell::RefCell::new(None::<String>));
+        let f2 = std::rc::Rc::clone(&failed);
+        sim.spawn(async move {
+            let mut model = Model::default();
+            let mut tag = 0u8;
+            let mut seqs: Vec<u64> = Vec::new();
+            for op in ops2 {
+                match op {
+                    Op::Push { sector, sectors } => {
+                        tag = tag.wrapping_add(1);
+                        let data = vec![tag; sectors * SECTOR_SIZE];
+                        let seq = b2.push(sector, data.clone()).await.expect("not frozen");
+                        model.extents.insert(seq, (sector, data));
+                        seqs.push(seq);
+                    }
+                    Op::Complete { frac } => {
+                        if seqs.is_empty() {
+                            continue;
+                        }
+                        let idx = (frac as usize * (seqs.len() - 1)) / 100;
+                        let upto = seqs[idx];
+                        b2.complete(upto);
+                        model.completed =
+                            Some(model.completed.map_or(upto, |h| h.max(upto)));
+                    }
+                }
+                // Compare the full visible state after every step.
+                if b2.occupancy() != model.occupancy() {
+                    *f2.borrow_mut() = Some(format!(
+                        "occupancy: real {} vs model {}",
+                        b2.occupancy(),
+                        model.occupancy()
+                    ));
+                    return;
+                }
+                if b2.queued() != model.queued() {
+                    *f2.borrow_mut() =
+                        Some(format!("queued: real {} vs model {}", b2.queued(), model.queued()));
+                    return;
+                }
+                for sector in 0..16u64 {
+                    let real = b2.read_overlay(sector);
+                    let want = model.overlay(sector);
+                    if real != want {
+                        *f2.borrow_mut() = Some(format!(
+                            "overlay[{sector}]: real {real:?} vs model {want:?}"
+                        ));
+                        return;
+                    }
+                }
+            }
+        });
+        sim.run();
+        let err = failed.borrow().clone();
+        prop_assert!(err.is_none(), "model divergence: {}", err.unwrap());
+        drop(buf);
+    }
+}

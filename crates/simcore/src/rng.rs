@@ -1,0 +1,171 @@
+//! Distribution helpers over any [`rand::Rng`].
+//!
+//! The workload generators need a handful of classical distributions:
+//! exponential inter-arrival/think times, bounded Pareto service times and
+//! TPC-C's non-uniform random (NURand) — the last lives in the `workload`
+//! crate because its constants are part of the TPC-C specification; the
+//! generic building blocks live here.
+
+use rand::Rng;
+
+/// Samples an exponential distribution with the given mean.
+///
+/// Uses inverse-transform sampling; the mean is expressed in whatever unit
+/// the caller wants back (typically nanoseconds).
+///
+/// # Panics
+///
+/// Panics if `mean` is not finite and positive.
+pub fn exponential<R: Rng + ?Sized>(rng: &mut R, mean: f64) -> f64 {
+    assert!(
+        mean.is_finite() && mean > 0.0,
+        "exponential: mean must be positive, got {mean}"
+    );
+    // Avoid ln(0): u is in (0, 1].
+    let u: f64 = 1.0 - rng.gen::<f64>();
+    -mean * u.ln()
+}
+
+/// Samples a bounded Pareto distribution on `[lo, hi]` with shape `alpha`.
+///
+/// Heavy-tailed service times; used by the disk-model stress tests.
+///
+/// # Panics
+///
+/// Panics if `lo >= hi`, or if any parameter is non-positive.
+pub fn bounded_pareto<R: Rng + ?Sized>(rng: &mut R, alpha: f64, lo: f64, hi: f64) -> f64 {
+    assert!(alpha > 0.0 && lo > 0.0 && lo < hi, "bounded_pareto: bad parameters");
+    let u: f64 = rng.gen::<f64>();
+    let la = lo.powf(alpha);
+    let ha = hi.powf(alpha);
+    (-(u * ha - u * la - ha) / (ha * la)).powf(-1.0 / alpha)
+}
+
+/// Samples an approximately normal value via the central limit of twelve
+/// uniforms (Irwin–Hall); good enough for jitter, cheap and allocation-free.
+pub fn approx_normal<R: Rng + ?Sized>(rng: &mut R, mean: f64, std_dev: f64) -> f64 {
+    let sum: f64 = (0..12).map(|_| rng.gen::<f64>()).sum();
+    mean + (sum - 6.0) * std_dev
+}
+
+/// Samples a Zipf-distributed rank in `[1, n]` with exponent `theta`.
+///
+/// Uses the rejection-inversion-free direct CDF walk for small `n`, and the
+/// standard approximation of Gray et al. (as used by YCSB) otherwise.
+///
+/// # Panics
+///
+/// Panics if `n == 0` or `theta <= 0.0` or `theta == 1.0` is fine; only
+/// non-finite `theta` is rejected.
+pub fn zipf<R: Rng + ?Sized>(rng: &mut R, n: u64, theta: f64) -> u64 {
+    assert!(n > 0, "zipf: n must be positive");
+    assert!(theta.is_finite() && theta > 0.0, "zipf: bad theta {theta}");
+    // Gray et al. approximation (also YCSB's ZipfianGenerator).
+    let zetan = zeta(n, theta);
+    let alpha = 1.0 / (1.0 - theta);
+    let eta = (1.0 - (2.0 / n as f64).powf(1.0 - theta)) / (1.0 - zeta(2, theta) / zetan);
+    let u: f64 = rng.gen::<f64>();
+    let uz = u * zetan;
+    if uz < 1.0 {
+        return 1;
+    }
+    if uz < 1.0 + 0.5f64.powf(theta) {
+        return 2;
+    }
+    let rank = 1.0 + (n as f64) * (eta * u - eta + 1.0).powf(alpha);
+    (rank as u64).clamp(1, n)
+}
+
+fn zeta(n: u64, theta: f64) -> f64 {
+    // Direct sum for small n; the workloads here use n <= 100_000 at setup
+    // time only, so this is never on a hot path.
+    (1..=n).map(|i| 1.0 / (i as f64).powf(theta)).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn rng() -> SmallRng {
+        SmallRng::seed_from_u64(12345)
+    }
+
+    #[test]
+    fn exponential_mean_converges() {
+        let mut r = rng();
+        let n = 20_000;
+        let mean = 4.0;
+        let sum: f64 = (0..n).map(|_| exponential(&mut r, mean)).sum();
+        let empirical = sum / n as f64;
+        assert!(
+            (empirical - mean).abs() < 0.15,
+            "empirical mean {empirical} too far from {mean}"
+        );
+    }
+
+    #[test]
+    fn exponential_is_positive() {
+        let mut r = rng();
+        for _ in 0..1000 {
+            assert!(exponential(&mut r, 1.0) >= 0.0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "mean must be positive")]
+    fn exponential_rejects_zero_mean() {
+        let mut r = rng();
+        let _ = exponential(&mut r, 0.0);
+    }
+
+    #[test]
+    fn bounded_pareto_in_range() {
+        let mut r = rng();
+        for _ in 0..5000 {
+            let v = bounded_pareto(&mut r, 1.5, 1.0, 100.0);
+            assert!((1.0..=100.0).contains(&v), "value {v} escaped bounds");
+        }
+    }
+
+    #[test]
+    fn approx_normal_moments() {
+        let mut r = rng();
+        let n = 20_000;
+        let vals: Vec<f64> = (0..n).map(|_| approx_normal(&mut r, 10.0, 2.0)).collect();
+        let mean = vals.iter().sum::<f64>() / n as f64;
+        let var = vals.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n as f64;
+        assert!((mean - 10.0).abs() < 0.1, "mean {mean}");
+        assert!((var.sqrt() - 2.0).abs() < 0.1, "std {}", var.sqrt());
+    }
+
+    #[test]
+    fn zipf_in_range_and_skewed() {
+        let mut r = rng();
+        let n = 1000u64;
+        let mut count_first_decile = 0u32;
+        let samples = 10_000;
+        for _ in 0..samples {
+            let v = zipf(&mut r, n, 0.99);
+            assert!((1..=n).contains(&v));
+            if v <= n / 10 {
+                count_first_decile += 1;
+            }
+        }
+        // Under uniform, the first decile would get ~10%; Zipf(0.99) puts
+        // well over half of the mass there.
+        assert!(
+            count_first_decile as f64 / samples as f64 > 0.5,
+            "zipf not skewed: {count_first_decile}/{samples}"
+        );
+    }
+
+    #[test]
+    fn zipf_n_one_always_one() {
+        let mut r = rng();
+        for _ in 0..100 {
+            assert_eq!(zipf(&mut r, 1, 0.99), 1);
+        }
+    }
+}

@@ -1,0 +1,854 @@
+//! The composite simulated disk: timing model + volatile cache + media.
+//!
+//! One [`Disk`] owns a [`SectorStore`] (the media), a [`TimingModel`] and an
+//! optional volatile write cache with a background writeback task. A single
+//! media actuator serialises all media accesses, which both matches SATA
+//! semantics (no overlapped mechanical ops) and keeps runs deterministic.
+//!
+//! # Power semantics
+//!
+//! [`Disk::power_cut`] models yanking the plug at the current instant:
+//!
+//! * the volatile write cache is discarded (this is why synchronous
+//!   databases disable it or flush through it);
+//! * a media write in flight commits only the sector prefix the head had
+//!   passed (`torn_writes: true`, rotating disks) — individual sectors are
+//!   atomic, as real drives guarantee, which is what makes rewriting the
+//!   WAL's partial tail block safe; with `torn_writes: false`
+//!   (power-loss-protected flash) the whole in-flight write commits;
+//! * every pending and future request fails with [`IoError::PowerLoss`]
+//!   until [`Disk::power_restore`].
+
+use std::cell::{Cell, RefCell};
+use std::collections::BTreeMap;
+use std::rc::Rc;
+
+use rapilog_simcore::sync::{Notify, Semaphore};
+use rapilog_simcore::{SimCtx, SimDuration, SimTime};
+
+use crate::spec::DiskSpec;
+use crate::store::SectorStore;
+use crate::timing::TimingModel;
+use crate::{BlockDevice, Geometry, IoError, IoResult, LocalBoxFuture, SECTOR_SIZE};
+
+/// Largest contiguous run the writeback task commits in one media op.
+const MAX_WRITEBACK_SECTORS: u64 = 4096; // 2 MiB
+
+/// Cumulative statistics for one device.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DiskStats {
+    /// Read requests observed.
+    pub reads: u64,
+    /// Write requests observed (cached or media).
+    pub writes: u64,
+    /// Flush requests observed.
+    pub flushes: u64,
+    /// Media operations performed (includes writeback batches).
+    pub media_ops: u64,
+    /// Sectors read from media.
+    pub sectors_read: u64,
+    /// Sectors written to media.
+    pub sectors_written: u64,
+    /// Writes absorbed by the volatile cache.
+    pub cache_write_hits: u64,
+    /// Total time the actuator was busy.
+    pub busy: SimDuration,
+}
+
+struct CacheEntry {
+    data: Box<[u8; SECTOR_SIZE]>,
+    version: u64,
+}
+
+struct Inflight {
+    sector: u64,
+    nsectors: u64,
+    is_write: bool,
+    data: Vec<u8>,
+    start: SimTime,
+    duration: SimDuration,
+}
+
+struct St {
+    store: SectorStore,
+    timing: TimingModel,
+    cache: BTreeMap<u64, CacheEntry>,
+    next_version: u64,
+    inflight: Option<Inflight>,
+    writeback_active: bool,
+}
+
+struct DiskInner {
+    ctx: SimCtx,
+    spec: DiskSpec,
+    geometry: Geometry,
+    st: RefCell<St>,
+    media_gate: Semaphore,
+    /// Kicks the writeback task.
+    dirty: Notify,
+    /// Fires after each writeback batch and whenever the cache empties;
+    /// flush and space waiters re-check their condition on every wake.
+    clean: Notify,
+    offline: Cell<bool>,
+    power_epoch: Cell<u64>,
+    stats: RefCell<DiskStats>,
+}
+
+/// A cloneable handle to a simulated disk.
+#[derive(Clone)]
+pub struct Disk {
+    inner: Rc<DiskInner>,
+}
+
+impl Disk {
+    /// Creates a device and (if the spec has a cache) starts its writeback
+    /// task in the root domain — device firmware outlives guest crashes.
+    pub fn new(ctx: &SimCtx, spec: DiskSpec) -> Disk {
+        let geometry = Geometry {
+            sector_size: SECTOR_SIZE,
+            sectors: spec.sectors,
+        };
+        let timing = TimingModel::from_spec(&spec.timing, spec.sectors);
+        let inner = Rc::new(DiskInner {
+            ctx: ctx.clone(),
+            geometry,
+            st: RefCell::new(St {
+                store: SectorStore::new(),
+                timing,
+                cache: BTreeMap::new(),
+                next_version: 0,
+                inflight: None,
+                writeback_active: false,
+            }),
+            media_gate: Semaphore::new(1),
+            dirty: Notify::new(),
+            clean: Notify::new(),
+            offline: Cell::new(false),
+            power_epoch: Cell::new(0),
+            stats: RefCell::new(DiskStats::default()),
+            spec,
+        });
+        if inner.spec.cache.is_some() {
+            let wb = Rc::clone(&inner);
+            ctx.spawn(async move {
+                writeback_loop(wb).await;
+            });
+        }
+        Disk { inner }
+    }
+
+    /// The device's spec (for sizing calculations upstream).
+    pub fn spec(&self) -> &DiskSpec {
+        &self.inner.spec
+    }
+
+    /// Snapshot of cumulative statistics.
+    pub fn stats(&self) -> DiskStats {
+        *self.inner.stats.borrow()
+    }
+
+    /// Dirty sectors currently in the volatile cache.
+    pub fn cached_dirty_sectors(&self) -> u64 {
+        self.inner.st.borrow().cache.len() as u64
+    }
+
+    /// True if the device has lost power.
+    pub fn is_offline(&self) -> bool {
+        self.inner.offline.get()
+    }
+
+    /// Cuts power at the current instant. See the module docs for exactly
+    /// what is lost. Idempotent.
+    pub fn power_cut(&self) {
+        if self.inner.offline.get() {
+            return;
+        }
+        self.inner.offline.set(true);
+        self.inner.power_epoch.set(self.inner.power_epoch.get() + 1);
+        let now = self.inner.ctx.now();
+        {
+            let mut st = self.inner.st.borrow_mut();
+            if let Some(inf) = st.inflight.take() {
+                if inf.is_write {
+                    // Sectors are written atomically and in order; a torn
+                    // multi-sector write commits the prefix the head had
+                    // completed. Power-loss-protected devices
+                    // (`torn_writes: false`) finish the whole command from
+                    // stored energy.
+                    let committed = if self.inner.spec.torn_writes {
+                        let frac = if inf.duration.is_zero() {
+                            1.0
+                        } else {
+                            now.saturating_duration_since(inf.start) / inf.duration
+                        };
+                        ((frac * inf.nsectors as f64).floor() as u64).min(inf.nsectors)
+                    } else {
+                        inf.nsectors
+                    };
+                    if committed > 0 {
+                        st.store.write_run(
+                            inf.sector,
+                            &inf.data[..(committed as usize * SECTOR_SIZE)],
+                        );
+                    }
+                }
+            }
+            // Volatile cache contents are gone.
+            st.cache.clear();
+        }
+        // Release anyone waiting on cache conditions so they observe the
+        // failure promptly.
+        self.inner.clean.notify_all();
+        self.inner.dirty.notify_one();
+    }
+
+    /// Restores power. Media contents persist; the cache starts empty.
+    pub fn power_restore(&self) {
+        self.inner.offline.set(false);
+    }
+
+    fn check_access(&self, sector: u64, len: usize) -> IoResult<u64> {
+        if len == 0 || !len.is_multiple_of(SECTOR_SIZE) {
+            return Err(IoError::Misaligned { len });
+        }
+        let count = (len / SECTOR_SIZE) as u64;
+        if sector.checked_add(count).is_none_or(|end| end > self.inner.geometry.sectors) {
+            return Err(IoError::OutOfRange { sector, count });
+        }
+        Ok(count)
+    }
+
+    /// Reads `buf.len() / 512` sectors starting at `sector`, overlaying any
+    /// newer data still in the volatile cache.
+    pub async fn read(&self, sector: u64, buf: &mut [u8]) -> IoResult<()> {
+        let count = self.check_access(sector, buf.len())?;
+        if self.inner.offline.get() {
+            return Err(IoError::PowerLoss);
+        }
+        self.inner.stats.borrow_mut().reads += 1;
+        // Fully-cached reads are served at cache latency without touching
+        // the actuator.
+        let fully_cached = {
+            let st = self.inner.st.borrow();
+            (0..count).all(|i| st.cache.contains_key(&(sector + i)))
+        };
+        if fully_cached {
+            let latency = self
+                .inner
+                .spec
+                .cache
+                .as_ref()
+                .map(|c| c.write_latency)
+                .unwrap_or(SimDuration::ZERO);
+            self.inner.ctx.sleep(latency).await;
+            if self.inner.offline.get() {
+                return Err(IoError::PowerLoss);
+            }
+            let st = self.inner.st.borrow();
+            for (i, chunk) in buf.chunks_exact_mut(SECTOR_SIZE).enumerate() {
+                let entry = st
+                    .cache
+                    .get(&(sector + i as u64))
+                    .expect("fully-cached read lost an entry");
+                chunk.copy_from_slice(&entry.data[..]);
+            }
+            return Ok(());
+        }
+        let _permit = self.inner.media_gate.acquire(1).await;
+        if self.inner.offline.get() {
+            return Err(IoError::PowerLoss);
+        }
+        let epoch = self.inner.power_epoch.get();
+        let dur = {
+            let mut st = self.inner.st.borrow_mut();
+            let dur = st
+                .timing
+                .service_time(self.inner.ctx.now(), sector, count, false);
+            st.inflight = Some(Inflight {
+                sector,
+                nsectors: count,
+                is_write: false,
+                data: Vec::new(),
+                start: self.inner.ctx.now(),
+                duration: dur,
+            });
+            dur
+        };
+        self.inner.ctx.sleep(dur).await;
+        if self.inner.power_epoch.get() != epoch {
+            return Err(IoError::PowerLoss);
+        }
+        let mut st = self.inner.st.borrow_mut();
+        st.inflight = None;
+        st.store.read_run(sector, buf);
+        // Overlay dirty cache entries: they are newer than the media.
+        for (i, chunk) in buf.chunks_exact_mut(SECTOR_SIZE).enumerate() {
+            if let Some(entry) = st.cache.get(&(sector + i as u64)) {
+                chunk.copy_from_slice(&entry.data[..]);
+            }
+        }
+        let mut stats = self.inner.stats.borrow_mut();
+        stats.media_ops += 1;
+        stats.sectors_read += count;
+        stats.busy += dur;
+        Ok(())
+    }
+
+    /// Writes `data` starting at `sector`. With `fua`, or when the device
+    /// has no volatile cache, the data is on media when this returns;
+    /// otherwise it is absorbed by the cache and written back later.
+    pub async fn write(&self, sector: u64, data: &[u8], fua: bool) -> IoResult<()> {
+        let count = self.check_access(sector, data.len())?;
+        if self.inner.offline.get() {
+            return Err(IoError::PowerLoss);
+        }
+        {
+            let mut stats = self.inner.stats.borrow_mut();
+            stats.writes += 1;
+        }
+        let cache_spec = self.inner.spec.cache.clone();
+        if let (false, Some(cache)) = (fua, cache_spec) {
+            // Wait for cache space (writeback makes progress underneath).
+            loop {
+                if self.inner.offline.get() {
+                    return Err(IoError::PowerLoss);
+                }
+                let used = self.inner.st.borrow().cache.len() as u64;
+                if used + count <= cache.capacity_sectors {
+                    break;
+                }
+                self.inner.dirty.notify_one();
+                self.inner.clean.notified().await;
+            }
+            let epoch = self.inner.power_epoch.get();
+            self.inner.ctx.sleep(cache.write_latency).await;
+            if self.inner.power_epoch.get() != epoch {
+                return Err(IoError::PowerLoss);
+            }
+            let mut st = self.inner.st.borrow_mut();
+            for (i, chunk) in data.chunks_exact(SECTOR_SIZE).enumerate() {
+                let version = st.next_version;
+                st.next_version += 1;
+                let mut boxed = Box::new([0u8; SECTOR_SIZE]);
+                boxed.copy_from_slice(chunk);
+                st.cache.insert(
+                    sector + i as u64,
+                    CacheEntry {
+                        data: boxed,
+                        version,
+                    },
+                );
+            }
+            self.inner.stats.borrow_mut().cache_write_hits += 1;
+            self.inner.dirty.notify_one();
+            return Ok(());
+        }
+        // FUA (or cacheless) path: straight to media. Dirty cache entries
+        // for these sectors are superseded by program order — drop them so
+        // a later writeback cannot reorder stale data over this write.
+        {
+            let mut st = self.inner.st.borrow_mut();
+            for i in 0..count {
+                st.cache.remove(&(sector + i));
+            }
+        }
+        self.media_write(sector, data).await?;
+        Ok(())
+    }
+
+    /// Resolves once every acknowledged write is on stable media.
+    pub async fn flush(&self) -> IoResult<()> {
+        self.inner.stats.borrow_mut().flushes += 1;
+        if self.inner.spec.cache.is_some() {
+            loop {
+                if self.inner.offline.get() {
+                    return Err(IoError::PowerLoss);
+                }
+                let drained = {
+                    let st = self.inner.st.borrow();
+                    st.cache.is_empty() && !st.writeback_active
+                };
+                if drained {
+                    break;
+                }
+                self.inner.dirty.notify_one();
+                self.inner.clean.notified().await;
+            }
+        }
+        let _permit = self.inner.media_gate.acquire(1).await;
+        if self.inner.offline.get() {
+            return Err(IoError::PowerLoss);
+        }
+        let epoch = self.inner.power_epoch.get();
+        let dur = self.inner.st.borrow().timing.flush_time();
+        self.inner.ctx.sleep(dur).await;
+        if self.inner.power_epoch.get() != epoch {
+            return Err(IoError::PowerLoss);
+        }
+        Ok(())
+    }
+
+    async fn media_write(&self, sector: u64, data: &[u8]) -> IoResult<()> {
+        let count = (data.len() / SECTOR_SIZE) as u64;
+        let _permit = self.inner.media_gate.acquire(1).await;
+        if self.inner.offline.get() {
+            return Err(IoError::PowerLoss);
+        }
+        let epoch = self.inner.power_epoch.get();
+        let dur = {
+            let mut st = self.inner.st.borrow_mut();
+            let dur = st
+                .timing
+                .service_time(self.inner.ctx.now(), sector, count, true);
+            st.inflight = Some(Inflight {
+                sector,
+                nsectors: count,
+                is_write: true,
+                data: data.to_vec(),
+                start: self.inner.ctx.now(),
+                duration: dur,
+            });
+            dur
+        };
+        self.inner.ctx.sleep(dur).await;
+        if self.inner.power_epoch.get() != epoch {
+            // The power-cut handler already disposed of the in-flight op
+            // (committing a torn prefix if configured).
+            return Err(IoError::PowerLoss);
+        }
+        let mut st = self.inner.st.borrow_mut();
+        st.inflight = None;
+        st.store.write_run(sector, data);
+        drop(st);
+        let mut stats = self.inner.stats.borrow_mut();
+        stats.media_ops += 1;
+        stats.sectors_written += count;
+        stats.busy += dur;
+        Ok(())
+    }
+
+    /// Test/audit hook: reads the media contents directly, bypassing the
+    /// cache and all timing. Used by durability auditors to inspect what
+    /// would survive a crash.
+    pub fn peek_media(&self, sector: u64, buf: &mut [u8]) {
+        self.inner.st.borrow().store.read_run(sector, buf);
+    }
+
+    /// Test/fault hook: overwrites media contents directly, bypassing
+    /// timing and the cache. Used to plant corruption (torn pages) for
+    /// recovery tests.
+    pub fn poke_media(&self, sector: u64, data: &[u8]) {
+        self.inner.st.borrow_mut().store.write_run(sector, data);
+    }
+}
+
+async fn writeback_loop(inner: Rc<DiskInner>) {
+    loop {
+        inner.dirty.notified().await;
+        loop {
+            if inner.offline.get() {
+                break;
+            }
+            // Pull the first contiguous dirty run (bounded), remembering
+            // entry versions so concurrent overwrites are not lost.
+            let batch = {
+                let st = inner.st.borrow();
+                let mut iter = st.cache.iter();
+                match iter.next() {
+                    None => None,
+                    Some((&first, entry)) => {
+                        let mut data = Vec::with_capacity(SECTOR_SIZE * 8);
+                        let mut versions = vec![entry.version];
+                        data.extend_from_slice(&entry.data[..]);
+                        let mut next = first + 1;
+                        for (&s, e) in iter {
+                            if s != next || versions.len() as u64 >= MAX_WRITEBACK_SECTORS {
+                                break;
+                            }
+                            data.extend_from_slice(&e.data[..]);
+                            versions.push(e.version);
+                            next += 1;
+                        }
+                        Some((first, data, versions))
+                    }
+                }
+            };
+            let Some((first, data, versions)) = batch else {
+                break;
+            };
+            inner.st.borrow_mut().writeback_active = true;
+            let disk = Disk {
+                inner: Rc::clone(&inner),
+            };
+            let res = disk.media_write(first, &data).await;
+            {
+                let mut st = inner.st.borrow_mut();
+                st.writeback_active = false;
+                if res.is_ok() {
+                    for (i, v) in versions.iter().enumerate() {
+                        let s = first + i as u64;
+                        if st.cache.get(&s).map(|e| e.version) == Some(*v) {
+                            st.cache.remove(&s);
+                        }
+                    }
+                }
+            }
+            inner.clean.notify_all();
+            if res.is_err() {
+                break;
+            }
+        }
+        inner.clean.notify_all();
+    }
+}
+
+impl BlockDevice for Disk {
+    fn geometry(&self) -> Geometry {
+        self.inner.geometry
+    }
+
+    fn read<'a>(&'a self, sector: u64, buf: &'a mut [u8]) -> LocalBoxFuture<'a, IoResult<()>> {
+        Box::pin(self.read(sector, buf))
+    }
+
+    fn write<'a>(
+        &'a self,
+        sector: u64,
+        data: &'a [u8],
+        fua: bool,
+    ) -> LocalBoxFuture<'a, IoResult<()>> {
+        Box::pin(self.write(sector, data, fua))
+    }
+
+    fn flush(&self) -> LocalBoxFuture<'_, IoResult<()>> {
+        Box::pin(self.flush())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::specs;
+    use rapilog_simcore::{Sim, SimTime};
+    use std::cell::Cell;
+
+    fn run_on_disk<F, Fut>(spec: DiskSpec, f: F) -> SimTime
+    where
+        F: FnOnce(SimCtx, Disk) -> Fut + 'static,
+        Fut: std::future::Future<Output = ()> + 'static,
+    {
+        let mut sim = Sim::new(7);
+        let ctx = sim.ctx();
+        let disk = Disk::new(&ctx, spec);
+        sim.spawn(f(ctx, disk));
+        sim.run().now
+    }
+
+    fn pattern(len: usize, tag: u8) -> Vec<u8> {
+        (0..len).map(|i| (i as u8) ^ tag).collect()
+    }
+
+    #[test]
+    fn write_read_roundtrip_multisector() {
+        run_on_disk(specs::instant(1 << 20), |_ctx, disk| async move {
+            let data = pattern(4 * SECTOR_SIZE, 0x3C);
+            disk.write(10, &data, true).await.unwrap();
+            let mut buf = vec![0u8; 4 * SECTOR_SIZE];
+            disk.read(10, &mut buf).await.unwrap();
+            assert_eq!(buf, data);
+        });
+    }
+
+    #[test]
+    fn bounds_and_alignment_errors() {
+        run_on_disk(specs::instant(1 << 20), |_ctx, disk| async move {
+            let sectors = disk.geometry().sectors;
+            let data = vec![0u8; SECTOR_SIZE];
+            assert_eq!(
+                disk.write(sectors, &data, true).await,
+                Err(IoError::OutOfRange {
+                    sector: sectors,
+                    count: 1
+                })
+            );
+            assert_eq!(
+                disk.write(0, &data[..100], true).await,
+                Err(IoError::Misaligned { len: 100 })
+            );
+            let mut buf = vec![0u8; 0];
+            assert_eq!(
+                disk.read(0, &mut buf).await,
+                Err(IoError::Misaligned { len: 0 })
+            );
+        });
+    }
+
+    #[test]
+    fn sync_writes_on_hdd_cost_rotations() {
+        let end = run_on_disk(specs::hdd_7200(1 << 30), |ctx, disk| async move {
+            let data = pattern(8 * SECTOR_SIZE, 1);
+            let mut sector = 0;
+            for _ in 0..10 {
+                disk.write(sector, &data, true).await.unwrap();
+                sector += 8;
+                // Database "thinks" between commits.
+                ctx.sleep(SimDuration::from_micros(300)).await;
+            }
+        });
+        // Ten sync writes, each dominated by a ~8.3 ms rotation.
+        assert!(
+            end > SimTime::from_millis(40),
+            "finished suspiciously fast: {end}"
+        );
+    }
+
+    #[test]
+    fn cached_writes_ack_fast_and_flush_persists() {
+        run_on_disk(specs::hdd_7200_wce(1 << 30), |ctx, disk| async move {
+            let data = pattern(8 * SECTOR_SIZE, 2);
+            let t0 = ctx.now();
+            disk.write(100, &data, false).await.unwrap();
+            let ack = ctx.now() - t0;
+            assert!(
+                ack < SimDuration::from_millis(1),
+                "cached ack took {ack}"
+            );
+            disk.flush().await.unwrap();
+            // Simulate the crash: cache is dropped, media must have it.
+            disk.power_cut();
+            disk.power_restore();
+            let mut buf = vec![0u8; 8 * SECTOR_SIZE];
+            disk.read(100, &mut buf).await.unwrap();
+            assert_eq!(buf, data, "flushed data survived the power cut");
+        });
+    }
+
+    #[test]
+    fn unflushed_cache_is_lost_on_power_cut() {
+        run_on_disk(specs::hdd_7200_wce(1 << 30), |_ctx, disk| async move {
+            let data = pattern(SECTOR_SIZE, 3);
+            disk.write(5, &data, false).await.unwrap();
+            // No flush; cut immediately (before writeback gets a chance —
+            // writeback needs media time which has not elapsed).
+            disk.power_cut();
+            disk.power_restore();
+            let mut buf = vec![0u8; SECTOR_SIZE];
+            disk.read(5, &mut buf).await.unwrap();
+            assert_eq!(buf, vec![0u8; SECTOR_SIZE], "dirty cache vanished");
+        });
+    }
+
+    #[test]
+    fn fua_write_survives_immediate_power_cut() {
+        run_on_disk(specs::hdd_7200_wce(1 << 30), |_ctx, disk| async move {
+            let data = pattern(SECTOR_SIZE, 4);
+            disk.write(6, &data, true).await.unwrap();
+            disk.power_cut();
+            disk.power_restore();
+            let mut buf = vec![0u8; SECTOR_SIZE];
+            disk.read(6, &mut buf).await.unwrap();
+            assert_eq!(buf, data);
+        });
+    }
+
+    #[test]
+    fn ops_fail_while_offline() {
+        run_on_disk(specs::instant(1 << 20), |_ctx, disk| async move {
+            disk.power_cut();
+            assert!(disk.is_offline());
+            let data = vec![0u8; SECTOR_SIZE];
+            assert_eq!(disk.write(0, &data, true).await, Err(IoError::PowerLoss));
+            let mut buf = vec![0u8; SECTOR_SIZE];
+            assert_eq!(disk.read(0, &mut buf).await, Err(IoError::PowerLoss));
+            assert_eq!(disk.flush().await, Err(IoError::PowerLoss));
+            disk.power_restore();
+            assert!(disk.write(0, &data, true).await.is_ok());
+        });
+    }
+
+    #[test]
+    fn inflight_write_fails_and_tears_on_power_cut() {
+        let mut sim = Sim::new(7);
+        let ctx = sim.ctx();
+        let disk = Disk::new(&ctx, specs::hdd_7200(1 << 30));
+        let failed = Rc::new(Cell::new(false));
+        let f2 = Rc::clone(&failed);
+        let d2 = disk.clone();
+        // A large write takes several ms of media time.
+        let data = Rc::new(pattern(2048 * SECTOR_SIZE, 5));
+        let data2 = Rc::clone(&data);
+        sim.spawn(async move {
+            let res = d2.write(0, &data2, true).await;
+            assert_eq!(res, Err(IoError::PowerLoss));
+            f2.set(true);
+        });
+        let d3 = disk.clone();
+        sim.spawn({
+            let ctx = ctx.clone();
+            async move {
+                // Cut mid-transfer: a 1 MiB write takes ~9 ms on this disk.
+                ctx.sleep(SimDuration::from_millis(5)).await;
+                d3.power_cut();
+            }
+        });
+        sim.run();
+        assert!(failed.get(), "writer observed the power loss");
+        // Audit the media: a clean prefix of whole sectors committed; every
+        // later sector is untouched (still zero). No mid-sector garbage:
+        // sector writes are atomic.
+        let mut committed = 0u64;
+        let mut buf = vec![0u8; SECTOR_SIZE];
+        for s in 0..2048u64 {
+            disk.peek_media(s, &mut buf);
+            let expect = &data[(s as usize) * SECTOR_SIZE..(s as usize + 1) * SECTOR_SIZE];
+            if buf == expect {
+                committed += 1;
+            } else {
+                break;
+            }
+        }
+        assert!(
+            committed > 0 && committed < 2048,
+            "expected a partial commit, got {committed}/2048"
+        );
+        for s in committed..2048u64 {
+            disk.peek_media(s, &mut buf);
+            assert_eq!(
+                buf,
+                vec![0u8; SECTOR_SIZE],
+                "sector {s} past the torn prefix must be untouched"
+            );
+        }
+    }
+
+    #[test]
+    fn reads_see_dirty_cache_overlay() {
+        run_on_disk(specs::hdd_7200_wce(1 << 30), |_ctx, disk| async move {
+            // Put old data on media.
+            let old = pattern(SECTOR_SIZE, 6);
+            disk.write(50, &old, true).await.unwrap();
+            // Newer data sits in the cache.
+            let new = pattern(SECTOR_SIZE, 7);
+            disk.write(50, &new, false).await.unwrap();
+            let mut buf = vec![0u8; SECTOR_SIZE];
+            disk.read(50, &mut buf).await.unwrap();
+            assert_eq!(buf, new, "read-your-writes through the cache");
+        });
+    }
+
+    #[test]
+    fn writeback_eventually_persists_without_flush() {
+        let mut sim = Sim::new(7);
+        let ctx = sim.ctx();
+        let disk = Disk::new(&ctx, specs::hdd_7200_wce(1 << 30));
+        let d2 = disk.clone();
+        sim.spawn(async move {
+            let data = pattern(SECTOR_SIZE, 8);
+            d2.write(9, &data, false).await.unwrap();
+        });
+        // Give the writeback task plenty of virtual time.
+        sim.run_until(SimTime::from_secs(1));
+        assert_eq!(disk.cached_dirty_sectors(), 0, "cache drained");
+        let mut buf = vec![0u8; SECTOR_SIZE];
+        disk.peek_media(9, &mut buf);
+        assert_eq!(buf, pattern(SECTOR_SIZE, 8));
+    }
+
+    #[test]
+    fn stats_track_operations() {
+        run_on_disk(specs::instant(1 << 20), |_ctx, disk| async move {
+            let data = vec![1u8; 2 * SECTOR_SIZE];
+            disk.write(0, &data, true).await.unwrap();
+            let mut buf = vec![0u8; SECTOR_SIZE];
+            disk.read(0, &mut buf).await.unwrap();
+            disk.flush().await.unwrap();
+            let s = disk.stats();
+            assert_eq!(s.writes, 1);
+            assert_eq!(s.reads, 1);
+            assert_eq!(s.flushes, 1);
+            assert_eq!(s.sectors_written, 2);
+            assert_eq!(s.sectors_read, 1);
+        });
+    }
+
+    #[test]
+    fn dyn_block_device_usable() {
+        let mut sim = Sim::new(7);
+        let ctx = sim.ctx();
+        let disk: Rc<dyn BlockDevice> = Rc::new(Disk::new(&ctx, specs::instant(1 << 20)));
+        sim.spawn(async move {
+            let data = vec![9u8; SECTOR_SIZE];
+            disk.write(1, &data, true).await.unwrap();
+            let mut buf = vec![0u8; SECTOR_SIZE];
+            disk.read(1, &mut buf).await.unwrap();
+            assert_eq!(buf, data);
+            assert_eq!(disk.geometry().sector_size, SECTOR_SIZE);
+        });
+        sim.run();
+    }
+
+    #[test]
+    fn concurrent_writers_serialise_on_the_actuator() {
+        let mut sim = Sim::new(7);
+        let ctx = sim.ctx();
+        let disk = Disk::new(&ctx, specs::hdd_7200(1 << 30));
+        for i in 0..4u64 {
+            let disk = disk.clone();
+            sim.spawn(async move {
+                let data = pattern(SECTOR_SIZE, i as u8);
+                disk.write(i * 1000, &data, true).await.unwrap();
+            });
+        }
+        let report = sim.run();
+        let stats = disk.stats();
+        assert_eq!(stats.media_ops, 4);
+        // Busy time cannot exceed elapsed wall (virtual) time: serialised.
+        assert!(stats.busy.as_nanos() <= report.now.as_nanos());
+    }
+}
+
+#[cfg(test)]
+mod cache_backpressure_tests {
+    use super::*;
+    use crate::spec::{specs, CacheSpec};
+    use rapilog_simcore::{Sim, SimTime};
+    use std::cell::Cell;
+
+    #[test]
+    fn full_cache_blocks_writers_until_writeback_progresses() {
+        let mut sim = Sim::new(7);
+        let ctx = sim.ctx();
+        // A 4-sector cache over slow mechanics.
+        let mut spec = specs::hdd_7200(1 << 30);
+        spec.cache = Some(CacheSpec {
+            capacity_sectors: 4,
+            write_latency: SimDuration::from_micros(100),
+        });
+        let disk = Disk::new(&ctx, spec);
+        let finished = Rc::new(Cell::new(0u32));
+        let f2 = Rc::clone(&finished);
+        let d2 = disk.clone();
+        sim.spawn(async move {
+            // Twelve cached single-sector writes through a 4-sector cache:
+            // the later ones must wait for writeback drains.
+            for i in 0..12u64 {
+                d2.write(i * 10, &vec![i as u8; SECTOR_SIZE], false)
+                    .await
+                    .unwrap();
+                f2.set(f2.get() + 1);
+            }
+        });
+        // After a millisecond, only about a cache-full has been accepted.
+        sim.run_until(SimTime::from_millis(1));
+        assert!(
+            finished.get() < 12,
+            "cache absorbed everything instantly: backpressure missing"
+        );
+        sim.run_until(SimTime::from_secs(2));
+        assert_eq!(finished.get(), 12, "all writes eventually accepted");
+        // And the writeback persisted them.
+        let mut buf = vec![0u8; SECTOR_SIZE];
+        disk.peek_media(110, &mut buf);
+        assert_eq!(buf, vec![11u8; SECTOR_SIZE]);
+    }
+}

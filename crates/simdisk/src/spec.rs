@@ -1,0 +1,232 @@
+//! Device specifications and factory presets.
+
+use rapilog_simcore::SimDuration;
+
+use crate::SECTOR_SIZE;
+
+/// Timing model selection for a device.
+#[derive(Debug, Clone)]
+pub enum TimingSpec {
+    /// Rotating disk: the model tracks head cylinder and platter angle.
+    Hdd {
+        /// Spindle speed in revolutions per minute.
+        rpm: u32,
+        /// Sectors per track; determines sequential bandwidth
+        /// (`spt * sector_size * rpm / 60` bytes/s).
+        sectors_per_track: u64,
+        /// Track-to-track seek time.
+        seek_min: SimDuration,
+        /// Full-stroke seek time.
+        seek_max: SimDuration,
+        /// Fixed per-request controller/command overhead.
+        overhead: SimDuration,
+    },
+    /// Flash device: fixed per-op latencies plus bus-limited transfer.
+    Ssd {
+        /// Latency of a read command before data transfer.
+        read_latency: SimDuration,
+        /// Latency of a write command before data transfer.
+        write_latency: SimDuration,
+        /// Cost of a FLUSH (FTL metadata sync).
+        flush_latency: SimDuration,
+        /// Interface bandwidth in bytes per second.
+        bus_bytes_per_sec: u64,
+    },
+}
+
+/// Volatile write-cache configuration.
+#[derive(Debug, Clone)]
+pub struct CacheSpec {
+    /// Cache capacity in sectors.
+    pub capacity_sectors: u64,
+    /// Latency of a cache-hit write acknowledgement.
+    pub write_latency: SimDuration,
+}
+
+/// Full description of a simulated device.
+#[derive(Debug, Clone)]
+pub struct DiskSpec {
+    /// Human-readable model name (appears in reports).
+    pub name: String,
+    /// Total addressable sectors.
+    pub sectors: u64,
+    /// Service-time model.
+    pub timing: TimingSpec,
+    /// Volatile write cache; `None` disables it (every write behaves as
+    /// FUA). Databases that care about durability run with the cache off or
+    /// flush through it — both paths are modelled.
+    pub cache: Option<CacheSpec>,
+    /// If true, a multi-sector write in flight at a power cut commits only
+    /// the sector prefix the head had completed (sectors themselves are
+    /// atomic). If false (power-loss-protected flash), the whole in-flight
+    /// command completes from stored energy.
+    pub torn_writes: bool,
+}
+
+impl DiskSpec {
+    /// Sequential media bandwidth in bytes per second (the rate the RapiLog
+    /// drain can sustain with large batches).
+    pub fn sequential_bandwidth(&self) -> u64 {
+        match &self.timing {
+            TimingSpec::Hdd {
+                rpm,
+                sectors_per_track,
+                ..
+            } => sectors_per_track * SECTOR_SIZE as u64 * *rpm as u64 / 60,
+            TimingSpec::Ssd {
+                bus_bytes_per_sec, ..
+            } => *bus_bytes_per_sec,
+        }
+    }
+
+    /// Time for one platter rotation; zero for SSDs.
+    pub fn rotation_period(&self) -> SimDuration {
+        match &self.timing {
+            TimingSpec::Hdd { rpm, .. } => SimDuration::from_nanos(60_000_000_000 / *rpm as u64),
+            TimingSpec::Ssd { .. } => SimDuration::ZERO,
+        }
+    }
+}
+
+/// Factory presets modelled on common 2013-era hardware (the paper's
+/// evaluation ran on SATA disks of that generation).
+pub mod specs {
+    use super::*;
+
+    fn sectors_for(capacity_bytes: u64) -> u64 {
+        capacity_bytes.div_ceil(SECTOR_SIZE as u64)
+    }
+
+    /// 7200 rpm SATA disk: 8.33 ms rotation, ~117 MB/s sequential,
+    /// 0.6–9 ms seeks, volatile cache disabled (safe configuration).
+    pub fn hdd_7200(capacity_bytes: u64) -> DiskSpec {
+        DiskSpec {
+            name: "hdd-7200".to_string(),
+            sectors: sectors_for(capacity_bytes),
+            timing: TimingSpec::Hdd {
+                rpm: 7200,
+                sectors_per_track: 1900,
+                seek_min: SimDuration::from_micros(600),
+                seek_max: SimDuration::from_millis(9),
+                overhead: SimDuration::from_micros(60),
+            },
+            cache: None,
+            torn_writes: true,
+        }
+    }
+
+    /// Same mechanics as [`hdd_7200`] but with a 32 MiB volatile write cache
+    /// enabled — fast and **unsafe**: used by the ablation that shows why
+    /// enabling WCE without RapiLog loses committed transactions.
+    pub fn hdd_7200_wce(capacity_bytes: u64) -> DiskSpec {
+        DiskSpec {
+            cache: Some(CacheSpec {
+                capacity_sectors: 32 * 1024 * 1024 / SECTOR_SIZE as u64,
+                write_latency: SimDuration::from_micros(120),
+            }),
+            name: "hdd-7200-wce".to_string(),
+            ..hdd_7200(capacity_bytes)
+        }
+    }
+
+    /// 15 krpm enterprise disk: 4 ms rotation, ~190 MB/s sequential.
+    pub fn hdd_15k(capacity_bytes: u64) -> DiskSpec {
+        DiskSpec {
+            name: "hdd-15k".to_string(),
+            sectors: sectors_for(capacity_bytes),
+            timing: TimingSpec::Hdd {
+                rpm: 15000,
+                sectors_per_track: 1500,
+                seek_min: SimDuration::from_micros(300),
+                seek_max: SimDuration::from_millis(4),
+                overhead: SimDuration::from_micros(60),
+            },
+            cache: None,
+            torn_writes: true,
+        }
+    }
+
+    /// SATA-era SSD: ~70 µs writes, ~2 ms flush, 250 MB/s bus.
+    pub fn ssd_sata(capacity_bytes: u64) -> DiskSpec {
+        DiskSpec {
+            name: "ssd-sata".to_string(),
+            sectors: sectors_for(capacity_bytes),
+            timing: TimingSpec::Ssd {
+                read_latency: SimDuration::from_micros(50),
+                write_latency: SimDuration::from_micros(70),
+                flush_latency: SimDuration::from_millis(2),
+                bus_bytes_per_sec: 250 * 1024 * 1024,
+            },
+            cache: None,
+            torn_writes: false,
+        }
+    }
+
+    /// Fast NVMe-class flash: ~15 µs writes, 2 GB/s.
+    pub fn ssd_nvme(capacity_bytes: u64) -> DiskSpec {
+        DiskSpec {
+            name: "ssd-nvme".to_string(),
+            sectors: sectors_for(capacity_bytes),
+            timing: TimingSpec::Ssd {
+                read_latency: SimDuration::from_micros(10),
+                write_latency: SimDuration::from_micros(15),
+                flush_latency: SimDuration::from_micros(400),
+                bus_bytes_per_sec: 2 * 1024 * 1024 * 1024,
+            },
+            cache: None,
+            torn_writes: false,
+        }
+    }
+
+    /// Zero-latency device for unit tests that only care about contents.
+    pub fn instant(capacity_bytes: u64) -> DiskSpec {
+        DiskSpec {
+            name: "instant".to_string(),
+            sectors: sectors_for(capacity_bytes),
+            timing: TimingSpec::Ssd {
+                read_latency: SimDuration::ZERO,
+                write_latency: SimDuration::ZERO,
+                flush_latency: SimDuration::ZERO,
+                bus_bytes_per_sec: u64::MAX,
+            },
+            cache: None,
+            torn_writes: false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hdd_bandwidth_and_rotation() {
+        let spec = specs::hdd_7200(1 << 30);
+        // 1900 sectors * 512 B * 120 rot/s = ~116.7 MB/s.
+        let bw = spec.sequential_bandwidth();
+        assert!((110_000_000..125_000_000).contains(&bw), "bw {bw}");
+        assert_eq!(spec.rotation_period().as_micros(), 8_333);
+    }
+
+    #[test]
+    fn ssd_bandwidth_is_bus_limited() {
+        let spec = specs::ssd_sata(1 << 30);
+        assert_eq!(spec.sequential_bandwidth(), 250 * 1024 * 1024);
+        assert!(spec.rotation_period().is_zero());
+    }
+
+    #[test]
+    fn capacity_rounds_up_to_sectors() {
+        let spec = specs::instant(1000);
+        assert_eq!(spec.sectors, 2);
+    }
+
+    #[test]
+    fn wce_variant_has_cache() {
+        let spec = specs::hdd_7200_wce(1 << 30);
+        assert!(spec.cache.is_some());
+        assert_eq!(spec.name, "hdd-7200-wce");
+        // The mechanical parameters are inherited.
+        assert_eq!(spec.rotation_period().as_micros(), 8_333);
+    }
+}

@@ -1,0 +1,185 @@
+//! Sparse in-memory sector storage.
+//!
+//! Holds the *media contents* of a simulated device: only sectors that were
+//! ever written occupy memory; unwritten sectors read back as zeros, like a
+//! freshly TRIMmed drive. This is the ground truth that crash-recovery
+//! experiments audit against.
+
+use std::collections::HashMap;
+
+use crate::SECTOR_SIZE;
+
+/// Sparse map from sector number to sector contents.
+pub struct SectorStore {
+    sectors: HashMap<u64, Box<[u8; SECTOR_SIZE]>>,
+}
+
+impl SectorStore {
+    /// Creates an empty (all-zero) store.
+    pub fn new() -> Self {
+        SectorStore {
+            sectors: HashMap::new(),
+        }
+    }
+
+    /// Writes one sector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` is not exactly one sector long.
+    pub fn write_sector(&mut self, sector: u64, data: &[u8]) {
+        assert_eq!(data.len(), SECTOR_SIZE, "write_sector: bad length");
+        let entry = self
+            .sectors
+            .entry(sector)
+            .or_insert_with(|| Box::new([0u8; SECTOR_SIZE]));
+        entry.copy_from_slice(data);
+    }
+
+    /// Reads one sector into `buf` (zeros if never written).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `buf` is not exactly one sector long.
+    pub fn read_sector(&self, sector: u64, buf: &mut [u8]) {
+        assert_eq!(buf.len(), SECTOR_SIZE, "read_sector: bad length");
+        match self.sectors.get(&sector) {
+            Some(s) => buf.copy_from_slice(&s[..]),
+            None => buf.fill(0),
+        }
+    }
+
+    /// Writes a contiguous run of sectors from `data`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` is not a positive multiple of the sector size.
+    pub fn write_run(&mut self, first_sector: u64, data: &[u8]) {
+        assert!(
+            !data.is_empty() && data.len().is_multiple_of(SECTOR_SIZE),
+            "write_run: bad length {}",
+            data.len()
+        );
+        for (i, chunk) in data.chunks_exact(SECTOR_SIZE).enumerate() {
+            self.write_sector(first_sector + i as u64, chunk);
+        }
+    }
+
+    /// Reads a contiguous run of sectors into `buf`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `buf` is not a positive multiple of the sector size.
+    pub fn read_run(&self, first_sector: u64, buf: &mut [u8]) {
+        assert!(
+            !buf.is_empty() && buf.len().is_multiple_of(SECTOR_SIZE),
+            "read_run: bad length {}",
+            buf.len()
+        );
+        for (i, chunk) in buf.chunks_exact_mut(SECTOR_SIZE).enumerate() {
+            self.read_sector(first_sector + i as u64, chunk);
+        }
+    }
+
+    /// Number of sectors that have ever been written.
+    pub fn populated_sectors(&self) -> usize {
+        self.sectors.len()
+    }
+
+    /// Overwrites a sector with a deterministic "torn garbage" pattern,
+    /// simulating a sector that was mid-write when power failed.
+    pub fn corrupt_sector(&mut self, sector: u64, seed: u64) {
+        let mut pattern = [0u8; SECTOR_SIZE];
+        let mut x = seed ^ 0x9E37_79B9_7F4A_7C15 ^ sector;
+        for b in pattern.iter_mut() {
+            // Simple xorshift; the point is only that the bytes are neither
+            // the old nor the new contents.
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            *b = x as u8;
+        }
+        self.write_sector(sector, &pattern);
+    }
+}
+
+impl Default for SectorStore {
+    fn default() -> Self {
+        SectorStore::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unwritten_sectors_read_zero() {
+        let store = SectorStore::new();
+        let mut buf = [0xFFu8; SECTOR_SIZE];
+        store.read_sector(7, &mut buf);
+        assert!(buf.iter().all(|&b| b == 0));
+        assert_eq!(store.populated_sectors(), 0);
+    }
+
+    #[test]
+    fn write_read_roundtrip() {
+        let mut store = SectorStore::new();
+        let data = [0x5Au8; SECTOR_SIZE];
+        store.write_sector(3, &data);
+        let mut buf = [0u8; SECTOR_SIZE];
+        store.read_sector(3, &mut buf);
+        assert_eq!(buf, data);
+        assert_eq!(store.populated_sectors(), 1);
+    }
+
+    #[test]
+    fn runs_span_sectors() {
+        let mut store = SectorStore::new();
+        let mut data = vec![0u8; 3 * SECTOR_SIZE];
+        for (i, b) in data.iter_mut().enumerate() {
+            *b = (i % 251) as u8;
+        }
+        store.write_run(10, &data);
+        let mut buf = vec![0u8; 3 * SECTOR_SIZE];
+        store.read_run(10, &mut buf);
+        assert_eq!(buf, data);
+        // Middle sector individually.
+        let mut one = vec![0u8; SECTOR_SIZE];
+        store.read_sector(11, &mut one);
+        assert_eq!(&one[..], &data[SECTOR_SIZE..2 * SECTOR_SIZE]);
+    }
+
+    #[test]
+    fn overwrite_replaces() {
+        let mut store = SectorStore::new();
+        store.write_sector(0, &[1u8; SECTOR_SIZE]);
+        store.write_sector(0, &[2u8; SECTOR_SIZE]);
+        let mut buf = [0u8; SECTOR_SIZE];
+        store.read_sector(0, &mut buf);
+        assert_eq!(buf, [2u8; SECTOR_SIZE]);
+        assert_eq!(store.populated_sectors(), 1);
+    }
+
+    #[test]
+    fn corrupt_sector_changes_contents_deterministically() {
+        let mut a = SectorStore::new();
+        let mut b = SectorStore::new();
+        a.write_sector(5, &[9u8; SECTOR_SIZE]);
+        b.write_sector(5, &[9u8; SECTOR_SIZE]);
+        a.corrupt_sector(5, 42);
+        b.corrupt_sector(5, 42);
+        let (mut ba, mut bb) = ([0u8; SECTOR_SIZE], [0u8; SECTOR_SIZE]);
+        a.read_sector(5, &mut ba);
+        b.read_sector(5, &mut bb);
+        assert_eq!(ba, bb, "corruption is deterministic");
+        assert_ne!(ba, [9u8; SECTOR_SIZE], "contents actually changed");
+    }
+
+    #[test]
+    #[should_panic(expected = "bad length")]
+    fn write_run_rejects_partial_sector() {
+        let mut store = SectorStore::new();
+        store.write_run(0, &[0u8; 100]);
+    }
+}

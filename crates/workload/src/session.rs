@@ -1,0 +1,209 @@
+//! Client/server session boundary.
+//!
+//! In the paper's setup, benchmark clients live outside the machine under
+//! test; the DBMS threads live inside it. We reproduce that split: a
+//! [`DbServer`] spawns one *connection worker per client* inside the
+//! database's cancellation domain, and clients submit whole transactions as
+//! jobs. When the guest OS crashes, the workers die mid-transaction — the
+//! client observes a dropped connection ([`JobOutcome::ConnectionLost`]),
+//! never a fabricated result. Only transactions that returned
+//! [`JobOutcome::Committed`] count as acknowledged, and those are exactly
+//! the ones the durability auditor demands back after recovery.
+
+use std::future::Future;
+use std::pin::Pin;
+
+use rapilog_dbengine::{Database, DbError};
+use rapilog_simcore::chan::{self, OnceSender, Sender};
+use rapilog_simcore::{DomainId, SimCtx};
+
+/// Result of one submitted transaction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JobOutcome {
+    /// The commit was acknowledged durably (per the engine's policy).
+    Committed,
+    /// The transaction was rolled back (lock timeout, constraint, ...).
+    Aborted(DbError),
+    /// The connection died before an answer arrived (guest crash).
+    ConnectionLost,
+}
+
+type JobFuture = Pin<Box<dyn Future<Output = JobOutcome>>>;
+/// A whole transaction, shipped to a connection worker.
+pub type Job = Box<dyn FnOnce(Database) -> JobFuture>;
+
+struct Request {
+    job: Job,
+    reply: OnceSender<JobOutcome>,
+}
+
+/// Server side: owns the database handle, accepts connections.
+pub struct DbServer {
+    ctx: SimCtx,
+    db: Database,
+    domain: DomainId,
+}
+
+impl DbServer {
+    /// Creates a server for `db`, whose workers will live in `domain`
+    /// (the guest's domain: they must die with the guest).
+    pub fn new(ctx: &SimCtx, db: Database, domain: DomainId) -> DbServer {
+        DbServer {
+            ctx: ctx.clone(),
+            db,
+            domain,
+        }
+    }
+
+    /// Opens a connection: spawns a dedicated worker task.
+    pub fn connect(&self) -> Connection {
+        let (tx, rx) = chan::bounded::<Request>(1);
+        let db = self.db.clone();
+        self.ctx.spawn_in(self.domain, async move {
+            while let Some(Request { job, reply }) = rx.recv().await {
+                let outcome = job(db.clone()).await;
+                reply.send(outcome);
+            }
+        });
+        Connection { tx }
+    }
+}
+
+/// Client side of one connection.
+#[derive(Clone)]
+pub struct Connection {
+    tx: Sender<Request>,
+}
+
+impl Connection {
+    /// Submits a transaction and waits for its outcome. A dead worker
+    /// (guest crash) yields [`JobOutcome::ConnectionLost`].
+    pub async fn submit(&self, job: Job) -> JobOutcome {
+        let (rtx, rrx) = chan::oneshot();
+        if self.tx.send(Request { job, reply: rtx }).await.is_err() {
+            return JobOutcome::ConnectionLost;
+        }
+        rrx.recv().await.unwrap_or(JobOutcome::ConnectionLost)
+    }
+}
+
+/// Convenience: wraps an `async move` transaction body into a [`Job`].
+pub fn job<F, Fut>(f: F) -> Job
+where
+    F: FnOnce(Database) -> Fut + 'static,
+    Fut: Future<Output = JobOutcome> + 'static,
+{
+    Box::new(move |db| Box::pin(f(db)))
+}
+
+/// Maps an engine result to a [`JobOutcome`] (commit already performed).
+pub fn outcome_from(result: Result<(), DbError>) -> JobOutcome {
+    match result {
+        Ok(()) => JobOutcome::Committed,
+        Err(e) => JobOutcome::Aborted(e),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rapilog_dbengine::{DbConfig, TableDef};
+    use rapilog_simcore::{Sim, SimDuration, SimTime};
+    use rapilog_simdisk::{specs, BlockDevice, Disk};
+    use std::cell::Cell as StdCell;
+    use std::rc::Rc;
+
+    fn make_db(ctx: &SimCtx, domain: DomainId) -> Pin<Box<dyn Future<Output = Database>>> {
+        let ctx = ctx.clone();
+        Box::pin(async move {
+            let data: Rc<dyn BlockDevice> = Rc::new(Disk::new(&ctx, specs::instant(64 << 20)));
+            let log: Rc<dyn BlockDevice> = Rc::new(Disk::new(&ctx, specs::instant(64 << 20)));
+            Database::create(
+                &ctx,
+                DbConfig::default(),
+                &[TableDef {
+                    name: "kv".to_string(),
+                    slot_size: 32,
+                    max_rows: 1000,
+                }],
+                data,
+                log,
+                domain,
+            )
+            .await
+            .expect("create db")
+        })
+    }
+
+    #[test]
+    fn committed_job_roundtrip() {
+        let mut sim = Sim::new(4);
+        let ctx = sim.ctx();
+        let done = Rc::new(StdCell::new(false));
+        let d2 = Rc::clone(&done);
+        let c2 = ctx.clone();
+        sim.spawn(async move {
+            let db = make_db(&c2, DomainId::ROOT).await;
+            let server = DbServer::new(&c2, db.clone(), DomainId::ROOT);
+            let conn = server.connect();
+            let outcome = conn
+                .submit(job(|db: Database| async move {
+                    let t = db.table("kv").unwrap();
+                    let txn = match db.begin().await {
+                        Ok(t) => t,
+                        Err(e) => return JobOutcome::Aborted(e),
+                    };
+                    if let Err(e) = db.insert(txn, t, 1, b"v").await {
+                        let _ = db.abort(txn).await;
+                        return JobOutcome::Aborted(e);
+                    }
+                    outcome_from(db.commit(txn).await)
+                }))
+                .await;
+            assert_eq!(outcome, JobOutcome::Committed);
+            assert_eq!(
+                db.get(db.table("kv").unwrap(), 1).await.unwrap(),
+                Some(b"v".to_vec())
+            );
+            db.stop();
+            d2.set(true);
+        });
+        sim.run();
+        assert!(done.get());
+    }
+
+    #[test]
+    fn guest_crash_mid_transaction_reports_connection_lost() {
+        let mut sim = Sim::new(4);
+        let ctx = sim.ctx();
+        let done = Rc::new(StdCell::new(false));
+        let d2 = Rc::clone(&done);
+        let c2 = ctx.clone();
+        sim.spawn(async move {
+            let domain = c2.create_domain();
+            let db = make_db(&c2, domain).await;
+            let server = DbServer::new(&c2, db.clone(), domain);
+            let conn = server.connect();
+            // A transaction that stalls forever (simulating long work).
+            let killer_ctx = c2.clone();
+            let submit = conn.submit(job(move |db: Database| async move {
+                let t = db.table("kv").unwrap();
+                let txn = db.begin().await.unwrap();
+                db.insert(txn, t, 9, b"never").await.unwrap();
+                // Stall: the crash lands here.
+                killer_ctx.sleep(SimDuration::from_secs(3600)).await;
+                outcome_from(db.commit(txn).await)
+            }));
+            let crasher = c2.clone();
+            c2.spawn(async move {
+                crasher.sleep(SimDuration::from_millis(5)).await;
+                crasher.kill_domain(domain);
+            });
+            let outcome = submit.await;
+            assert_eq!(outcome, JobOutcome::ConnectionLost);
+            d2.set(true);
+        });
+        sim.run_until(SimTime::from_secs(1));
+        assert!(done.get());
+    }
+}

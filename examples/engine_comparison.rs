@@ -1,0 +1,78 @@
+//! Engine comparison in miniature: three engine personalities, with and
+//! without RapiLog, on a rotating disk.
+//!
+//! A compact version of Fig 6 that runs in a few seconds:
+//!
+//! ```sh
+//! cargo run --release --example engine_comparison
+//! ```
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use rapilog_suite::dbengine::EngineProfile;
+use rapilog_suite::faultsim::{Machine, MachineConfig, Setup};
+use rapilog_suite::simcore::{Sim, SimDuration, SimTime};
+use rapilog_suite::simdisk::specs;
+use rapilog_suite::simpower::supplies;
+use rapilog_suite::workload::client::{self, RunConfig, TpcbSource};
+use rapilog_suite::workload::tpcb::{self, TpcbScale};
+
+fn run_one(profile: EngineProfile, setup: Setup) -> f64 {
+    let mut sim = Sim::new(7);
+    let ctx = sim.ctx();
+    let out = Rc::new(RefCell::new(0.0f64));
+    let out2 = Rc::clone(&out);
+    let c2 = ctx.clone();
+    sim.spawn(async move {
+        let mut mc = MachineConfig::new(
+            setup,
+            specs::instant(256 << 20),
+            specs::hdd_7200(256 << 20),
+        );
+        mc.supply = Some(supplies::atx_psu());
+        mc.db.profile = profile;
+        let machine = Machine::new(&c2, mc);
+        let scale = TpcbScale::small();
+        let db = machine.install(&tpcb::table_defs(&scale)).await.unwrap();
+        let tables = tpcb::load(&db, &scale).await.unwrap();
+        let server = machine.server();
+        let stats = client::run(
+            &c2,
+            &server,
+            Rc::new(TpcbSource { tables, scale }),
+            RunConfig {
+                clients: 8,
+                warmup: SimDuration::from_millis(500),
+                measure: SimDuration::from_secs(2),
+                think_time: None,
+            },
+        )
+        .await;
+        db.stop();
+        *out2.borrow_mut() = stats.tps();
+    });
+    sim.run_until(SimTime::from_secs(60));
+    let v = *out.borrow();
+    v
+}
+
+fn main() {
+    println!("TPC-B, 8 clients, log on hdd-7200 — throughput (tps)\n");
+    println!("{:<14}{:>12}{:>12}{:>10}", "engine", "virt-sync", "rapilog", "speedup");
+    for make in [
+        EngineProfile::pg_like as fn() -> EngineProfile,
+        EngineProfile::innodb_like,
+        EngineProfile::simple_sync,
+    ] {
+        let sync = run_one(make(), Setup::Virtualized);
+        let rapi = run_one(make(), Setup::RapiLog);
+        println!(
+            "{:<14}{:>12.0}{:>12.0}{:>9.1}x",
+            make().name,
+            sync,
+            rapi,
+            rapi / sync
+        );
+    }
+}

@@ -1,0 +1,73 @@
+//! Power-cut demonstration: yank the plug mid-benchmark, recover, audit.
+//!
+//! Assembles the full RapiLog machine (hypervisor, guest VM, TPC-C-style
+//! register clients, ATX power supply), lets the clients hammer commits,
+//! cuts mains power at 500 ms, waits out the residual window, restores
+//! power, reboots, runs ARIES recovery and verifies that **every
+//! acknowledged commit survived**.
+//!
+//! ```sh
+//! cargo run --example power_cut_demo
+//! ```
+
+use rapilog_suite::faultsim::{run_trial, FaultKind, MachineConfig, Setup, TrialConfig};
+use rapilog_suite::simcore::SimDuration;
+use rapilog_suite::simdisk::specs;
+use rapilog_suite::simpower::supplies;
+
+fn main() {
+    let mut machine = MachineConfig::new(
+        Setup::RapiLog,
+        specs::instant(256 << 20),
+        specs::hdd_7200(256 << 20),
+    );
+    machine.supply = Some(supplies::atx_psu());
+    println!(
+        "power supply: {} ({} residual window)",
+        machine.supply.as_ref().unwrap().name,
+        machine.supply.as_ref().unwrap().window()
+    );
+    let result = run_trial(
+        2026,
+        TrialConfig {
+            machine,
+            fault: FaultKind::PowerCut,
+            clients: 8,
+            fault_after: SimDuration::from_millis(500),
+            think_time: SimDuration::from_micros(200),
+        },
+    );
+    println!(
+        "\ncommits acknowledged before the cut : {}",
+        result.total_acked
+    );
+    println!(
+        "log records scanned at recovery      : {}",
+        result.recovery.scanned_records
+    );
+    println!(
+        "recovery took                        : {}",
+        result.recovery.duration
+    );
+    for (i, (j, r)) in result
+        .journals
+        .iter()
+        .zip(result.recovered.iter())
+        .enumerate()
+    {
+        println!(
+            "client {i}: acked seq {:>5}  recovered ({:>5}, {:>5})",
+            j.acked, r.0, r.1
+        );
+    }
+    println!(
+        "\nRapiLog internal guarantee held      : {:?}",
+        result.rapilog_guarantee
+    );
+    if result.ok {
+        println!("VERDICT: no acknowledged commit was lost; atomicity intact.");
+    } else {
+        println!("VERDICT: VIOLATIONS: {:?}", result.violations);
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,57 @@
+//! Buffer sizing calculator: the paper's safety inequality as a tool.
+//!
+//! Given a supply's residual energy, the drain power draw and the log
+//! disk's sequential bandwidth, prints the residual window and the largest
+//! dependable buffer RapiLog may admit.
+//!
+//! ```sh
+//! cargo run --example sizing_calculator                  # catalogue
+//! cargo run --example sizing_calculator 30 150 116000000 # J, W, B/s
+//! ```
+
+use rapilog_suite::simcore::SimDuration;
+use rapilog_suite::simpower::{budget, supplies, SupplySpec};
+
+fn describe(spec: &SupplySpec, bandwidth: u64) {
+    let cap = budget::max_buffer_bytes(spec, bandwidth);
+    println!("supply {:<16} window {:>8}  usable {:>8}", spec.name, spec.window(), spec.usable_window());
+    if cap == 0 {
+        println!("  -> window below drain-startup cost: run write-through, no buffering");
+        return;
+    }
+    println!(
+        "  -> max dependable buffer at {:.0} MB/s drain: {:.1} MiB (drains in {})",
+        bandwidth as f64 / 1e6,
+        cap as f64 / (1024.0 * 1024.0),
+        budget::drain_time(cap, bandwidth)
+    );
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.len() == 3 {
+        let joules: f64 = args[0].parse().expect("joules (f64)");
+        let watts: f64 = args[1].parse().expect("watts (f64)");
+        let bandwidth: u64 = args[2].parse().expect("bandwidth bytes/s (u64)");
+        let spec = SupplySpec {
+            name: "custom".to_string(),
+            residual_joules: joules,
+            drain_draw_watts: watts,
+            warning_latency: SimDuration::from_millis(2),
+        };
+        describe(&spec, bandwidth);
+        return;
+    }
+    println!("RapiLog buffer sizing (pass: <joules> <watts> <bandwidth B/s> for a custom supply)\n");
+    for spec in [
+        supplies::atx_psu(),
+        supplies::atx_psu_loaded(),
+        supplies::server_psu(),
+        supplies::small_ups(),
+    ] {
+        for bw in [116_000_000u64, 250 * 1024 * 1024] {
+            describe(&spec, bw);
+        }
+        println!();
+    }
+}

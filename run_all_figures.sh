@@ -1,0 +1,18 @@
+#!/bin/sh
+# Regenerates every table/figure into results/.
+set -x
+B=./target/release
+$B/table1_residual        > results/table1.txt 2>&1
+$B/fig2_commit_latency    > results/fig2.txt 2>&1
+$B/fig3_virt_overhead     > results/fig3.txt 2>&1
+$B/fig4_tpcc_hdd          > results/fig4.txt 2>&1
+$B/fig5_tpcc_ssd          > results/fig5.txt 2>&1
+$B/fig6_engines           > results/fig6.txt 2>&1
+$B/fig7_tpcb              > results/fig7.txt 2>&1
+$B/fig8_occupancy         > results/fig8.txt 2>&1
+$B/table3_groupcommit     > results/table3.txt 2>&1
+$B/abl_buffer_sweep       > results/abl_buffer.txt 2>&1
+$B/abl_disk_sweep         > results/abl_disk.txt 2>&1
+$B/abl_ckpt_sweep         > results/abl_ckpt.txt 2>&1
+TRIALS=${TRIALS:-40} $B/table2_durability > results/table2.txt 2>&1
+echo ALL_FIGURES_DONE

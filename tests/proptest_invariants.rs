@@ -1,0 +1,242 @@
+//! Property-based tests over the suite's core invariants.
+//!
+//! Each property builds a fresh deterministic simulation per case; proptest
+//! explores the parameter space (operation sequences, crash instants, fault
+//! seeds) and shrinks failures to minimal counterexamples.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use proptest::prelude::*;
+
+use rapilog_suite::dbengine::types::{Lsn, PageId, TableId, TxnId};
+use rapilog_suite::dbengine::wal::Record;
+use rapilog_suite::dbengine::{Database, DbConfig, TableDef};
+use rapilog_suite::faultsim::{run_trial, FaultKind, MachineConfig, Setup, TrialConfig};
+use rapilog_suite::simcore::stats::Histogram;
+use rapilog_suite::simcore::{DomainId, Sim, SimDuration, SimTime};
+use rapilog_suite::simdisk::{specs, BlockDevice, Disk};
+use rapilog_suite::simpower::supplies;
+
+// ---------------------------------------------------------------------------
+// WAL record roundtrip
+// ---------------------------------------------------------------------------
+
+fn arb_record() -> impl Strategy<Value = Record> {
+    let bytes = proptest::collection::vec(any::<u8>(), 0..200);
+    prop_oneof![
+        any::<u64>().prop_map(|t| Record::Begin { txn: TxnId(t) }),
+        any::<u64>().prop_map(|t| Record::Commit { txn: TxnId(t) }),
+        (any::<u64>(), any::<u64>(), any::<u16>(), any::<u64>(), any::<u16>(), any::<u64>(), bytes.clone(), bytes.clone()).prop_map(
+            |(t, p, tb, pg, sl, k, before, after)| Record::Update {
+                txn: TxnId(t),
+                prev: Lsn(p),
+                table: TableId(tb),
+                page: PageId(pg),
+                slot: sl,
+                key: k,
+                before,
+                after,
+            }
+        ),
+        (any::<u64>(), any::<u64>(), any::<u16>(), any::<u64>(), any::<u16>(), any::<u64>(), bytes).prop_map(
+            |(t, p, tb, pg, sl, k, after)| Record::Insert {
+                txn: TxnId(t),
+                prev: Lsn(p),
+                table: TableId(tb),
+                page: PageId(pg),
+                slot: sl,
+                key: k,
+                after,
+            }
+        ),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn wal_record_roundtrips(rec in arb_record(), lsn in any::<u64>()) {
+        let encoded = rec.encode(Lsn(lsn));
+        let (back, n) = Record::decode(&encoded, Lsn(lsn)).expect("roundtrip");
+        prop_assert_eq!(back, rec);
+        prop_assert_eq!(n, encoded.len());
+    }
+
+    #[test]
+    fn wal_record_rejects_any_single_bitflip(rec in arb_record(), lsn in 0u64..1_000_000, flip in any::<(usize, u8)>()) {
+        let mut encoded = rec.encode(Lsn(lsn));
+        let (pos, bit) = flip;
+        let pos = pos % encoded.len();
+        let mask = 1u8 << (bit % 8);
+        encoded[pos] ^= mask;
+        // Either the frame is rejected, or the flip hit the length field in
+        // a way that still fails (shorter/longer frame cannot re-validate:
+        // the CRC covers lsn+kind+payload, the length shapes the CRC input).
+        prop_assert!(Record::decode(&encoded, Lsn(lsn)).is_none());
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Histogram percentile bounds
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn histogram_percentiles_bounded_and_monotone(mut values in proptest::collection::vec(0u64..u64::MAX / 2, 1..500)) {
+        let mut h = Histogram::new();
+        for &v in &values {
+            h.record(v);
+        }
+        values.sort_unstable();
+        prop_assert_eq!(h.min(), values[0]);
+        prop_assert_eq!(h.max(), *values.last().unwrap());
+        let mut last = 0u64;
+        for p in [0.0, 10.0, 25.0, 50.0, 75.0, 90.0, 99.0, 100.0] {
+            let q = h.percentile(p);
+            prop_assert!(q >= last, "percentiles must be monotone");
+            prop_assert!(q >= h.min() && q <= h.max());
+            last = q;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Model-based engine + crash-recovery check
+// ---------------------------------------------------------------------------
+
+/// One step of the random transaction workload.
+#[derive(Debug, Clone)]
+enum Op {
+    Insert(u64, u8),
+    Update(u64, u8),
+    Delete(u64),
+}
+
+fn arb_txn() -> impl Strategy<Value = (Vec<Op>, bool)> {
+    let op = prop_oneof![
+        (0u64..30, any::<u8>()).prop_map(|(k, v)| Op::Insert(k, v)),
+        (0u64..30, any::<u8>()).prop_map(|(k, v)| Op::Update(k, v)),
+        (0u64..30).prop_map(Op::Delete),
+    ];
+    (proptest::collection::vec(op, 1..6), any::<bool>())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Applies random transactions (some committed, some aborted), crashes
+    /// abruptly, recovers, and compares the database against a model map
+    /// that only saw the committed transactions.
+    #[test]
+    fn recovery_matches_committed_model(txns in proptest::collection::vec(arb_txn(), 1..25), seed in 0u64..10_000) {
+        let mut sim = Sim::new(seed);
+        let ctx = sim.ctx();
+        let ok = Rc::new(RefCell::new(false));
+        let ok2 = Rc::clone(&ok);
+        let c2 = ctx.clone();
+        sim.spawn(async move {
+            let data: Rc<dyn BlockDevice> = Rc::new(Disk::new(&c2, specs::instant(64 << 20)));
+            let log: Rc<dyn BlockDevice> = Rc::new(Disk::new(&c2, specs::instant(64 << 20)));
+            let defs = [TableDef { name: "t".to_string(), slot_size: 16, max_rows: 64 }];
+            let db = Database::create(&c2, DbConfig::default(), &defs, Rc::clone(&data), Rc::clone(&log), DomainId::ROOT)
+                .await
+                .unwrap();
+            let t = db.table("t").unwrap();
+            let mut model: HashMap<u64, Vec<u8>> = HashMap::new();
+            for (ops, commit) in txns {
+                let txn = db.begin().await.unwrap();
+                let mut staged = model.clone();
+                let mut poisoned = false;
+                for op in ops {
+                    let r = match op {
+                        Op::Insert(k, v) => db.insert(txn, t, k, &[v]).await.map(|()| {
+                            staged.insert(k, vec![v]);
+                        }),
+                        Op::Update(k, v) => db.update(txn, t, k, &[v]).await.map(|()| {
+                            staged.insert(k, vec![v]);
+                        }),
+                        Op::Delete(k) => db.delete(txn, t, k).await.map(|()| {
+                            staged.remove(&k);
+                        }),
+                    };
+                    // Constraint errors (duplicate/missing keys) are fine:
+                    // the op simply did not happen. Anything else poisons.
+                    if let Err(e) = r {
+                        use rapilog_suite::dbengine::DbError::*;
+                        match e {
+                            Duplicate(..) | NotFound(..) | TableFull(..) => {}
+                            other => {
+                                eprintln!("unexpected engine error: {other}");
+                                poisoned = true;
+                                break;
+                            }
+                        }
+                    }
+                }
+                assert!(!poisoned, "engine misbehaved");
+                if commit {
+                    db.commit(txn).await.unwrap();
+                    model = staged;
+                } else {
+                    db.abort(txn).await.unwrap();
+                }
+            }
+            // Crash without any orderly flush and recover.
+            db.stop();
+            let (db2, _report) = Database::open(&c2, DbConfig::default(), data, log, DomainId::ROOT)
+                .await
+                .expect("recovery");
+            for k in 0..30u64 {
+                let got = db2.get(t, k).await.unwrap();
+                assert_eq!(
+                    got.as_deref(),
+                    model.get(&k).map(|v| v.as_slice()),
+                    "key {k} diverged from the committed model"
+                );
+            }
+            assert_eq!(db2.row_count(t), model.len() as u64);
+            db2.stop();
+            *ok2.borrow_mut() = true;
+        });
+        sim.run_until(SimTime::from_secs(60));
+        prop_assert!(*ok.borrow(), "scenario completed");
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Durability across arbitrary fault instants (mini fuzzed Table 2)
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn rapilog_durable_at_any_fault_instant(
+        seed in 0u64..100_000,
+        fault_ms in 50u64..600,
+        power in any::<bool>(),
+    ) {
+        let mut machine = MachineConfig::new(
+            Setup::RapiLog,
+            specs::instant(128 << 20),
+            specs::hdd_7200(128 << 20),
+        );
+        machine.supply = Some(supplies::atx_psu());
+        let r = run_trial(
+            seed,
+            TrialConfig {
+                machine,
+                fault: if power { FaultKind::PowerCut } else { FaultKind::GuestCrash },
+                clients: 3,
+                fault_after: SimDuration::from_millis(fault_ms),
+                think_time: SimDuration::from_micros(300),
+            },
+        );
+        prop_assert!(r.ok, "violations: {:?}", r.violations);
+    }
+}
