@@ -1,43 +1,60 @@
-//! Criterion microbenchmarks for the suite's hot paths.
+//! Microbenchmarks for the suite's hot paths (plain harness, no external
+//! bench framework so the workspace builds offline).
 //!
 //! These are not paper figures; they keep the simulation substrate honest:
-//! the DES executor, WAL codec, histogram, drain consolidation and TPC-C
+//! the DES executor, WAL codec, histogram, tracing fast path and TPC-C
 //! generator all sit on the critical path of every experiment, so
 //! regressions here inflate every wall-clock run.
+//!
+//! Each case runs a warmup batch and then reports wall-clock nanoseconds
+//! per operation over a fixed iteration count. The `tracer_disabled` case
+//! doubles as the enforcement of the tracing cost contract: after a million
+//! events against a disabled tracer the ring must still be empty.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
+use std::hint::black_box;
+use std::time::Instant;
 
 use rapilog_dbengine::types::{Lsn, PageId, TableId, TxnId};
 use rapilog_dbengine::wal::Record;
+use rapilog_simcore::rng::SimRng;
 use rapilog_simcore::stats::Histogram;
-use rapilog_simcore::{Sim, SimDuration};
+use rapilog_simcore::trace::{Layer, Payload, Tracer};
+use rapilog_simcore::{Sim, SimDuration, SimTime};
 use rapilog_workload::tpcc::{self, TpccScale};
 
-fn bench_histogram(c: &mut Criterion) {
-    let mut g = c.benchmark_group("histogram");
-    g.throughput(Throughput::Elements(1));
-    g.bench_function("record", |b| {
-        let mut h = Histogram::new();
-        let mut x = 12345u64;
-        b.iter(|| {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
-            h.record(x >> 33);
-        });
-    });
-    g.bench_function("percentile", |b| {
-        let mut h = Histogram::new();
-        for i in 0..100_000u64 {
-            h.record(i * 37 % 1_000_000);
-        }
-        b.iter(|| h.percentile(99.0));
-    });
-    g.finish();
+fn bench(name: &str, iters: u64, mut f: impl FnMut()) {
+    for _ in 0..iters / 10 {
+        f();
+    }
+    let start = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    let elapsed = start.elapsed();
+    println!(
+        "{name:<28} {:>12.1} ns/op   ({iters} iters, {:?} total)",
+        elapsed.as_nanos() as f64 / iters as f64,
+        elapsed
+    );
 }
 
-fn bench_wal_codec(c: &mut Criterion) {
-    let mut g = c.benchmark_group("wal");
+fn bench_histogram() {
+    let mut h = Histogram::new();
+    let mut x = 12345u64;
+    bench("histogram/record", 1_000_000, || {
+        x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+        h.record(x >> 33);
+    });
+    let mut h = Histogram::new();
+    for i in 0..100_000u64 {
+        h.record(i * 37 % 1_000_000);
+    }
+    bench("histogram/percentile", 100_000, || {
+        black_box(h.percentile(99.0));
+    });
+}
+
+fn bench_wal_codec() {
     let rec = Record::Update {
         txn: TxnId(42),
         prev: Lsn(1000),
@@ -49,52 +66,80 @@ fn bench_wal_codec(c: &mut Criterion) {
         after: vec![0xBB; 128],
     };
     let encoded = rec.encode(Lsn(9000));
-    g.throughput(Throughput::Bytes(encoded.len() as u64));
-    g.bench_function("encode_update", |b| b.iter(|| rec.encode(Lsn(9000))));
-    g.bench_function("decode_update", |b| {
-        b.iter(|| Record::decode(&encoded, Lsn(9000)).expect("decodes"))
+    bench("wal/encode_update", 200_000, || {
+        black_box(rec.encode(Lsn(9000)));
     });
-    g.finish();
+    bench("wal/decode_update", 200_000, || {
+        black_box(Record::decode(&encoded, Lsn(9000)).expect("decodes"));
+    });
 }
 
-fn bench_executor(c: &mut Criterion) {
-    let mut g = c.benchmark_group("simcore");
-    g.bench_function("spawn_sleep_1000_tasks", |b| {
-        b.iter(|| {
-            let mut sim = Sim::new(1);
-            let ctx = sim.ctx();
-            for i in 0..1000u64 {
-                let ctx = ctx.clone();
-                sim.spawn(async move {
-                    ctx.sleep(SimDuration::from_nanos(i % 997)).await;
-                });
-            }
-            sim.run()
-        });
+fn bench_executor() {
+    bench("simcore/spawn_sleep_1000", 200, || {
+        let mut sim = Sim::new(1);
+        let ctx = sim.ctx();
+        for i in 0..1000u64 {
+            let ctx = ctx.clone();
+            sim.spawn(async move {
+                ctx.sleep(SimDuration::from_nanos(i % 997)).await;
+            });
+        }
+        black_box(sim.run());
     });
-    g.finish();
 }
 
-fn bench_tpcc_generate(c: &mut Criterion) {
-    let mut g = c.benchmark_group("tpcc");
-    g.throughput(Throughput::Elements(1));
-    g.bench_function("generate", |b| {
-        let mut rng = SmallRng::seed_from_u64(7);
-        let scale = TpccScale::small();
-        let mut seq = 0u64;
-        b.iter(|| {
-            seq += 1;
-            tpcc::generate(&mut rng, &scale, 1, seq)
-        });
+fn bench_tpcc_generate() {
+    let mut rng = SimRng::seed_from_u64(7);
+    let scale = TpccScale::small();
+    let mut seq = 0u64;
+    bench("tpcc/generate", 500_000, || {
+        seq += 1;
+        black_box(tpcc::generate(&mut rng, &scale, 1, seq));
     });
-    g.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_histogram,
-    bench_wal_codec,
-    bench_executor,
-    bench_tpcc_generate
-);
-criterion_main!(benches);
+fn bench_tracer() {
+    // The disabled path must be a pure no-op: no allocation, no ring write.
+    let tracer = Tracer::new();
+    assert!(!tracer.is_enabled());
+    let mut i = 0u64;
+    bench("trace/disabled_instant", 1_000_000, || {
+        i += 1;
+        tracer.instant(
+            SimTime::from_nanos(i),
+            Layer::Disk,
+            "io",
+            Payload::Bytes { bytes: i },
+        );
+    });
+    let snap = tracer.snapshot();
+    assert_eq!(snap.total, 0, "disabled tracer must not record");
+    assert_eq!(snap.dropped, 0, "disabled tracer must not evict");
+    assert!(
+        snap.events.is_empty(),
+        "disabled tracer ring must stay empty"
+    );
+
+    tracer.set_enabled(true);
+    let mut i = 0u64;
+    bench("trace/enabled_span", 500_000, || {
+        i += 1;
+        tracer.begin(SimTime::from_nanos(i), Layer::Wal, "gc", Payload::None);
+        tracer.end(
+            SimTime::from_nanos(i + 1),
+            Layer::Wal,
+            "gc",
+            Payload::Bytes { bytes: i },
+        );
+    });
+    assert!(tracer.snapshot().total > 0);
+}
+
+fn main() {
+    bench_histogram();
+    bench_wal_codec();
+    bench_executor();
+    bench_tpcc_generate();
+    bench_tracer();
+    println!("hotpaths: all assertions passed");
+}

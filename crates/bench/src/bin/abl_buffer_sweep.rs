@@ -18,7 +18,12 @@ use rapilog_workload::tpcb::TpcbScale;
 fn main() {
     let quick = std::env::var("QUICK").is_ok();
     println!("Ablation A: RapiLog buffer capacity sweep, TPC-B 32 clients, log on hdd-7200\n");
-    let mut t = TextTable::new(&["capacity", "tps", "backpressure events", "peak occupancy (KiB)"]);
+    let mut t = TextTable::new(&[
+        "capacity",
+        "tps",
+        "backpressure events",
+        "peak occupancy (KiB)",
+    ]);
     for cap_kib in [16u64, 64, 256, 1024, 4096, 16384] {
         let mut machine = MachineConfig::new(
             Setup::RapiLog,
@@ -39,6 +44,7 @@ fn main() {
                 measure: SimDuration::from_secs(if quick { 2 } else { 5 }),
                 think_time: None,
             },
+            trace: false,
         });
         let buf = out.buffer.expect("rapilog setup has buffer stats");
         t.row(&[

@@ -15,7 +15,9 @@ use rapilog_simdisk::specs;
 use rapilog_simpower::supplies;
 
 fn main() {
-    println!("Ablation C: checkpoint interval vs recovery, register workload, guest crash at 2 s\n");
+    println!(
+        "Ablation C: checkpoint interval vs recovery, register workload, guest crash at 2 s\n"
+    );
     let mut t = TextTable::new(&[
         "checkpoint interval",
         "acked commits",

@@ -42,6 +42,7 @@ fn run_one(log_spec: DiskSpec, setup: Setup, measure: u64) -> f64 {
             measure: SimDuration::from_secs(measure),
             think_time: None,
         },
+        trace: false,
     })
     .stats
     .tps()
@@ -51,7 +52,13 @@ fn main() {
     let quick = std::env::var("QUICK").is_ok();
     let measure = if quick { 2 } else { 5 };
     println!("Ablation B: RapiLog speedup vs log-device latency, TPC-B 8 clients\n");
-    let mut t = TextTable::new(&["log device", "rotation (ms)", "virt-sync tps", "rapilog tps", "speedup"]);
+    let mut t = TextTable::new(&[
+        "log device",
+        "rotation (ms)",
+        "virt-sync tps",
+        "rapilog tps",
+        "speedup",
+    ]);
     let mut devices: Vec<(String, DiskSpec)> = vec![];
     for rpm in [5400u32, 7200, 10_000, 15_000] {
         let spec = hdd_at_rpm(rpm, 512 << 20);

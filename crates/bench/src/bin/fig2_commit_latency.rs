@@ -27,6 +27,7 @@ fn one(setup: Setup, log_spec: DiskSpec) -> rapilog_workload::RunStats {
             measure: SimDuration::from_secs(5),
             think_time: Some(SimDuration::from_micros(500)),
         },
+        trace: false,
     })
     .stats
 }
@@ -34,7 +35,12 @@ fn one(setup: Setup, log_spec: DiskSpec) -> rapilog_workload::RunStats {
 fn main() {
     println!("Fig 2: commit latency, single client, minimal transactions\n");
     let mut t = TextTable::new(&[
-        "log disk", "setup", "p50 (ms)", "p95 (ms)", "p99 (ms)", "commits/s",
+        "log disk",
+        "setup",
+        "p50 (ms)",
+        "p95 (ms)",
+        "p99 (ms)",
+        "commits/s",
     ]);
     for (disk_name, spec_fn) in [
         ("hdd-7200", specs::hdd_7200 as fn(u64) -> DiskSpec),

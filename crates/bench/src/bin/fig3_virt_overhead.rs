@@ -21,11 +21,8 @@ fn main() {
     for &clients in client_counts {
         let mut tps = Vec::new();
         for setup in [Setup::Native, Setup::Virtualized] {
-            let machine = MachineConfig::new(
-                setup,
-                specs::ssd_nvme(1 << 30),
-                specs::ssd_nvme(512 << 20),
-            );
+            let machine =
+                MachineConfig::new(setup, specs::ssd_nvme(1 << 30), specs::ssd_nvme(512 << 20));
             let stats = run_perf(PerfConfig {
                 seed: 3,
                 machine,
@@ -36,16 +33,12 @@ fn main() {
                     measure: SimDuration::from_secs(if quick { 2 } else { 5 }),
                     think_time: None,
                 },
+                trace: false,
             });
             tps.push(stats.stats.tps());
         }
         let overhead = (tps[0] - tps[1]) / tps[0] * 100.0;
-        t.row(&[
-            clients.to_string(),
-            f1(tps[0]),
-            f1(tps[1]),
-            f1(overhead),
-        ]);
+        t.row(&[clients.to_string(), f1(tps[0]), f1(tps[1]), f1(overhead)]);
     }
     println!("{}", t.render());
     println!("Expected shape: overhead stays in the single-digit percent range.");

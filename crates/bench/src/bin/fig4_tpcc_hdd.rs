@@ -10,8 +10,8 @@ use rapilog_bench::table::{ms, TextTable};
 use rapilog_bench::{run_perf, PerfConfig, WorkloadSpec};
 use rapilog_faultsim::{MachineConfig, Setup};
 use rapilog_simcore::SimDuration;
-use rapilog_simpower::supplies;
 use rapilog_simdisk::specs;
+use rapilog_simpower::supplies;
 use rapilog_workload::client::RunConfig;
 use rapilog_workload::tpcc::TpccScale;
 
@@ -24,14 +24,18 @@ fn main() {
     };
     let measure = if quick { 2 } else { 5 };
     println!("Fig 4: TPC-C throughput vs clients, log on hdd-7200\n");
-    let mut t = TextTable::new(&["setup", "clients", "tpmC", "tps", "p95 (ms)", "lock timeouts"]);
+    let mut t = TextTable::new(&[
+        "setup",
+        "clients",
+        "tpmC",
+        "tps",
+        "p95 (ms)",
+        "lock timeouts",
+    ]);
     for setup in [Setup::Native, Setup::Virtualized, Setup::RapiLog] {
         for &clients in client_counts {
-            let mut machine = MachineConfig::new(
-                setup,
-                specs::instant(1 << 30),
-                specs::hdd_7200(512 << 20),
-            );
+            let mut machine =
+                MachineConfig::new(setup, specs::instant(1 << 30), specs::hdd_7200(512 << 20));
             machine.supply = Some(supplies::atx_psu());
             let stats = run_perf(PerfConfig {
                 seed: 4,
@@ -43,6 +47,7 @@ fn main() {
                     measure: SimDuration::from_secs(measure),
                     think_time: None,
                 },
+                trace: false,
             })
             .stats;
             t.row(&[

@@ -25,11 +25,8 @@ fn main() {
     let mut t = TextTable::new(&["setup", "clients", "tpmC", "tps", "p95 (ms)"]);
     for setup in [Setup::Native, Setup::Virtualized, Setup::RapiLog] {
         for &clients in client_counts {
-            let mut machine = MachineConfig::new(
-                setup,
-                specs::instant(1 << 30),
-                specs::ssd_sata(512 << 20),
-            );
+            let mut machine =
+                MachineConfig::new(setup, specs::instant(1 << 30), specs::ssd_sata(512 << 20));
             machine.supply = Some(supplies::atx_psu());
             let stats = run_perf(PerfConfig {
                 seed: 5,
@@ -41,6 +38,7 @@ fn main() {
                     measure: SimDuration::from_secs(if quick { 2 } else { 5 }),
                     think_time: None,
                 },
+                trace: false,
             })
             .stats;
             t.row(&[

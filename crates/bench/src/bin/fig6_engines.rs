@@ -17,11 +17,8 @@ use rapilog_workload::client::RunConfig;
 use rapilog_workload::tpcc::TpccScale;
 
 fn run_one(profile: EngineProfile, setup: Setup, clients: usize, measure: u64) -> f64 {
-    let mut machine = MachineConfig::new(
-        setup,
-        specs::instant(1 << 30),
-        specs::hdd_7200(512 << 20),
-    );
+    let mut machine =
+        MachineConfig::new(setup, specs::instant(1 << 30), specs::hdd_7200(512 << 20));
     machine.supply = Some(supplies::atx_psu());
     machine.db.profile = profile;
     let stats = run_perf(PerfConfig {
@@ -34,6 +31,7 @@ fn run_one(profile: EngineProfile, setup: Setup, clients: usize, measure: u64) -
             measure: SimDuration::from_secs(measure),
             think_time: None,
         },
+        trace: false,
     });
     stats.stats.tps()
 }
@@ -42,7 +40,13 @@ fn main() {
     let quick = std::env::var("QUICK").is_ok();
     let measure = if quick { 2 } else { 5 };
     println!("Fig 6: RapiLog speedup over virt-sync per engine profile, TPC-C on hdd-7200\n");
-    let mut t = TextTable::new(&["engine", "clients", "virt-sync tps", "rapilog tps", "speedup"]);
+    let mut t = TextTable::new(&[
+        "engine",
+        "clients",
+        "virt-sync tps",
+        "rapilog tps",
+        "speedup",
+    ]);
     let profiles: Vec<fn() -> EngineProfile> = vec![
         EngineProfile::pg_like,
         EngineProfile::innodb_like,

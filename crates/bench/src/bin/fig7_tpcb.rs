@@ -23,11 +23,8 @@ fn main() {
     let mut t = TextTable::new(&["setup", "clients", "tps", "p50 (ms)", "p95 (ms)"]);
     for setup in [Setup::Native, Setup::Virtualized, Setup::RapiLog] {
         for &clients in client_counts {
-            let mut machine = MachineConfig::new(
-                setup,
-                specs::instant(1 << 30),
-                specs::hdd_7200(512 << 20),
-            );
+            let mut machine =
+                MachineConfig::new(setup, specs::instant(1 << 30), specs::hdd_7200(512 << 20));
             machine.supply = Some(supplies::atx_psu());
             let stats = run_perf(PerfConfig {
                 seed: 7,
@@ -39,6 +36,7 @@ fn main() {
                     measure: SimDuration::from_secs(if quick { 2 } else { 5 }),
                     think_time: None,
                 },
+                trace: false,
             })
             .stats;
             t.row(&[

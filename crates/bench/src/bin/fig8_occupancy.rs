@@ -11,8 +11,8 @@ use std::rc::Rc;
 use rapilog_bench::table::TextTable;
 use rapilog_faultsim::{Machine, MachineConfig, Setup};
 use rapilog_simcore::{Sim, SimDuration, SimTime};
-use rapilog_simpower::supplies;
 use rapilog_simdisk::specs;
+use rapilog_simpower::supplies;
 use rapilog_workload::client::{self, RunConfig, TpccSource};
 use rapilog_workload::tpcc::{self, TpccScale};
 
@@ -92,6 +92,8 @@ fn main() {
         t.row(&[ms.to_string(), (occ / 1024).to_string()]);
     }
     println!("{}", t.render());
-    println!("Expected shape: occupancy fluctuates under load, then falls to 0 shortly after the crash");
+    println!(
+        "Expected shape: occupancy fluctuates under load, then falls to 0 shortly after the crash"
+    );
     println!("(the drain keeps running inside the trusted cell while the guest is dead).");
 }

@@ -6,8 +6,8 @@
 //! supply catalogue against the disk models' drain bandwidths.
 
 use rapilog_bench::table::{f1, TextTable};
-use rapilog_simpower::{budget, supplies};
 use rapilog_simdisk::specs;
+use rapilog_simpower::{budget, supplies};
 
 fn main() {
     println!("Table 1: residual windows and admitted buffer sizes\n");

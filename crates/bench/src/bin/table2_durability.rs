@@ -29,7 +29,11 @@ fn main() {
     let trials: u64 = std::env::var("TRIALS")
         .ok()
         .and_then(|v| v.parse().ok())
-        .unwrap_or(if std::env::var("QUICK").is_ok() { 8 } else { 40 });
+        .unwrap_or(if std::env::var("QUICK").is_ok() {
+            8
+        } else {
+            40
+        });
     println!("Table 2: durability trials ({trials} per row, randomised fault instants)\n");
     let rows = vec![
         RowSpec {

@@ -16,11 +16,8 @@ use rapilog_workload::client::RunConfig;
 use rapilog_workload::tpcc::TpccScale;
 
 fn run_one(delay: SimDuration, setup: Setup, measure: u64) -> rapilog_workload::RunStats {
-    let mut machine = MachineConfig::new(
-        setup,
-        specs::instant(1 << 30),
-        specs::hdd_7200(512 << 20),
-    );
+    let mut machine =
+        MachineConfig::new(setup, specs::instant(1 << 30), specs::hdd_7200(512 << 20));
     machine.supply = Some(supplies::atx_psu());
     machine.db.profile = if delay.is_zero() {
         EngineProfile::pg_like()
@@ -37,6 +34,7 @@ fn run_one(delay: SimDuration, setup: Setup, measure: u64) -> rapilog_workload::
             measure: SimDuration::from_secs(measure),
             think_time: None,
         },
+        trace: false,
     })
     .stats
 }

@@ -12,11 +12,10 @@
 //!   closed-loop clients, return the measured statistics;
 //! * [`table`] — plain-text table formatting for the harness output.
 //!
-//! Criterion microbenchmarks for the hot paths (WAL encoding, histogram
-//! recording, executor scheduling, drain consolidation) live under
-//! `benches/`.
+//! Microbenchmarks for the hot paths (WAL encoding, histogram recording,
+//! executor scheduling, trace recording) live under `benches/`.
 
 pub mod perf;
 pub mod table;
 
-pub use perf::{run_perf, PerfConfig, WorkloadSpec};
+pub use perf::{run_perf, PerfConfig, PerfOutcome, WorkloadSpec};

@@ -5,8 +5,11 @@ use std::rc::Rc;
 
 use rapilog::BufferStats;
 use rapilog_faultsim::{Machine, MachineConfig};
+use rapilog_simcore::trace::{LatencyAttribution, TraceSnapshot};
 use rapilog_simcore::{Sim, SimTime};
-use rapilog_workload::client::{self, JobSource, RunConfig, RunStats, StormSource, TpcbSource, TpccSource};
+use rapilog_workload::client::{
+    self, JobSource, RunConfig, RunStats, StormSource, TpcbSource, TpccSource,
+};
 use rapilog_workload::micro;
 use rapilog_workload::tpcb::{self, TpcbScale};
 use rapilog_workload::tpcc::{self, TpccScale};
@@ -36,6 +39,9 @@ pub struct PerfConfig {
     pub workload: WorkloadSpec,
     /// Driver settings (clients, warmup, window, think time).
     pub run: RunConfig,
+    /// Record a structured trace of the run (spans from every layer) and
+    /// fold it into a per-commit latency attribution.
+    pub trace: bool,
 }
 
 /// Everything a performance run reports.
@@ -44,6 +50,11 @@ pub struct PerfOutcome {
     pub stats: RunStats,
     /// RapiLog buffer statistics (None for non-RapiLog setups).
     pub buffer: Option<BufferStats>,
+    /// The recorded trace (empty unless `PerfConfig::trace` was set).
+    pub trace: TraceSnapshot,
+    /// Per-layer busy time per committed transaction (all zero unless
+    /// `PerfConfig::trace` was set).
+    pub attribution: LatencyAttribution,
 }
 
 /// Runs the configuration in its own deterministic simulation and returns
@@ -56,6 +67,12 @@ pub struct PerfOutcome {
 pub fn run_perf(cfg: PerfConfig) -> PerfOutcome {
     let mut sim = Sim::new(cfg.seed);
     let ctx = sim.ctx();
+    if cfg.trace {
+        // Perf windows generate far more events than the default ring
+        // holds; size it so the measured window survives un-evicted.
+        ctx.tracer().set_capacity(1 << 20);
+        ctx.tracer().set_enabled(true);
+    }
     let out: Rc<RefCell<Option<PerfOutcome>>> = Rc::new(RefCell::new(None));
     let out2 = Rc::clone(&out);
     let c2 = ctx.clone();
@@ -81,7 +98,9 @@ pub fn run_perf(cfg: PerfConfig) -> PerfOutcome {
             WorkloadSpec::Storm { clients } => {
                 let table = micro::registers_table(&db).expect("registers");
                 for c in 0..clients {
-                    micro::init_client(&db, table, c).await.expect("init client");
+                    micro::init_client(&db, table, c)
+                        .await
+                        .expect("init client");
                 }
                 Rc::new(StormSource)
             }
@@ -94,7 +113,14 @@ pub fn run_perf(cfg: PerfConfig) -> PerfOutcome {
         machine.assert_trusted_intact();
         let buffer = machine.rapilog().map(|rl| rl.stats());
         db.stop();
-        *out2.borrow_mut() = Some(PerfOutcome { stats, buffer });
+        let trace = c2.tracer().snapshot();
+        let attribution = LatencyAttribution::from_snapshot(&trace, stats.committed);
+        *out2.borrow_mut() = Some(PerfOutcome {
+            stats,
+            buffer,
+            trace,
+            attribution,
+        });
     });
     sim.run_until(SimTime::from_secs(3600));
     let r = out.borrow_mut().take();

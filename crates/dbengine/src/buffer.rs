@@ -128,7 +128,9 @@ impl BufferPool {
                 continue;
             }
             // We own the load. Make room first, then read.
-            let result = self.load_page(pid, table, slot_size, tolerate_corrupt).await;
+            let result = self
+                .load_page(pid, table, slot_size, tolerate_corrupt)
+                .await;
             let ev = {
                 let mut st = self.inner.st.borrow_mut();
                 let ev = st.loading.remove(&pid).expect("loading marker vanished");
@@ -216,7 +218,10 @@ impl BufferPool {
         }
         // WAL-before-data: the log must cover the page's changes first.
         self.inner.wal.flush_to(lsn).await?;
-        self.inner.dev.write(pid.0 * PAGE_SECTORS, &bytes, false).await?;
+        self.inner
+            .dev
+            .write(pid.0 * PAGE_SECTORS, &bytes, false)
+            .await?;
         frame.borrow_mut().dirty = false;
         self.inner.st.borrow_mut().stats.writebacks += 1;
         Ok(())

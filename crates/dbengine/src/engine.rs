@@ -347,9 +347,7 @@ impl Database {
     }
 
     fn charge(&self, d: SimDuration) -> rapilog_simcore::exec::Sleep {
-        self.inner
-            .ctx
-            .sleep(d.mul_f64(self.inner.cfg.cpu_factor))
+        self.inner.ctx.sleep(d.mul_f64(self.inner.cfg.cpu_factor))
     }
 
     fn check_live(&self) -> DbResult<()> {
@@ -852,7 +850,9 @@ impl Database {
             {
                 let mut f = frame.borrow_mut();
                 match &action {
-                    ClrAction::Restore(bytes) => f.page.write_slot(entry.addr.slot, entry.key, bytes),
+                    ClrAction::Restore(bytes) => {
+                        f.page.write_slot(entry.addr.slot, entry.key, bytes)
+                    }
                     ClrAction::Clear => f.page.clear_slot(entry.addr.slot),
                 }
                 f.page.set_lsn(lsn);
@@ -1212,7 +1212,9 @@ mod tests {
                         .unwrap()
                         .expect("row exists");
                     let v = u64::from_le_bytes(cur[..8].try_into().unwrap());
-                    db.update(txn, acct, 7, &(v + 1).to_le_bytes()).await.unwrap();
+                    db.update(txn, acct, 7, &(v + 1).to_le_bytes())
+                        .await
+                        .unwrap();
                     db.commit(txn).await.unwrap();
                 }
             });
@@ -1356,7 +1358,8 @@ mod tests {
         }
         sim.run_until(rapilog_simcore::SimTime::from_secs(2));
         assert_eq!(committed.get(), 16);
-        let elapsed = SimDuration::from_nanos(last_done.get()) - SimDuration::from_nanos(t0.as_nanos());
+        let elapsed =
+            SimDuration::from_nanos(last_done.get()) - SimDuration::from_nanos(t0.as_nanos());
         // All 16 commits should ride a handful of rotations (group commit),
         // far less than 16 full rotations.
         assert!(

@@ -70,22 +70,33 @@ async fn read_record_at(wal: &Wal, lsn: Lsn) -> DbResult<Record> {
         .ok_or_else(|| DbError::Corrupt(format!("undecodable record at {lsn}")))
 }
 
+/// A deferred mutation of a single page, built from a log record.
+type PageAction = Box<dyn FnOnce(&mut crate::page::Page)>;
+
 async fn apply_page_record(
     pool: &BufferPool,
     tables: &[TableMeta],
     lsn: Lsn,
     rec: &Record,
 ) -> DbResult<bool> {
-    let (page, action): (PageId, Box<dyn FnOnce(&mut crate::page::Page)>) = match rec {
+    let (page, action): (PageId, PageAction) = match rec {
         Record::FullPage { page, image } => {
             let image = image.clone();
             (*page, Box::new(move |p| p.restore_image(&image)))
         }
         Record::Insert {
-            page, slot, key, after, ..
+            page,
+            slot,
+            key,
+            after,
+            ..
         }
         | Record::Update {
-            page, slot, key, after, ..
+            page,
+            slot,
+            key,
+            after,
+            ..
         } => {
             let (slot, key, after) = (*slot, *key, after.clone());
             (*page, Box::new(move |p| p.write_slot(slot, key, &after)))
@@ -95,7 +106,11 @@ async fn apply_page_record(
             (*page, Box::new(move |p| p.clear_slot(slot)))
         }
         Record::Clr {
-            page, slot, key, action, ..
+            page,
+            slot,
+            key,
+            action,
+            ..
         } => {
             let (slot, key, action) = (*slot, *key, action.clone());
             (
@@ -151,9 +166,13 @@ impl Database {
             }
             // Ensure a frame header, then the whole frame, is buffered.
             while buf.len() < RECORD_HEADER {
-                let more =
-                    read_stream(&*log_dev, region_sectors, Lsn(pos.0 + buf.len() as u64), CHUNK)
-                        .await?;
+                let more = read_stream(
+                    &*log_dev,
+                    region_sectors,
+                    Lsn(pos.0 + buf.len() as u64),
+                    CHUNK,
+                )
+                .await?;
                 buf.extend_from_slice(&more);
             }
             let total = u32::from_le_bytes([buf[0], buf[1], buf[2], buf[3]]) as usize;
@@ -161,9 +180,13 @@ impl Database {
                 break; // torn tail / end of log
             }
             while buf.len() < total {
-                let more =
-                    read_stream(&*log_dev, region_sectors, Lsn(pos.0 + buf.len() as u64), CHUNK)
-                        .await?;
+                let more = read_stream(
+                    &*log_dev,
+                    region_sectors,
+                    Lsn(pos.0 + buf.len() as u64),
+                    CHUNK,
+                )
+                .await?;
                 buf.extend_from_slice(&more);
             }
             match Record::decode(&buf[..total], pos) {
@@ -270,7 +293,11 @@ impl Database {
                         *prev,
                     ),
                     Record::Insert {
-                        prev, page, slot, key, ..
+                        prev,
+                        page,
+                        slot,
+                        key,
+                        ..
                     } => (
                         Some(Record::Clr {
                             txn,
@@ -347,16 +374,21 @@ impl Database {
             let mut occupied: HashSet<u64> = HashSet::new();
             for p in 0..meta.n_pages {
                 let pid = PageId(meta.base_page + p);
-                let frame = self.inner.pool.fetch(pid, meta.id, meta.slot_size, false).await?;
+                let frame = self
+                    .inner
+                    .pool
+                    .fetch(pid, meta.id, meta.slot_size, false)
+                    .await?;
                 let rows = frame.borrow().page.occupied();
                 for (slot, key, _row) in rows {
                     let flat = p * meta.spp as u64 + slot as u64;
                     occupied.insert(flat);
                     max_flat = Some(max_flat.map_or(flat, |m: u64| m.max(flat)));
-                    self.inner.st.borrow_mut().index.insert(
-                        (meta.id, key),
-                        crate::engine::SlotAddr { page: pid, slot },
-                    );
+                    self.inner
+                        .st
+                        .borrow_mut()
+                        .index
+                        .insert((meta.id, key), crate::engine::SlotAddr { page: pid, slot });
                 }
             }
             let high_water = max_flat.map_or(0, |m| m + 1);
@@ -710,15 +742,9 @@ mod checkpoint_spanning_tests {
             db.commit(other).await.unwrap();
             // Crash with `long` still open.
             db.stop();
-            let (db2, report) = Database::open(
-                &c2,
-                DbConfig::default(),
-                data,
-                log,
-                DomainId::ROOT,
-            )
-            .await
-            .expect("recovery");
+            let (db2, report) = Database::open(&c2, DbConfig::default(), data, log, DomainId::ROOT)
+                .await
+                .expect("recovery");
             assert_eq!(
                 report.losers_undone, 1,
                 "the spanning transaction was identified from the checkpoint's active list"
@@ -776,15 +802,9 @@ mod checkpoint_spanning_tests {
             // sector 1; corrupt the last written sector).
             let last_sector = 1 + (end.0 / 512).saturating_sub(1);
             log_disk.poke_media(last_sector, &vec![0xBD; 512]);
-            let (db2, report) = Database::open(
-                &c2,
-                DbConfig::default(),
-                data,
-                log,
-                DomainId::ROOT,
-            )
-            .await
-            .expect("recovery survives mid-log corruption");
+            let (db2, report) = Database::open(&c2, DbConfig::default(), data, log, DomainId::ROOT)
+                .await
+                .expect("recovery survives mid-log corruption");
             assert!(report.log_end < end, "scan truncated at the damage");
             // Early committed keys (whose records precede the damage) are
             // intact.

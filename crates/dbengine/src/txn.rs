@@ -197,10 +197,7 @@ mod tests {
         let o = outcomes.borrow();
         assert_eq!(o.len(), 2);
         let timeouts = o.iter().filter(|r| r.is_err()).count();
-        assert!(
-            timeouts >= 1,
-            "at least one side must time out: {o:?}"
-        );
+        assert!(timeouts >= 1, "at least one side must time out: {o:?}");
         assert_eq!(lt.held(), 0, "all locks released after the storm");
     }
 

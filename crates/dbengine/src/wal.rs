@@ -22,6 +22,7 @@ use std::cell::RefCell;
 use std::rc::Rc;
 
 use rapilog_simcore::sync::Notify;
+use rapilog_simcore::trace::{Layer, Payload, Tracer};
 use rapilog_simcore::{SimCtx, SimDuration};
 use rapilog_simdisk::{BlockDevice, IoResult, SECTOR_SIZE};
 
@@ -452,6 +453,7 @@ struct WalInner {
     st: RefCell<WalSt>,
     kick: Notify,
     durable_changed: Notify,
+    tracer: Rc<Tracer>,
 }
 
 impl Wal {
@@ -486,6 +488,7 @@ impl Wal {
             }),
             kick: Notify::new(),
             durable_changed: Notify::new(),
+            tracer: ctx.tracer(),
         });
         // Preload the partial tail sector so rewrites keep earlier bytes.
         // At `new` time nothing is staged, so this is only needed when
@@ -581,7 +584,18 @@ impl Wal {
             st.stats.commits += 1;
         }
         let end = st.next;
+        let staged = bytes.len() as u64;
         drop(st);
+        self.inner.tracer.instant(
+            self.inner.ctx.now(),
+            Layer::Wal,
+            "append",
+            Payload::Wal {
+                lsn: lsn.0,
+                bytes: staged,
+                records: 1,
+            },
+        );
         Ok((lsn, end))
     }
 
@@ -618,13 +632,7 @@ impl Wal {
     /// Reads `len` bytes of the stream starting at `from`, straight from
     /// the device (used by recovery and the auditors).
     pub async fn read_stream(&self, from: Lsn, len: usize) -> IoResult<Vec<u8>> {
-        read_stream(
-            &*self.inner.dev,
-            self.inner.region_sectors,
-            from,
-            len,
-        )
-        .await
+        read_stream(&*self.inner.dev, self.inner.region_sectors, from, len).await
     }
 }
 
@@ -740,14 +748,23 @@ async fn flusher_loop(inner: Rc<WalInner>) {
                 data.resize(data.len() + pad, 0);
                 (st.buf_start, data, st.next)
             };
+            inner.tracer.begin(
+                inner.ctx.now(),
+                Layer::Wal,
+                "group_commit",
+                Payload::Wal {
+                    lsn: start_sector_lsn.0,
+                    bytes: data.len() as u64,
+                    records: 0,
+                },
+            );
             // Write, splitting at the circular-region wrap.
             let region_bytes = inner.region_sectors * SECTOR_SIZE as u64;
             let mut ok = true;
             let mut off = 0usize;
             while off < data.len() {
                 let lsn = Lsn(start_sector_lsn.0 + off as u64);
-                let dev_sector =
-                    LOG_BASE_SECTOR + (lsn.0 % region_bytes) / SECTOR_SIZE as u64;
+                let dev_sector = LOG_BASE_SECTOR + (lsn.0 % region_bytes) / SECTOR_SIZE as u64;
                 let until_wrap = (region_bytes - lsn.0 % region_bytes) as usize;
                 let n = (data.len() - off).min(until_wrap);
                 if inner
@@ -766,6 +783,14 @@ async fn flusher_loop(inner: Rc<WalInner>) {
                 if !ok {
                     st.stopped = true;
                     drop(st);
+                    inner.tracer.end(
+                        inner.ctx.now(),
+                        Layer::Wal,
+                        "group_commit",
+                        Payload::Text {
+                            text: "device_lost",
+                        },
+                    );
                     inner.durable_changed.notify_all();
                     return;
                 }
@@ -779,6 +804,16 @@ async fn flusher_loop(inner: Rc<WalInner>) {
                 st.buf.drain(..drop_bytes);
                 st.buf_start = new_start;
             }
+            inner.tracer.end(
+                inner.ctx.now(),
+                Layer::Wal,
+                "group_commit",
+                Payload::Wal {
+                    lsn: end.0,
+                    bytes: data.len() as u64,
+                    records: 0,
+                },
+            );
             inner.durable_changed.notify_all();
         }
     }
@@ -924,12 +959,14 @@ mod tests {
             w2.wait_durable(last_end).await.unwrap();
             assert!(w2.durable() >= last_end);
             // Read the stream back and decode every record.
-            let bytes = w2.read_stream(Lsn::ZERO, last_end.0 as usize).await.unwrap();
+            let bytes = w2
+                .read_stream(Lsn::ZERO, last_end.0 as usize)
+                .await
+                .unwrap();
             let mut at = Lsn::ZERO;
             let mut n = 0;
             while at < last_end {
-                let (rec, len) =
-                    Record::decode(&bytes[at.0 as usize..], at).expect("valid record");
+                let (rec, len) = Record::decode(&bytes[at.0 as usize..], at).expect("valid record");
                 assert_eq!(rec, upd(n, n * 10));
                 at = at.advance(len as u64);
                 n += 1;
@@ -1003,10 +1040,7 @@ mod tests {
         });
         let end = sim.run().now;
         // Ten sequential sync commits each pay ~a rotation (8.3 ms).
-        assert!(
-            end > SimTime::from_millis(40),
-            "suspiciously fast: {end}"
-        );
+        assert!(end > SimTime::from_millis(40), "suspiciously fast: {end}");
     }
 
     #[test]
@@ -1122,10 +1156,7 @@ mod tests {
                 w2.set_recovery_start(Lsn(end.0.saturating_sub(100)));
             }
             let last = *ends.last().unwrap();
-            assert!(
-                last.0 > 8 * SECTOR_SIZE as u64,
-                "stream did wrap: {last:?}"
-            );
+            assert!(last.0 > 8 * SECTOR_SIZE as u64, "stream did wrap: {last:?}");
             // Read the tail back across the wrap and decode.
             let from = Lsn(last.0 - 100);
             let bytes = w2.read_stream(from, 100).await.unwrap();

@@ -22,6 +22,7 @@ use rapilog::{AuditReport, RapiLog, RapiLogConfig};
 use rapilog_dbengine::recovery::RecoveryReport;
 use rapilog_dbengine::{Database, DbConfig, DbError, TableDef};
 use rapilog_microvisor::{Cell as HvCell, GuestVm, Hypervisor, Trust, VirtCosts, VirtioBlk};
+use rapilog_simcore::trace::{Layer, Payload};
 use rapilog_simcore::SimCtx;
 use rapilog_simdisk::{BlockDevice, Disk, DiskSpec};
 use rapilog_simpower::{PowerSupply, SupplySpec};
@@ -121,10 +122,7 @@ impl Machine {
         let driver_cell = hv.create_cell("io-drivers", Trust::Trusted);
         let data_disk = Disk::new(ctx, cfg.data_spec.clone());
         let log_disk = Disk::new(ctx, cfg.log_spec.clone());
-        let psu = cfg
-            .supply
-            .clone()
-            .map(|spec| PowerSupply::new(ctx, spec));
+        let psu = cfg.supply.clone().map(|spec| PowerSupply::new(ctx, spec));
         let db: Rc<RefCell<Option<Database>>> = Rc::new(RefCell::new(None));
         if let Some(psu) = &psu {
             let data = data_disk.clone();
@@ -185,13 +183,14 @@ impl Machine {
                 rapilog: None,
             },
             Setup::RapiLog => {
-                let rl = RapiLog::new(
-                    &i.ctx,
-                    &i.driver_cell,
-                    i.log_disk.clone(),
-                    i.psu.as_ref(),
-                    i.cfg.rapilog,
-                );
+                let mut builder = RapiLog::builder(&i.ctx)
+                    .cell(&i.driver_cell)
+                    .disk(i.log_disk.clone())
+                    .config(i.cfg.rapilog);
+                if let Some(psu) = i.psu.as_ref() {
+                    builder = builder.supply(psu);
+                }
+                let rl = builder.build();
                 DeviceStack {
                     data_dev: Rc::new(VirtioBlk::new(
                         &i.ctx,
@@ -233,8 +232,15 @@ impl Machine {
             (Rc::clone(&s.data_dev), Rc::clone(&s.log_dev))
         };
         let domain = self.inner.vm.domain().expect("guest booted");
-        let db = Database::create(&self.inner.ctx, self.db_config(), defs, data_dev, log_dev, domain)
-            .await?;
+        let db = Database::create(
+            &self.inner.ctx,
+            self.db_config(),
+            defs,
+            data_dev,
+            log_dev,
+            domain,
+        )
+        .await?;
         *self.inner.db.borrow_mut() = Some(db.clone());
         Ok(db)
     }
@@ -256,10 +262,7 @@ impl Machine {
             let stack = self.inner.stack.borrow();
             match stack.as_ref() {
                 None => true,
-                Some(s) => s
-                    .rapilog
-                    .as_ref()
-                    .is_some_and(|rl| rl.device_frozen()),
+                Some(s) => s.rapilog.as_ref().is_some_and(|rl| rl.device_frozen()),
             }
         };
         if needs_rebuild {
@@ -272,8 +275,22 @@ impl Machine {
             (Rc::clone(&s.data_dev), Rc::clone(&s.log_dev))
         };
         let domain = self.inner.vm.domain().expect("guest booted");
-        let (db, report) =
-            Database::open(&self.inner.ctx, self.db_config(), data_dev, log_dev, domain).await?;
+        let tracer = self.inner.ctx.tracer();
+        tracer.begin(self.inner.ctx.now(), Layer::Fault, "recover", Payload::None);
+        let opened =
+            Database::open(&self.inner.ctx, self.db_config(), data_dev, log_dev, domain).await;
+        tracer.end(
+            self.inner.ctx.now(),
+            Layer::Fault,
+            "recover",
+            match &opened {
+                Ok((_, report)) => Payload::Mark {
+                    value: report.scanned_records,
+                },
+                Err(_) => Payload::Text { text: "failed" },
+            },
+        );
+        let (db, report) = opened?;
         *self.inner.db.borrow_mut() = Some(db.clone());
         Ok((db, report))
     }
@@ -297,6 +314,12 @@ impl Machine {
     /// Crashes the guest OS (kernel panic): all engine tasks die now.
     /// Returns the number of tasks destroyed.
     pub fn crash_guest(&self) -> usize {
+        self.inner.ctx.tracer().instant(
+            self.inner.ctx.now(),
+            Layer::Fault,
+            "crash_guest",
+            Payload::None,
+        );
         let n = self.inner.vm.crash();
         if let Some(db) = self.inner.db.borrow_mut().take() {
             // External waiters (clients) observe the connection reset.
@@ -312,6 +335,12 @@ impl Machine {
     ///
     /// Panics if the machine has no supply configured.
     pub fn cut_power(&self) {
+        self.inner.ctx.tracer().instant(
+            self.inner.ctx.now(),
+            Layer::Fault,
+            "cut_power",
+            Payload::None,
+        );
         self.inner
             .psu
             .as_ref()
@@ -321,6 +350,12 @@ impl Machine {
 
     /// Restores mains power and brings the disks back online.
     pub fn restore_power(&self) {
+        self.inner.ctx.tracer().instant(
+            self.inner.ctx.now(),
+            Layer::Fault,
+            "restore_power",
+            Payload::None,
+        );
         if let Some(psu) = &self.inner.psu {
             psu.restore();
         }

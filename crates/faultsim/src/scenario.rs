@@ -18,6 +18,7 @@ use std::cell::RefCell;
 use std::rc::Rc;
 
 use rapilog_dbengine::recovery::RecoveryReport;
+use rapilog_simcore::trace::{LatencyAttribution, Layer, Payload};
 use rapilog_simcore::{Sim, SimDuration, SimTime};
 use rapilog_workload::micro;
 use rapilog_workload::session::{job, outcome_from, JobOutcome};
@@ -74,12 +75,16 @@ pub struct TrialResult {
     pub recovery: RecoveryReport,
     /// RapiLog's own invariant verdict (None for non-RapiLog setups).
     pub rapilog_guarantee: Option<bool>,
+    /// Per-layer busy-time attribution over the whole trial (commits =
+    /// `total_acked`). Trials always run with tracing enabled.
+    pub attribution: LatencyAttribution,
 }
 
 /// Runs one complete trial in its own deterministic simulation.
 pub fn run_trial(seed: u64, cfg: TrialConfig) -> TrialResult {
     let mut sim = Sim::new(seed);
     let ctx = sim.ctx();
+    ctx.tracer().set_enabled(true);
     let result: Rc<RefCell<Option<TrialResult>>> = Rc::new(RefCell::new(None));
     let out = Rc::clone(&result);
     let c2 = ctx.clone();
@@ -139,6 +144,17 @@ pub fn run_trial(seed: u64, cfg: TrialConfig) -> TrialResult {
         }
         // Let the load run, then pull the trigger.
         c2.sleep(cfg.fault_after).await;
+        c2.tracer().instant(
+            c2.now(),
+            Layer::Fault,
+            "fault_inject",
+            Payload::Text {
+                text: match cfg.fault {
+                    FaultKind::GuestCrash => "guest_crash",
+                    FaultKind::PowerCut => "power_cut",
+                },
+            },
+        );
         match cfg.fault {
             FaultKind::GuestCrash => {
                 machine.crash_guest();
@@ -198,6 +214,7 @@ pub fn run_trial(seed: u64, cfg: TrialConfig) -> TrialResult {
         }
         let total_acked = journals.iter().map(|j| j.acked).sum();
         db.stop();
+        let attribution = LatencyAttribution::from_snapshot(&c2.tracer().snapshot(), total_acked);
         *out.borrow_mut() = Some(TrialResult {
             ok: violations.is_empty(),
             violations,
@@ -206,6 +223,7 @@ pub fn run_trial(seed: u64, cfg: TrialConfig) -> TrialResult {
             total_acked,
             recovery,
             rapilog_guarantee,
+            attribution,
         });
     });
     sim.run_until(SimTime::from_secs(600));
@@ -222,11 +240,8 @@ mod tests {
     use rapilog_simpower::supplies;
 
     fn base(setup: Setup, fault: FaultKind) -> TrialConfig {
-        let mut machine = MachineConfig::new(
-            setup,
-            specs::instant(256 << 20),
-            specs::hdd_7200(128 << 20),
-        );
+        let mut machine =
+            MachineConfig::new(setup, specs::instant(256 << 20), specs::hdd_7200(128 << 20));
         machine.supply = Some(supplies::atx_psu());
         TrialConfig {
             machine,
@@ -301,7 +316,6 @@ mod pipeline_tests {
     use rapilog_simpower::supplies;
     use rapilog_workload::micro;
     use rapilog_workload::session::{job, outcome_from, JobOutcome};
-    use std::rc::Rc;
 
     /// A transparent end-to-end walk of the power-cut pipeline with every
     /// intermediate quantity visible under `--nocapture`.
@@ -325,18 +339,34 @@ mod pipeline_tests {
             let conn = server.connect();
             let mut acked = 0u64;
             for seq in 1..=50u64 {
-                let o = conn.submit(job(move |db| async move {
-                    let t = micro::registers_table(&db).unwrap();
-                    outcome_from(micro::write_pair(&db, t, 0, seq).await)
-                })).await;
-                if o == JobOutcome::Committed { acked = seq; } else { break; }
+                let o = conn
+                    .submit(job(move |db| async move {
+                        let t = micro::registers_table(&db).unwrap();
+                        outcome_from(micro::write_pair(&db, t, 0, seq).await)
+                    }))
+                    .await;
+                if o == JobOutcome::Committed {
+                    acked = seq;
+                } else {
+                    break;
+                }
             }
             let rl = machine.rapilog().unwrap();
-            eprintln!("acked={} wal_end={:?} wal_durable={:?} occupancy={} buf_stats={:?}",
-                acked, db.wal().end(), db.wal().durable(), rl.occupancy(), rl.stats());
+            eprintln!(
+                "acked={} wal_end={:?} wal_durable={:?} occupancy={} buf_stats={:?}",
+                acked,
+                db.wal().end(),
+                db.wal().durable(),
+                rl.occupancy(),
+                rl.stats()
+            );
             machine.cut_power();
             machine.psu().unwrap().death_event().wait().await;
-            eprintln!("post-death occupancy={} audit={:?}", rl.occupancy(), rl.audit_report());
+            eprintln!(
+                "post-death occupancy={} audit={:?}",
+                rl.occupancy(),
+                rl.audit_report()
+            );
             c2.sleep(SimDuration::from_millis(100)).await;
             machine.restore_power();
             let (db2, rep) = machine.reboot_and_recover().await.unwrap();

@@ -74,8 +74,15 @@ pub struct VirtioStats {
 }
 
 enum BlkReq {
-    Read { sector: u64, sectors: usize },
-    Write { sector: u64, data: Vec<u8>, fua: bool },
+    Read {
+        sector: u64,
+        sectors: usize,
+    },
+    Write {
+        sector: u64,
+        data: Vec<u8>,
+        fua: bool,
+    },
     Flush,
 }
 

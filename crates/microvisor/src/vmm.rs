@@ -52,7 +52,11 @@ impl GuestVm {
     /// [`shutdown`](Self::shutdown) first.
     pub fn boot(&self) -> u64 {
         let mut st = self.state.borrow_mut();
-        assert!(st.cell.is_none(), "guest '{}' is already running", self.name);
+        assert!(
+            st.cell.is_none(),
+            "guest '{}' is already running",
+            self.name
+        );
         st.generation += 1;
         let cell_name = format!("{}#{}", self.name, st.generation);
         st.cell = Some(self.hv.create_cell(&cell_name, Trust::Untrusted));

@@ -170,8 +170,12 @@ mod tests {
         sim.spawn({
             let ctx = ctx.clone();
             async move {
-                a2.record_warning(1024, ctx.now() + rapilog_simcore::SimDuration::from_millis(100));
-                ctx.sleep(rapilog_simcore::SimDuration::from_millis(50)).await;
+                a2.record_warning(
+                    1024,
+                    ctx.now() + rapilog_simcore::SimDuration::from_millis(100),
+                );
+                ctx.sleep(rapilog_simcore::SimDuration::from_millis(50))
+                    .await;
                 a2.record_emergency_drained();
             }
         });
@@ -191,8 +195,12 @@ mod tests {
         sim.spawn({
             let ctx = ctx.clone();
             async move {
-                a2.record_warning(1024, ctx.now() + rapilog_simcore::SimDuration::from_millis(10));
-                ctx.sleep(rapilog_simcore::SimDuration::from_millis(50)).await;
+                a2.record_warning(
+                    1024,
+                    ctx.now() + rapilog_simcore::SimDuration::from_millis(10),
+                );
+                ctx.sleep(rapilog_simcore::SimDuration::from_millis(50))
+                    .await;
                 a2.record_emergency_drained();
             }
         });

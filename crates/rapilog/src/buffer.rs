@@ -153,8 +153,7 @@ impl DependableBuffer {
                         st.stats.backpressure_events += 1;
                     }
                     for (i, chunk) in data.chunks_exact(SECTOR_SIZE).enumerate() {
-                        st.overlay
-                            .insert(sector + i as u64, (seq, chunk.to_vec()));
+                        st.overlay.insert(sector + i as u64, (seq, chunk.to_vec()));
                     }
                     st.queue.push_back(Extent { seq, sector, data });
                     drop(st);
@@ -239,7 +238,11 @@ impl DependableBuffer {
 
     /// Read-your-writes: newest acked bytes for `sector`, if buffered.
     pub fn read_overlay(&self, sector: u64) -> Option<Vec<u8>> {
-        self.st.borrow().overlay.get(&sector).map(|(_, d)| d.clone())
+        self.st
+            .borrow()
+            .overlay
+            .get(&sector)
+            .map(|(_, d)| d.clone())
     }
 
     /// Extents currently queued (tests/audits).

@@ -15,6 +15,7 @@
 //!   this is guaranteed; the audit exists to prove it run after run.
 
 use rapilog_microvisor::cell::Cell;
+use rapilog_simcore::trace::{Layer, Payload};
 use rapilog_simcore::SimCtx;
 use rapilog_simdisk::Disk;
 use rapilog_simpower::PowerSupply;
@@ -45,7 +46,11 @@ pub(crate) fn consolidate(batch: &[Extent]) -> Vec<Run> {
     use std::collections::BTreeMap;
     let mut newest: BTreeMap<u64, &[u8]> = BTreeMap::new();
     for e in batch {
-        for (i, chunk) in e.data.chunks_exact(rapilog_simdisk::SECTOR_SIZE).enumerate() {
+        for (i, chunk) in e
+            .data
+            .chunks_exact(rapilog_simdisk::SECTOR_SIZE)
+            .enumerate()
+        {
             newest.insert(e.sector + i as u64, chunk);
         }
     }
@@ -79,6 +84,8 @@ pub(crate) fn start(
 ) {
     let drain_buffer = buffer.clone();
     let drain_audit = audit.clone();
+    let drain_ctx = ctx.clone();
+    let tracer = ctx.tracer();
     cell.spawn(async move {
         loop {
             drain_buffer.wait_avail().await;
@@ -88,8 +95,15 @@ pub(crate) fn start(
                     break;
                 }
                 let last_seq = batch.last().expect("non-empty batch").seq;
+                let runs = consolidate(&batch);
+                let batch_payload = Payload::Batch {
+                    extents: batch.len() as u64,
+                    runs: runs.len() as u64,
+                    bytes: runs.iter().map(|r| r.data.len() as u64).sum(),
+                };
+                tracer.begin(drain_ctx.now(), Layer::Drain, "drain_batch", batch_payload);
                 let mut failed = false;
-                for run in consolidate(&batch) {
+                for run in runs {
                     if disk.write(run.sector, &run.data, true).await.is_err() {
                         failed = true;
                         break;
@@ -100,10 +114,27 @@ pub(crate) fn start(
                     // buffered is lost with the machine; the audit decides
                     // whether that violated the guarantee (it must not,
                     // if sizing was honest and the warning fired).
+                    tracer.end(
+                        drain_ctx.now(),
+                        Layer::Drain,
+                        "drain_batch",
+                        Payload::Text {
+                            text: "drain_failure",
+                        },
+                    );
+                    tracer.instant(
+                        drain_ctx.now(),
+                        Layer::Drain,
+                        "freeze",
+                        Payload::Bytes {
+                            bytes: drain_buffer.occupancy(),
+                        },
+                    );
                     drain_audit.record_drain_failure(drain_buffer.occupancy());
                     drain_buffer.freeze();
                     return;
                 }
+                tracer.end(drain_ctx.now(), Layer::Drain, "drain_batch", batch_payload);
                 drain_audit.record_commit(last_seq);
                 drain_buffer.complete(last_seq);
             }
@@ -112,6 +143,7 @@ pub(crate) fn start(
     if let Some(psu) = supply {
         let watcher_ctx = ctx.clone();
         let watch_audit = audit;
+        let tracer = ctx.tracer();
         cell.spawn(async move {
             // One power episode per RapiLog instance: after power loss the
             // instance is frozen and must be replaced by the operator (the
@@ -121,12 +153,31 @@ pub(crate) fn start(
             // Power is failing: stop admitting, note the state, and watch
             // the (already eager) drain race the deadline.
             buffer.freeze();
+            let remaining = buffer.occupancy();
+            tracer.instant(
+                watcher_ctx.now(),
+                Layer::Power,
+                "power_warning",
+                Payload::Bytes { bytes: remaining },
+            );
             let deadline = watcher_ctx.now()
                 + psu
                     .time_until_death()
                     .expect("warning implies residual state");
-            watch_audit.record_warning(buffer.occupancy(), deadline);
+            watch_audit.record_warning(remaining, deadline);
+            tracer.begin(
+                watcher_ctx.now(),
+                Layer::Drain,
+                "emergency_drain",
+                Payload::Bytes { bytes: remaining },
+            );
             buffer.drained().await;
+            tracer.end(
+                watcher_ctx.now(),
+                Layer::Drain,
+                "emergency_drain",
+                Payload::Bytes { bytes: remaining },
+            );
             watch_audit.record_emergency_drained();
         });
     }

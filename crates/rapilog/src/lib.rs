@@ -36,18 +36,17 @@
 //! # Examples
 //!
 //! ```
-//! use std::rc::Rc;
+//! use rapilog::prelude::*;
 //! use rapilog_simcore::Sim;
 //! use rapilog_simdisk::{specs, BlockDevice, Disk};
 //! use rapilog_microvisor::{Hypervisor, Trust};
-//! use rapilog::{RapiLog, RapiLogConfig};
 //!
 //! let mut sim = Sim::new(1);
 //! let ctx = sim.ctx();
 //! let hv = Hypervisor::new(&ctx);
 //! let cell = hv.create_cell("rapilog", Trust::Trusted);
 //! let disk = Disk::new(&ctx, specs::hdd_7200(1 << 30));
-//! let rl = RapiLog::new(&ctx, &cell, disk, None, RapiLogConfig::default());
+//! let rl = RapiLog::builder(&ctx).cell(&cell).disk(disk).build();
 //! let dev = rl.device();
 //! sim.spawn(async move {
 //!     // A "synchronous" log write: acknowledged from the buffer.
@@ -64,6 +63,18 @@ pub mod vdisk;
 pub use audit::AuditReport;
 pub use buffer::{BufferStats, DependableBuffer};
 pub use vdisk::RapiLogDevice;
+
+/// One-stop imports for assembling and observing a RapiLog stack.
+///
+/// ```
+/// use rapilog::prelude::*;
+/// ```
+pub mod prelude {
+    pub use crate::audit::AuditReport;
+    pub use crate::buffer::{BufferStats, DependableBuffer};
+    pub use crate::vdisk::RapiLogDevice;
+    pub use crate::{CapacitySpec, RapiLog, RapiLogBuilder, RapiLogConfig, RapiLogSnapshot};
+}
 
 use std::rc::Rc;
 
@@ -107,32 +118,130 @@ impl Default for RapiLogConfig {
     }
 }
 
-/// The assembled RapiLog instance.
-#[derive(Clone)]
-pub struct RapiLog {
-    buffer: DependableBuffer,
-    device: RapiLogDevice,
-    audit: audit::Audit,
+/// A unified point-in-time view of one RapiLog instance, combining buffer
+/// statistics, the invariant auditor's report and the device's mode.
+///
+/// Produced by [`RapiLog::snapshot`]; this is the one stats surface callers
+/// should consume instead of stitching together `stats()`, `occupancy()`,
+/// `capacity()` and `audit_report()` by hand.
+#[derive(Debug, Clone)]
+pub struct RapiLogSnapshot {
+    /// Buffer counters (accepted/drained bytes, peak occupancy, …).
+    pub buffer: BufferStats,
+    /// The invariant auditor's report.
+    pub audit: AuditReport,
+    /// Bytes currently buffered (acked, not yet on media).
+    pub occupancy: u64,
+    /// The admission cap in bytes (0 in write-through mode).
+    pub capacity: u64,
+    /// True once a power-failure episode froze the buffer.
+    pub frozen: bool,
+    /// True if the device runs unbuffered (residual window too small).
+    pub write_through: bool,
 }
 
-impl RapiLog {
-    /// Builds RapiLog inside `cell` (must be trusted), draining to `disk`.
-    /// With a [`PowerSupply`], the buffer is sized from its residual window
-    /// (under [`CapacitySpec::FromSupply`]) and the emergency drain is
-    /// armed on the supply's warning signal; without one, `FromSupply`
-    /// falls back to 16 MiB.
+/// Fluent constructor for [`RapiLog`]; obtained from [`RapiLog::builder`].
+///
+/// `cell` and `disk` are mandatory; everything else has the defaults of
+/// [`RapiLogConfig::default`]. `build` panics if a mandatory part is
+/// missing or the cell is untrusted.
+///
+/// # Examples
+///
+/// ```
+/// use rapilog::prelude::*;
+/// use rapilog_microvisor::{Hypervisor, Trust};
+/// use rapilog_simcore::Sim;
+/// use rapilog_simdisk::{specs, Disk};
+///
+/// let mut sim = Sim::new(1);
+/// let ctx = sim.ctx();
+/// let hv = Hypervisor::new(&ctx);
+/// let cell = hv.create_cell("rapilog", Trust::Trusted);
+/// let disk = Disk::new(&ctx, specs::hdd_7200(1 << 30));
+/// let rl = RapiLog::builder(&ctx)
+///     .cell(&cell)
+///     .disk(disk)
+///     .capacity(CapacitySpec::Fixed(8 << 20))
+///     .max_batch(1 << 20)
+///     .build();
+/// assert_eq!(rl.capacity(), 8 << 20);
+/// ```
+#[must_use = "a builder does nothing until build() is called"]
+pub struct RapiLogBuilder<'a> {
+    ctx: SimCtx,
+    cell: Option<&'a Cell>,
+    disk: Option<Disk>,
+    supply: Option<&'a PowerSupply>,
+    cfg: RapiLogConfig,
+}
+
+impl<'a> RapiLogBuilder<'a> {
+    /// The trusted cell the drain tasks run in (mandatory).
+    pub fn cell(mut self, cell: &'a Cell) -> Self {
+        self.cell = Some(cell);
+        self
+    }
+
+    /// The physical disk the buffer drains to (mandatory).
+    pub fn disk(mut self, disk: Disk) -> Self {
+        self.disk = Some(disk);
+        self
+    }
+
+    /// The power supply whose residual window sizes the buffer and whose
+    /// warning signal arms the emergency drain. Optional: without one,
+    /// [`CapacitySpec::FromSupply`] falls back to 16 MiB.
+    pub fn supply(mut self, psu: &'a PowerSupply) -> Self {
+        self.supply = Some(psu);
+        self
+    }
+
+    /// Replaces the whole configuration at once.
+    pub fn config(mut self, cfg: RapiLogConfig) -> Self {
+        self.cfg = cfg;
+        self
+    }
+
+    /// Buffer capacity policy (default: [`CapacitySpec::FromSupply`]).
+    pub fn capacity(mut self, capacity: CapacitySpec) -> Self {
+        self.cfg.capacity = capacity;
+        self
+    }
+
+    /// Largest single drain batch in bytes (default: 2 MiB).
+    pub fn max_batch(mut self, bytes: usize) -> Self {
+        self.cfg.max_batch = bytes;
+        self
+    }
+
+    /// Fixed CPU cost of accepting one write (default: 2 µs).
+    pub fn ack_base(mut self, cost: SimDuration) -> Self {
+        self.cfg.ack_base = cost;
+        self
+    }
+
+    /// Additional copy cost per KiB accepted (default: 250 ns).
+    pub fn ack_per_kib(mut self, cost: SimDuration) -> Self {
+        self.cfg.ack_per_kib = cost;
+        self
+    }
+
+    /// Assembles the instance: sizes the buffer (falling back to
+    /// write-through if the residual window cannot cover even one sector),
+    /// builds the guest-facing device and spawns the drain tasks.
     ///
     /// # Panics
     ///
-    /// Panics if `cell` is untrusted: an unverified buffer would make the
-    /// early acknowledgement a lie, which is the whole point of the paper.
-    pub fn new(
-        ctx: &SimCtx,
-        cell: &Cell,
-        disk: Disk,
-        supply: Option<&PowerSupply>,
-        cfg: RapiLogConfig,
-    ) -> RapiLog {
+    /// Panics if `cell` or `disk` was not supplied, or if the cell is
+    /// untrusted: an unverified buffer would make the early
+    /// acknowledgement a lie, which is the whole point of the paper.
+    pub fn build(self) -> RapiLog {
+        let ctx = &self.ctx;
+        let cell = self.cell.expect("RapiLogBuilder: cell is mandatory");
+        let disk = self.disk.expect("RapiLogBuilder: disk is mandatory");
+        let supply = self.supply;
+        let cfg = self.cfg;
         assert!(
             cell.trust() == Trust::Trusted,
             "RapiLog must live in a trusted (verified) cell"
@@ -153,12 +262,8 @@ impl RapiLog {
             // deployments detect this case up front.
             let audit = audit::Audit::new(ctx, supply.cloned());
             let buffer = DependableBuffer::new(0);
-            let device = RapiLogDevice::new_write_through(
-                ctx,
-                Rc::new(disk.clone()),
-                cfg,
-                audit.clone(),
-            );
+            let device =
+                RapiLogDevice::new_write_through(ctx, Rc::new(disk.clone()), cfg, audit.clone());
             return RapiLog {
                 buffer,
                 device,
@@ -167,7 +272,13 @@ impl RapiLog {
         }
         let audit = audit::Audit::new(ctx, supply.cloned());
         let buffer = DependableBuffer::new(capacity);
-        let device = RapiLogDevice::new(ctx, buffer.clone(), Rc::new(disk.clone()), cfg, audit.clone());
+        let device = RapiLogDevice::new(
+            ctx,
+            buffer.clone(),
+            Rc::new(disk.clone()),
+            cfg,
+            audit.clone(),
+        );
         drain::start(
             ctx,
             cell,
@@ -183,6 +294,47 @@ impl RapiLog {
             audit,
         }
     }
+}
+
+/// The assembled RapiLog instance.
+#[derive(Clone)]
+pub struct RapiLog {
+    buffer: DependableBuffer,
+    device: RapiLogDevice,
+    audit: audit::Audit,
+}
+
+impl RapiLog {
+    /// Starts assembling a RapiLog instance; see [`RapiLogBuilder`].
+    pub fn builder<'a>(ctx: &SimCtx) -> RapiLogBuilder<'a> {
+        RapiLogBuilder {
+            ctx: ctx.clone(),
+            cell: None,
+            disk: None,
+            supply: None,
+            cfg: RapiLogConfig::default(),
+        }
+    }
+
+    /// Builds RapiLog inside `cell` (must be trusted), draining to `disk`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cell` is untrusted.
+    #[deprecated(since = "0.2.0", note = "use RapiLog::builder(ctx) instead")]
+    pub fn new(
+        ctx: &SimCtx,
+        cell: &Cell,
+        disk: Disk,
+        supply: Option<&PowerSupply>,
+        cfg: RapiLogConfig,
+    ) -> RapiLog {
+        let mut b = RapiLog::builder(ctx).cell(cell).disk(disk).config(cfg);
+        if let Some(psu) = supply {
+            b = b.supply(psu);
+        }
+        b.build()
+    }
 
     /// The guest-facing block device for the log partition.
     pub fn device(&self) -> RapiLogDevice {
@@ -192,6 +344,19 @@ impl RapiLog {
     /// Buffer statistics snapshot.
     pub fn stats(&self) -> BufferStats {
         self.buffer.stats()
+    }
+
+    /// One unified snapshot of the instance's observable state: buffer
+    /// counters, audit report, occupancy, capacity and mode flags.
+    pub fn snapshot(&self) -> RapiLogSnapshot {
+        RapiLogSnapshot {
+            buffer: self.buffer.stats(),
+            audit: self.audit.report(),
+            occupancy: self.buffer.occupancy(),
+            capacity: self.buffer.capacity(),
+            frozen: self.buffer.is_frozen(),
+            write_through: self.device.is_write_through(),
+        }
     }
 
     /// Bytes currently buffered (acked, not yet on media).
@@ -218,5 +383,138 @@ impl RapiLog {
     /// The invariant auditor's report.
     pub fn audit_report(&self) -> AuditReport {
         self.audit.report()
+    }
+}
+
+#[cfg(test)]
+mod builder_tests {
+    use super::*;
+    use rapilog_microvisor::{Hypervisor, Trust};
+    use rapilog_simcore::Sim;
+    use rapilog_simdisk::{specs, BlockDevice};
+    use rapilog_simpower::{PowerSupply, SupplySpec};
+
+    fn fixture(seed: u64) -> (Sim, SimCtx, Hypervisor, Disk) {
+        let sim = Sim::new(seed);
+        let ctx = sim.ctx();
+        let hv = Hypervisor::new(&ctx);
+        let disk = Disk::new(&ctx, specs::hdd_7200(1 << 30));
+        (sim, ctx, hv, disk)
+    }
+
+    #[test]
+    fn builder_applies_defaults_and_setters() {
+        let (_sim, ctx, hv, disk) = fixture(1);
+        let cell = hv.create_cell("rapilog", Trust::Trusted);
+        let rl = RapiLog::builder(&ctx)
+            .cell(&cell)
+            .disk(disk)
+            .capacity(CapacitySpec::Fixed(4 << 20))
+            .max_batch(1 << 20)
+            .ack_base(SimDuration::from_micros(5))
+            .ack_per_kib(SimDuration::from_nanos(100))
+            .build();
+        assert_eq!(rl.capacity(), 4 << 20);
+        assert!(!rl.device().is_write_through());
+        std::mem::forget(cell);
+    }
+
+    #[test]
+    fn builder_without_supply_defaults_from_supply_to_16_mib() {
+        let (_sim, ctx, hv, disk) = fixture(2);
+        let cell = hv.create_cell("rapilog", Trust::Trusted);
+        let rl = RapiLog::builder(&ctx).cell(&cell).disk(disk).build();
+        assert_eq!(rl.capacity(), 16 * 1024 * 1024);
+        std::mem::forget(cell);
+    }
+
+    #[test]
+    fn builder_config_replaces_the_whole_configuration() {
+        let (_sim, ctx, hv, disk) = fixture(3);
+        let cell = hv.create_cell("rapilog", Trust::Trusted);
+        let cfg = RapiLogConfig {
+            capacity: CapacitySpec::Fixed(1 << 20),
+            ..RapiLogConfig::default()
+        };
+        let rl = RapiLog::builder(&ctx)
+            .cell(&cell)
+            .disk(disk)
+            .config(cfg)
+            .build();
+        assert_eq!(rl.capacity(), 1 << 20);
+        std::mem::forget(cell);
+    }
+
+    #[test]
+    #[should_panic(expected = "cell is mandatory")]
+    fn builder_panics_without_a_cell() {
+        let (_sim, ctx, _hv, disk) = fixture(4);
+        let _ = RapiLog::builder(&ctx).disk(disk).build();
+    }
+
+    #[test]
+    #[should_panic(expected = "disk is mandatory")]
+    fn builder_panics_without_a_disk() {
+        let (_sim, ctx, hv, _disk) = fixture(5);
+        let cell = hv.create_cell("rapilog", Trust::Trusted);
+        let _ = RapiLog::builder(&ctx).cell(&cell).build();
+    }
+
+    #[test]
+    #[should_panic(expected = "trusted")]
+    fn builder_rejects_an_untrusted_cell() {
+        let (_sim, ctx, hv, disk) = fixture(6);
+        let cell = hv.create_cell("sketchy", Trust::Untrusted);
+        let _ = RapiLog::builder(&ctx).cell(&cell).disk(disk).build();
+    }
+
+    #[test]
+    fn hopeless_supply_builds_write_through_with_zero_capacity() {
+        let (_sim, ctx, hv, disk) = fixture(7);
+        let cell = hv.create_cell("rapilog", Trust::Trusted);
+        let psu = PowerSupply::new(
+            &ctx,
+            SupplySpec {
+                name: "brownout".to_string(),
+                residual_joules: 1.0,
+                drain_draw_watts: 200.0,
+                warning_latency: SimDuration::from_millis(1),
+            },
+        );
+        let rl = RapiLog::builder(&ctx)
+            .cell(&cell)
+            .disk(disk)
+            .supply(&psu)
+            .build();
+        let snap = rl.snapshot();
+        assert!(snap.write_through);
+        assert_eq!(snap.capacity, 0);
+        assert!(!snap.frozen);
+        std::mem::forget(cell);
+    }
+
+    #[test]
+    fn snapshot_is_coherent_with_the_individual_surfaces() {
+        let (mut sim, ctx, hv, disk) = fixture(8);
+        let cell = hv.create_cell("rapilog", Trust::Trusted);
+        let rl = RapiLog::builder(&ctx)
+            .cell(&cell)
+            .disk(disk)
+            .capacity(CapacitySpec::Fixed(1 << 20))
+            .build();
+        let dev = rl.device();
+        sim.spawn(async move {
+            dev.write(0, &vec![9u8; 1024], true).await.unwrap();
+        });
+        sim.run_until(rapilog_simcore::SimTime::from_secs(1));
+        let snap = rl.snapshot();
+        assert_eq!(snap.buffer.accepted_writes, rl.stats().accepted_writes);
+        assert_eq!(snap.occupancy, rl.occupancy());
+        assert_eq!(snap.capacity, rl.capacity());
+        assert_eq!(snap.frozen, rl.device_frozen());
+        assert!(!snap.write_through);
+        assert!(snap.buffer.accepted_writes > 0);
+        assert!(snap.audit.guarantee_held());
+        std::mem::forget(cell);
     }
 }

@@ -20,10 +20,9 @@
 
 use std::rc::Rc;
 
+use rapilog_simcore::trace::{Layer, Payload, Tracer};
 use rapilog_simcore::{SimCtx, SimDuration};
-use rapilog_simdisk::{
-    BlockDevice, Geometry, IoError, IoResult, LocalBoxFuture, SECTOR_SIZE,
-};
+use rapilog_simdisk::{BlockDevice, Geometry, IoError, IoResult, LocalBoxFuture, SECTOR_SIZE};
 
 use crate::audit::Audit;
 use crate::buffer::{DependableBuffer, PushError};
@@ -40,6 +39,7 @@ pub struct RapiLogDevice {
     #[allow(dead_code)]
     audit: Audit,
     geometry: Geometry,
+    tracer: Rc<Tracer>,
 }
 
 impl RapiLogDevice {
@@ -58,6 +58,7 @@ impl RapiLogDevice {
             cfg,
             audit,
             geometry,
+            tracer: ctx.tracer(),
         }
     }
 
@@ -78,6 +79,7 @@ impl RapiLogDevice {
             cfg,
             audit,
             geometry,
+            tracer: ctx.tracer(),
         }
     }
 
@@ -95,7 +97,10 @@ impl RapiLogDevice {
             return Err(IoError::Misaligned { len });
         }
         let count = (len / SECTOR_SIZE) as u64;
-        if sector.checked_add(count).is_none_or(|e| e > self.geometry.sectors) {
+        if sector
+            .checked_add(count)
+            .is_none_or(|e| e > self.geometry.sectors)
+        {
             return Err(IoError::OutOfRange { sector, count });
         }
         Ok(count)
@@ -114,8 +119,7 @@ impl BlockDevice for RapiLogDevice {
                 return self.backing.read(sector, buf).await;
             };
             // Fast path: everything in the overlay (tail re-reads).
-            let fully_buffered =
-                (0..count).all(|i| buffer.read_overlay(sector + i).is_some());
+            let fully_buffered = (0..count).all(|i| buffer.read_overlay(sector + i).is_some());
             if !fully_buffered {
                 self.backing.read(sector, buf).await?;
             } else {
@@ -140,21 +144,60 @@ impl BlockDevice for RapiLogDevice {
             self.check(sector, data.len())?;
             let Some(buffer) = &self.buffer else {
                 // Write-through: honest synchronous durability.
-                return self.backing.write(sector, data, true).await;
+                let payload = Payload::Extent {
+                    seq: 0,
+                    sector,
+                    bytes: data.len() as u64,
+                };
+                self.tracer
+                    .begin(self.ctx.now(), Layer::Buffer, "write_through", payload);
+                let res = self.backing.write(sector, data, true).await;
+                self.tracer
+                    .end(self.ctx.now(), Layer::Buffer, "write_through", payload);
+                return res;
             };
+            self.tracer.begin(
+                self.ctx.now(),
+                Layer::Buffer,
+                "ack",
+                Payload::Bytes {
+                    bytes: data.len() as u64,
+                },
+            );
             self.ctx.sleep(self.ack_cost(data.len())).await;
+            self.tracer.end(
+                self.ctx.now(),
+                Layer::Buffer,
+                "ack",
+                Payload::Bytes {
+                    bytes: data.len() as u64,
+                },
+            );
             // A write larger than the buffer is split into capacity-sized
             // extents; each chunk waits for drain space (backpressure), so
             // a tiny buffer degrades to streaming at disk speed instead of
             // refusing large transfers.
-            let chunk_sectors =
-                ((buffer.capacity() as usize / SECTOR_SIZE).max(1)).min(128);
+            let chunk_sectors = (buffer.capacity() as usize / SECTOR_SIZE).clamp(1, 128);
             let mut offset = 0usize;
             let mut first = sector;
             while offset < data.len() {
                 let take = (data.len() - offset).min(chunk_sectors * SECTOR_SIZE);
-                match buffer.push(first, data[offset..offset + take].to_vec()).await {
-                    Ok(_seq) => {}
+                match buffer
+                    .push(first, data[offset..offset + take].to_vec())
+                    .await
+                {
+                    Ok(seq) => {
+                        self.tracer.instant(
+                            self.ctx.now(),
+                            Layer::Buffer,
+                            "admit",
+                            Payload::Extent {
+                                seq,
+                                sector: first,
+                                bytes: take as u64,
+                            },
+                        );
+                    }
                     // Frozen buffer means the power-fail warning has fired:
                     // from the guest's perspective the machine is dying.
                     Err(PushError::Frozen) => return Err(IoError::PowerLoss),
@@ -191,24 +234,16 @@ mod tests {
     use rapilog_simdisk::{specs, Disk};
     use std::cell::Cell as StdCell;
 
-    fn setup(
-        sim: &mut Sim,
-        capacity: CapacitySpec,
-    ) -> (RapiLog, RapiLogDevice, Disk) {
+    fn setup(sim: &mut Sim, capacity: CapacitySpec) -> (RapiLog, RapiLogDevice, Disk) {
         let ctx = sim.ctx();
         let hv = Hypervisor::new(&ctx);
         let cell = hv.create_cell("rapilog", Trust::Trusted);
         let disk = Disk::new(&ctx, specs::hdd_7200(1 << 30));
-        let rl = RapiLog::new(
-            &ctx,
-            &cell,
-            disk.clone(),
-            None,
-            RapiLogConfig {
-                capacity,
-                ..RapiLogConfig::default()
-            },
-        );
+        let rl = RapiLog::builder(&ctx)
+            .cell(&cell)
+            .disk(disk.clone())
+            .capacity(capacity)
+            .build();
         let dev = rl.device();
         std::mem::forget(cell);
         (rl, dev, disk)
@@ -223,7 +258,9 @@ mod tests {
         let ctx = sim.ctx();
         sim.spawn(async move {
             let t0 = ctx.now();
-            dev.write(0, &vec![0x5A; 8 * SECTOR_SIZE], true).await.unwrap();
+            dev.write(0, &vec![0x5A; 8 * SECTOR_SIZE], true)
+                .await
+                .unwrap();
             a2.set((ctx.now() - t0).as_nanos());
         });
         sim.run_until(SimTime::from_secs(1));
@@ -297,7 +334,9 @@ mod tests {
             // Stream far more than the buffer holds; each write beyond the
             // cap must wait for the drain.
             for i in 0..64u64 {
-                dev.write(i, &vec![i as u8; SECTOR_SIZE], true).await.unwrap();
+                dev.write(i, &vec![i as u8; SECTOR_SIZE], true)
+                    .await
+                    .unwrap();
             }
             f2.set(ctx.now().as_nanos());
         });
@@ -308,7 +347,10 @@ mod tests {
             "the writer must have hit backpressure"
         );
         assert!(stats.peak_occupancy <= 4 * SECTOR_SIZE as u64, "cap held");
-        assert!(finished.get() > 0, "stream completed despite the tiny buffer");
+        assert!(
+            finished.get() > 0,
+            "stream completed despite the tiny buffer"
+        );
         assert!(rl.audit_report().guarantee_held());
     }
 
@@ -332,7 +374,10 @@ mod tests {
         // Contents arrived intact and in order.
         let mut media = vec![0u8; 64 * SECTOR_SIZE];
         for i in 0..64u64 {
-            disk.peek_media(100 + i, &mut media[i as usize * SECTOR_SIZE..][..SECTOR_SIZE]);
+            disk.peek_media(
+                100 + i,
+                &mut media[i as usize * SECTOR_SIZE..][..SECTOR_SIZE],
+            );
         }
         let expect: Vec<u8> = (0..64 * SECTOR_SIZE).map(|i| (i % 251) as u8).collect();
         assert_eq!(media, expect);
@@ -352,7 +397,7 @@ mod tests {
                 })
             );
             assert_eq!(
-                dev.write(0, &vec![0; 100], true).await,
+                dev.write(0, &[0; 100], true).await,
                 Err(IoError::Misaligned { len: 100 })
             );
         });
@@ -363,7 +408,7 @@ mod tests {
 #[cfg(test)]
 mod write_through_tests {
     use super::*;
-    use crate::{CapacitySpec, RapiLog, RapiLogConfig};
+    use crate::{CapacitySpec, RapiLog};
     use rapilog_microvisor::{Hypervisor, Trust};
     use rapilog_simcore::{Sim, SimDuration, SimTime};
     use rapilog_simdisk::{specs, Disk};
@@ -388,16 +433,12 @@ mod write_through_tests {
                 warning_latency: SimDuration::from_millis(1),
             },
         );
-        let rl = RapiLog::new(
-            &ctx,
-            &cell,
-            disk.clone(),
-            Some(&psu),
-            RapiLogConfig {
-                capacity: CapacitySpec::FromSupply,
-                ..RapiLogConfig::default()
-            },
-        );
+        let rl = RapiLog::builder(&ctx)
+            .cell(&cell)
+            .disk(disk.clone())
+            .supply(&psu)
+            .capacity(CapacitySpec::FromSupply)
+            .build();
         let dev = rl.device();
         assert!(dev.is_write_through());
         assert_eq!(rl.capacity(), 0);

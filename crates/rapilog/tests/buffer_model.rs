@@ -1,15 +1,14 @@
-//! Model-based property test for the dependable buffer.
+//! Model-based randomised test for the dependable buffer.
 //!
 //! A reference model (plain maps) shadows every `push`/`complete` the real
 //! buffer sees; after each step the overlay, occupancy and queue length
-//! must agree exactly. Proptest shrinks any divergence to a minimal
-//! operation sequence.
+//! must agree exactly. Operation sequences come from a seeded [`SimRng`],
+//! so any divergence reproduces exactly by case number.
 
 use std::collections::BTreeMap;
 
-use proptest::prelude::*;
-
 use rapilog::DependableBuffer;
+use rapilog_simcore::rng::SimRng;
 use rapilog_simcore::Sim;
 use rapilog_simdisk::SECTOR_SIZE;
 
@@ -21,14 +20,23 @@ enum Op {
     Complete { frac: u8 },
 }
 
-fn arb_ops() -> impl Strategy<Value = Vec<Op>> {
-    proptest::collection::vec(
-        prop_oneof![
-            3 => (0u64..12, 1usize..4).prop_map(|(sector, sectors)| Op::Push { sector, sectors }),
-            1 => (0u8..=100).prop_map(|frac| Op::Complete { frac }),
-        ],
-        1..60,
-    )
+fn arb_ops(rng: &mut SimRng) -> Vec<Op> {
+    let n = rng.gen_range(1..60usize);
+    (0..n)
+        .map(|_| {
+            // Pushes outweigh completes 3:1, mirroring real drain behaviour.
+            if rng.gen_range(0..4u32) < 3 {
+                Op::Push {
+                    sector: rng.gen_range(0..12u64),
+                    sectors: rng.gen_range(1..4usize),
+                }
+            } else {
+                Op::Complete {
+                    frac: rng.gen_range(0..=100u8),
+                }
+            }
+        })
+        .collect()
 }
 
 /// Reference model of the buffer's externally visible state.
@@ -59,14 +67,10 @@ impl Model {
     /// The newest acked bytes for `sector`: taken from the *latest* extent
     /// ever to write it, visible only while that extent is incomplete.
     fn overlay(&self, sector: u64) -> Option<Vec<u8>> {
-        let newest = self
-            .extents
-            .iter()
-            .rev()
-            .find(|(_, (first, data))| {
-                let n = (data.len() / SECTOR_SIZE) as u64;
-                (*first..first + n).contains(&sector)
-            })?;
+        let newest = self.extents.iter().rev().find(|(_, (first, data))| {
+            let n = (data.len() / SECTOR_SIZE) as u64;
+            (*first..first + n).contains(&sector)
+        })?;
         let (seq, (first, data)) = newest;
         if self.completed.is_some_and(|h| *seq <= h) {
             return None;
@@ -76,11 +80,11 @@ impl Model {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    #[test]
-    fn buffer_matches_reference_model(ops in arb_ops()) {
+#[test]
+fn buffer_matches_reference_model() {
+    let mut case_rng = SimRng::seed_from_u64(0xB0FF);
+    for case in 0..128 {
+        let ops = arb_ops(&mut case_rng);
         let mut sim = Sim::new(1);
         let buf = DependableBuffer::new(1 << 20); // ample: pushes never block
         let b2 = buf.clone();
@@ -107,8 +111,7 @@ proptest! {
                         let idx = (frac as usize * (seqs.len() - 1)) / 100;
                         let upto = seqs[idx];
                         b2.complete(upto);
-                        model.completed =
-                            Some(model.completed.map_or(upto, |h| h.max(upto)));
+                        model.completed = Some(model.completed.map_or(upto, |h| h.max(upto)));
                     }
                 }
                 // Compare the full visible state after every step.
@@ -121,8 +124,11 @@ proptest! {
                     return;
                 }
                 if b2.queued() != model.queued() {
-                    *f2.borrow_mut() =
-                        Some(format!("queued: real {} vs model {}", b2.queued(), model.queued()));
+                    *f2.borrow_mut() = Some(format!(
+                        "queued: real {} vs model {}",
+                        b2.queued(),
+                        model.queued()
+                    ));
                     return;
                 }
                 for sector in 0..16u64 {
@@ -139,7 +145,11 @@ proptest! {
         });
         sim.run();
         let err = failed.borrow().clone();
-        prop_assert!(err.is_none(), "model divergence: {}", err.unwrap());
+        assert!(
+            err.is_none(),
+            "case {case}: model divergence: {}",
+            err.unwrap()
+        );
         drop(buf);
     }
 }

@@ -26,12 +26,11 @@ use std::rc::{Rc, Weak};
 use std::sync::{Arc, Mutex};
 use std::task::{Context, Poll, Wake, Waker};
 
-use rand::rngs::SmallRng;
-use rand::{Rng, RngCore, SeedableRng};
-
 use crate::cancel::DomainId;
+use crate::rng::SimRng;
 use crate::stats::Metrics;
 use crate::time::{SimDuration, SimTime};
+use crate::trace::Tracer;
 
 type TaskId = u64;
 type LocalFuture = Pin<Box<dyn Future<Output = ()>>>;
@@ -108,8 +107,9 @@ struct Inner {
     ready: Arc<Mutex<ReadyQueue>>,
     next_domain_id: u64,
     dead_domains: HashSet<DomainId>,
-    rng: SmallRng,
+    rng: SimRng,
     metrics: Rc<Metrics>,
+    tracer: Rc<Tracer>,
 }
 
 /// Outcome of a [`Sim::run`] / [`Sim::run_until`] call.
@@ -159,8 +159,9 @@ impl Sim {
             ready,
             next_domain_id: 1,
             dead_domains: HashSet::new(),
-            rng: SmallRng::seed_from_u64(seed),
+            rng: SimRng::seed_from_u64(seed),
             metrics: Rc::new(Metrics::new()),
+            tracer: Rc::new(Tracer::new()),
         };
         Sim {
             inner: Rc::new(RefCell::new(inner)),
@@ -219,9 +220,7 @@ impl Sim {
                             if e.deadline != t {
                                 break;
                             }
-                            fired.push(
-                                inner.timers.pop().expect("peeked timer vanished").0.waker,
-                            );
+                            fired.push(inner.timers.pop().expect("peeked timer vanished").0.waker);
                         }
                         fired
                     }
@@ -254,6 +253,11 @@ impl Sim {
     /// The metrics registry for this simulation.
     pub fn metrics(&self) -> Rc<Metrics> {
         Rc::clone(&self.inner.borrow().metrics)
+    }
+
+    /// The structured tracer for this simulation (disabled by default).
+    pub fn tracer(&self) -> Rc<Tracer> {
+        Rc::clone(&self.inner.borrow().tracer)
     }
 
     fn poll_task(&mut self, tid: TaskId) {
@@ -356,11 +360,7 @@ impl SimCtx {
                     domain,
                 },
             );
-            inner
-                .ready
-                .lock()
-                .expect("ready queue poisoned")
-                .push(tid);
+            inner.ready.lock().expect("ready queue poisoned").push(tid);
         }
         handle
     }
@@ -453,7 +453,7 @@ impl SimCtx {
 
     /// Draws a uniform value in `[0, 1)`.
     pub fn rand_f64(&self) -> f64 {
-        self.upgrade().borrow_mut().rng.gen::<f64>()
+        self.upgrade().borrow_mut().rng.next_f64()
     }
 
     /// Draws a uniform integer in `[lo, hi]` (inclusive).
@@ -469,13 +469,20 @@ impl SimCtx {
     /// Forks an independent RNG seeded from the master stream. Giving each
     /// simulated client its own forked RNG keeps per-client randomness stable
     /// under scheduling changes.
-    pub fn fork_rng(&self) -> SmallRng {
-        SmallRng::seed_from_u64(self.rand_u64())
+    pub fn fork_rng(&self) -> SimRng {
+        SimRng::seed_from_u64(self.rand_u64())
     }
 
     /// The metrics registry.
     pub fn metrics(&self) -> Rc<Metrics> {
         Rc::clone(&self.upgrade().borrow().metrics)
+    }
+
+    /// The structured tracer. Cheap to clone; hot-path consumers should
+    /// capture the `Rc` once at construction rather than calling this per
+    /// event.
+    pub fn tracer(&self) -> Rc<Tracer> {
+        Rc::clone(&self.upgrade().borrow().tracer)
     }
 
     fn register_timer(&self, deadline: SimTime, waker: Waker) {

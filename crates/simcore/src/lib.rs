@@ -18,9 +18,12 @@
 //! * **cancellation domains** ([`cancel`]) used for crash injection: killing
 //!   a domain atomically drops every task spawned in it, which is how a
 //!   guest-OS crash is modelled;
-//! * a seeded, forkable **random number generator** ([`rng`]); and
+//! * a seeded, forkable **random number generator** ([`rng`]);
 //! * lightweight **metrics** ([`stats`]): counters, log-bucketed histograms
-//!   and time series used by the benchmark harness.
+//!   and time series used by the benchmark harness; and
+//! * **structured tracing** ([`trace`]): zero-cost-when-disabled spans and
+//!   instants keyed to virtual time, exportable as JSON-lines or Chrome
+//!   `trace_event` JSON for Perfetto.
 //!
 //! # Determinism
 //!
@@ -51,7 +54,10 @@ pub mod rng;
 pub mod stats;
 pub mod sync;
 pub mod time;
+pub mod trace;
 
 pub use cancel::DomainId;
 pub use exec::{JoinHandle, Sim, SimCtx};
+pub use rng::SimRng;
 pub use time::{SimDuration, SimTime};
+pub use trace::{LatencyAttribution, Layer, Payload, TraceSnapshot, Tracer};

@@ -1,4 +1,11 @@
-//! Distribution helpers over any [`rand::Rng`].
+//! Deterministic random numbers: the suite's own PRNG plus distribution
+//! helpers.
+//!
+//! [`SimRng`] is a xoshiro256++ generator seeded through SplitMix64. It is
+//! self-contained (the workspace builds with no external crates), cheap,
+//! and — most importantly — *stable*: the stream produced by a given seed
+//! is part of the simulation's determinism contract, so two runs with the
+//! same seed replay identical randomness regardless of platform.
 //!
 //! The workload generators need a handful of classical distributions:
 //! exponential inter-arrival/think times, bounded Pareto service times and
@@ -6,7 +13,169 @@
 //! crate because its constants are part of the TPC-C specification; the
 //! generic building blocks live here.
 
-use rand::Rng;
+use std::ops::{Range, RangeInclusive};
+
+/// A deterministic xoshiro256++ pseudo-random generator.
+///
+/// # Examples
+///
+/// ```
+/// use rapilog_simcore::rng::SimRng;
+///
+/// let mut a = SimRng::seed_from_u64(42);
+/// let mut b = SimRng::seed_from_u64(42);
+/// assert_eq!(a.next_u64(), b.next_u64());
+/// let die = a.gen_range(1..=6u32);
+/// assert!((1..=6).contains(&die));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SimRng {
+    s: [u64; 4],
+}
+
+impl SimRng {
+    /// Creates a generator whose stream is fully determined by `seed`.
+    pub fn seed_from_u64(seed: u64) -> SimRng {
+        // SplitMix64 expansion of the seed into the 256-bit state; this is
+        // the initialisation recommended by the xoshiro authors and avoids
+        // the all-zero state for every input.
+        let mut x = seed;
+        let mut next = || {
+            x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = x;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        SimRng {
+            s: [next(), next(), next(), next()],
+        }
+    }
+
+    /// The next 64 uniformly random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// The next 32 uniformly random bits (upper half of a 64-bit draw).
+    pub fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// A uniform `f64` in `[0, 1)` with 53 bits of precision.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// A uniform integer from `lo..hi` or `lo..=hi`.
+    ///
+    /// Uses a widening multiply to bound the draw; the bias is at most
+    /// `width / 2^64`, far below anything a simulation can observe.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    pub fn gen_range<T: UniformInt, R: IntRange<T>>(&mut self, range: R) -> T {
+        let (lo, hi) = range.bounds_inclusive();
+        match T::steps_inclusive(lo, hi) {
+            None => T::offset(lo, self.next_u64()),
+            Some(width) => {
+                let n = ((self.next_u64() as u128 * width as u128) >> 64) as u64;
+                T::offset(lo, n)
+            }
+        }
+    }
+
+    /// An independent generator seeded from this one's stream.
+    pub fn fork(&mut self) -> SimRng {
+        SimRng::seed_from_u64(self.next_u64())
+    }
+}
+
+mod sealed {
+    pub trait Sealed {}
+}
+
+/// Integer types [`SimRng::gen_range`] can sample uniformly.
+pub trait UniformInt: Copy + PartialOrd + sealed::Sealed {
+    /// Number of values in `[lo, hi]`; `None` when it is the full 2^64.
+    #[doc(hidden)]
+    fn steps_inclusive(lo: Self, hi: Self) -> Option<u64>;
+    /// `lo + n`, where `n` is strictly below the inclusive width.
+    #[doc(hidden)]
+    fn offset(lo: Self, n: u64) -> Self;
+    /// `v - 1` (used to convert an exclusive bound to inclusive).
+    #[doc(hidden)]
+    fn dec(v: Self) -> Self;
+}
+
+macro_rules! uniform_unsigned {
+    ($($t:ty),* $(,)?) => {$(
+        impl sealed::Sealed for $t {}
+        impl UniformInt for $t {
+            fn steps_inclusive(lo: Self, hi: Self) -> Option<u64> {
+                let w = hi.wrapping_sub(lo) as u64;
+                if w == u64::MAX { None } else { Some(w + 1) }
+            }
+            fn offset(lo: Self, n: u64) -> Self {
+                lo.wrapping_add(n as $t)
+            }
+            fn dec(v: Self) -> Self { v - 1 }
+        }
+    )*};
+}
+
+macro_rules! uniform_signed {
+    ($($t:ty => $u:ty),* $(,)?) => {$(
+        impl sealed::Sealed for $t {}
+        impl UniformInt for $t {
+            fn steps_inclusive(lo: Self, hi: Self) -> Option<u64> {
+                // Two's-complement distance in the unsigned image.
+                let w = (hi.wrapping_sub(lo)) as $u as u64;
+                if w == u64::MAX { None } else { Some(w + 1) }
+            }
+            fn offset(lo: Self, n: u64) -> Self {
+                ((lo as $u).wrapping_add(n as $u)) as $t
+            }
+            fn dec(v: Self) -> Self { v - 1 }
+        }
+    )*};
+}
+
+uniform_unsigned!(u8, u16, u32, u64, usize);
+uniform_signed!(i8 => u8, i16 => u16, i32 => u32, i64 => u64, isize => usize);
+
+/// Ranges accepted by [`SimRng::gen_range`].
+pub trait IntRange<T> {
+    /// The `(lo, hi)` inclusive bounds; panics on an empty range.
+    fn bounds_inclusive(self) -> (T, T);
+}
+
+impl<T: UniformInt> IntRange<T> for Range<T> {
+    fn bounds_inclusive(self) -> (T, T) {
+        assert!(self.start < self.end, "gen_range: empty range");
+        (self.start, T::dec(self.end))
+    }
+}
+
+impl<T: UniformInt> IntRange<T> for RangeInclusive<T> {
+    fn bounds_inclusive(self) -> (T, T) {
+        let (lo, hi) = self.into_inner();
+        assert!(lo <= hi, "gen_range: empty range");
+        (lo, hi)
+    }
+}
 
 /// Samples an exponential distribution with the given mean.
 ///
@@ -16,13 +185,13 @@ use rand::Rng;
 /// # Panics
 ///
 /// Panics if `mean` is not finite and positive.
-pub fn exponential<R: Rng + ?Sized>(rng: &mut R, mean: f64) -> f64 {
+pub fn exponential(rng: &mut SimRng, mean: f64) -> f64 {
     assert!(
         mean.is_finite() && mean > 0.0,
         "exponential: mean must be positive, got {mean}"
     );
     // Avoid ln(0): u is in (0, 1].
-    let u: f64 = 1.0 - rng.gen::<f64>();
+    let u: f64 = 1.0 - rng.next_f64();
     -mean * u.ln()
 }
 
@@ -33,9 +202,12 @@ pub fn exponential<R: Rng + ?Sized>(rng: &mut R, mean: f64) -> f64 {
 /// # Panics
 ///
 /// Panics if `lo >= hi`, or if any parameter is non-positive.
-pub fn bounded_pareto<R: Rng + ?Sized>(rng: &mut R, alpha: f64, lo: f64, hi: f64) -> f64 {
-    assert!(alpha > 0.0 && lo > 0.0 && lo < hi, "bounded_pareto: bad parameters");
-    let u: f64 = rng.gen::<f64>();
+pub fn bounded_pareto(rng: &mut SimRng, alpha: f64, lo: f64, hi: f64) -> f64 {
+    assert!(
+        alpha > 0.0 && lo > 0.0 && lo < hi,
+        "bounded_pareto: bad parameters"
+    );
+    let u: f64 = rng.next_f64();
     let la = lo.powf(alpha);
     let ha = hi.powf(alpha);
     (-(u * ha - u * la - ha) / (ha * la)).powf(-1.0 / alpha)
@@ -43,8 +215,8 @@ pub fn bounded_pareto<R: Rng + ?Sized>(rng: &mut R, alpha: f64, lo: f64, hi: f64
 
 /// Samples an approximately normal value via the central limit of twelve
 /// uniforms (Irwin–Hall); good enough for jitter, cheap and allocation-free.
-pub fn approx_normal<R: Rng + ?Sized>(rng: &mut R, mean: f64, std_dev: f64) -> f64 {
-    let sum: f64 = (0..12).map(|_| rng.gen::<f64>()).sum();
+pub fn approx_normal(rng: &mut SimRng, mean: f64, std_dev: f64) -> f64 {
+    let sum: f64 = (0..12).map(|_| rng.next_f64()).sum();
     mean + (sum - 6.0) * std_dev
 }
 
@@ -57,14 +229,14 @@ pub fn approx_normal<R: Rng + ?Sized>(rng: &mut R, mean: f64, std_dev: f64) -> f
 ///
 /// Panics if `n == 0` or `theta <= 0.0` or `theta == 1.0` is fine; only
 /// non-finite `theta` is rejected.
-pub fn zipf<R: Rng + ?Sized>(rng: &mut R, n: u64, theta: f64) -> u64 {
+pub fn zipf(rng: &mut SimRng, n: u64, theta: f64) -> u64 {
     assert!(n > 0, "zipf: n must be positive");
     assert!(theta.is_finite() && theta > 0.0, "zipf: bad theta {theta}");
     // Gray et al. approximation (also YCSB's ZipfianGenerator).
     let zetan = zeta(n, theta);
     let alpha = 1.0 / (1.0 - theta);
     let eta = (1.0 - (2.0 / n as f64).powf(1.0 - theta)) / (1.0 - zeta(2, theta) / zetan);
-    let u: f64 = rng.gen::<f64>();
+    let u: f64 = rng.next_f64();
     let uz = u * zetan;
     if uz < 1.0 {
         return 1;
@@ -85,11 +257,120 @@ fn zeta(n: u64, theta: f64) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::SmallRng;
-    use rand::SeedableRng;
 
-    fn rng() -> SmallRng {
-        SmallRng::seed_from_u64(12345)
+    fn rng() -> SimRng {
+        SimRng::seed_from_u64(12345)
+    }
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = SimRng::seed_from_u64(7);
+        let mut b = SimRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = SimRng::seed_from_u64(1);
+        let mut b = SimRng::seed_from_u64(2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0, "streams from different seeds collided");
+    }
+
+    #[test]
+    fn f64_in_unit_interval_and_fills_it() {
+        let mut r = rng();
+        let mut lo_seen = false;
+        let mut hi_seen = false;
+        for _ in 0..10_000 {
+            let v = r.next_f64();
+            assert!((0.0..1.0).contains(&v), "escaped [0,1): {v}");
+            if v < 0.01 {
+                lo_seen = true;
+            }
+            if v > 0.99 {
+                hi_seen = true;
+            }
+        }
+        assert!(lo_seen && hi_seen, "the unit interval is not covered");
+    }
+
+    #[test]
+    fn ranges_are_bounded_and_cover() {
+        let mut r = rng();
+        let mut seen = [false; 6];
+        for _ in 0..1000 {
+            let v = r.gen_range(1..=6u32);
+            assert!((1..=6).contains(&v));
+            seen[(v - 1) as usize] = true;
+        }
+        assert!(
+            seen.iter().all(|&s| s),
+            "a die face never came up: {seen:?}"
+        );
+        for _ in 0..1000 {
+            let v = r.gen_range(10..20u64);
+            assert!((10..20).contains(&v));
+        }
+        for _ in 0..1000 {
+            let v = r.gen_range(0..100usize);
+            assert!(v < 100);
+        }
+    }
+
+    #[test]
+    fn signed_ranges_cover_both_signs() {
+        let mut r = rng();
+        let (mut neg, mut pos) = (false, false);
+        for _ in 0..2000 {
+            let v = r.gen_range(-5000..=5000i64);
+            assert!((-5000..=5000).contains(&v));
+            neg |= v < 0;
+            pos |= v > 0;
+        }
+        assert!(neg && pos, "signed range never crossed zero");
+        // Extreme bounds must not overflow the width computation.
+        let v = r.gen_range(i64::MIN..=i64::MAX);
+        let _ = v;
+    }
+
+    #[test]
+    fn degenerate_range_returns_the_value() {
+        let mut r = rng();
+        assert_eq!(r.gen_range(9..=9u64), 9);
+        assert_eq!(r.gen_range(-3..=-3i32), -3);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_rejected() {
+        let mut r = rng();
+        let _ = r.gen_range(5..5u32);
+    }
+
+    #[test]
+    fn fork_is_deterministic_and_independent() {
+        let mut a = SimRng::seed_from_u64(99);
+        let mut b = SimRng::seed_from_u64(99);
+        let mut fa = a.fork();
+        let mut fb = b.fork();
+        for _ in 0..100 {
+            assert_eq!(fa.next_u64(), fb.next_u64());
+        }
+        // The fork and the parent produce unrelated streams.
+        let collisions = (0..64).filter(|_| a.next_u64() == fa.next_u64()).count();
+        assert_eq!(collisions, 0);
+    }
+
+    #[test]
+    fn range_mean_is_near_centre() {
+        let mut r = rng();
+        let n = 20_000u64;
+        let sum: u64 = (0..n).map(|_| r.gen_range(0..=1000u64)).sum();
+        let mean = sum as f64 / n as f64;
+        assert!((mean - 500.0).abs() < 10.0, "uniform mean drifted: {mean}");
     }
 
     #[test]

@@ -261,6 +261,120 @@ impl Default for Event {
     }
 }
 
+struct MutexState<T> {
+    value: T,
+    locked: bool,
+    waiters: Vec<Waker>,
+}
+
+/// An asynchronous mutex protecting a value.
+///
+/// Unlike `std::sync::Mutex`, the critical section may contain `.await`
+/// points: the lock is a logical one, held by the guard across suspensions.
+/// Access goes through [`AsyncMutexGuard::with`] /
+/// [`AsyncMutexGuard::with_mut`] closures (no `Deref`: the value lives in a
+/// `RefCell`, and handing out long-lived references would be unsound). The
+/// guard releases on drop, including when its holder is destroyed by crash
+/// injection.
+///
+/// # Examples
+///
+/// ```
+/// use rapilog_simcore::{Sim, sync::AsyncMutex};
+///
+/// let mut sim = Sim::new(0);
+/// let m = AsyncMutex::new(0u32);
+/// let m2 = m.clone();
+/// sim.spawn(async move {
+///     let mut g = m2.lock().await;
+///     g.with_mut(|v| *v += 1);
+/// });
+/// sim.run();
+/// assert_eq!(m.try_lock().map(|g| g.with(|v| *v)), Some(1));
+/// ```
+pub struct AsyncMutex<T> {
+    state: Rc<RefCell<MutexState<T>>>,
+}
+
+impl<T> Clone for AsyncMutex<T> {
+    fn clone(&self) -> Self {
+        AsyncMutex {
+            state: Rc::clone(&self.state),
+        }
+    }
+}
+
+/// RAII guard for [`AsyncMutex`]; grants access to the protected value.
+pub struct AsyncMutexGuard<T> {
+    state: Rc<RefCell<MutexState<T>>>,
+}
+
+impl<T> AsyncMutexGuard<T> {
+    /// Reads the protected value.
+    pub fn with<R>(&self, f: impl FnOnce(&T) -> R) -> R {
+        f(&self.state.borrow().value)
+    }
+
+    /// Mutates the protected value.
+    pub fn with_mut<R>(&mut self, f: impl FnOnce(&mut T) -> R) -> R {
+        f(&mut self.state.borrow_mut().value)
+    }
+}
+
+impl<T> AsyncMutex<T> {
+    /// Creates a mutex holding `value`.
+    pub fn new(value: T) -> Self {
+        AsyncMutex {
+            state: Rc::new(RefCell::new(MutexState {
+                value,
+                locked: false,
+                waiters: Vec::new(),
+            })),
+        }
+    }
+
+    /// Acquires the lock, waiting in virtual time if necessary.
+    pub async fn lock(&self) -> AsyncMutexGuard<T> {
+        poll_fn(|cx| {
+            let mut s = self.state.borrow_mut();
+            if !s.locked {
+                s.locked = true;
+                Poll::Ready(())
+            } else {
+                s.waiters.push(cx.waker().clone());
+                Poll::Pending
+            }
+        })
+        .await;
+        AsyncMutexGuard {
+            state: Rc::clone(&self.state),
+        }
+    }
+
+    /// Acquires immediately or returns `None`.
+    pub fn try_lock(&self) -> Option<AsyncMutexGuard<T>> {
+        let mut s = self.state.borrow_mut();
+        if s.locked {
+            return None;
+        }
+        s.locked = true;
+        drop(s);
+        Some(AsyncMutexGuard {
+            state: Rc::clone(&self.state),
+        })
+    }
+}
+
+impl<T> Drop for AsyncMutexGuard<T> {
+    fn drop(&mut self) {
+        let mut s = self.state.borrow_mut();
+        s.locked = false;
+        for w in s.waiters.drain(..) {
+            w.wake();
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -472,119 +586,5 @@ mod tests {
         });
         sim.run();
         assert_eq!(*log.borrow(), vec!["early", "late"]);
-    }
-}
-
-struct MutexState<T> {
-    value: T,
-    locked: bool,
-    waiters: Vec<Waker>,
-}
-
-/// An asynchronous mutex protecting a value.
-///
-/// Unlike `std::sync::Mutex`, the critical section may contain `.await`
-/// points: the lock is a logical one, held by the guard across suspensions.
-/// Access goes through [`AsyncMutexGuard::with`] /
-/// [`AsyncMutexGuard::with_mut`] closures (no `Deref`: the value lives in a
-/// `RefCell`, and handing out long-lived references would be unsound). The
-/// guard releases on drop, including when its holder is destroyed by crash
-/// injection.
-///
-/// # Examples
-///
-/// ```
-/// use rapilog_simcore::{Sim, sync::AsyncMutex};
-///
-/// let mut sim = Sim::new(0);
-/// let m = AsyncMutex::new(0u32);
-/// let m2 = m.clone();
-/// sim.spawn(async move {
-///     let mut g = m2.lock().await;
-///     g.with_mut(|v| *v += 1);
-/// });
-/// sim.run();
-/// assert_eq!(m.try_lock().map(|g| g.with(|v| *v)), Some(1));
-/// ```
-pub struct AsyncMutex<T> {
-    state: Rc<RefCell<MutexState<T>>>,
-}
-
-impl<T> Clone for AsyncMutex<T> {
-    fn clone(&self) -> Self {
-        AsyncMutex {
-            state: Rc::clone(&self.state),
-        }
-    }
-}
-
-/// RAII guard for [`AsyncMutex`]; grants access to the protected value.
-pub struct AsyncMutexGuard<T> {
-    state: Rc<RefCell<MutexState<T>>>,
-}
-
-impl<T> AsyncMutexGuard<T> {
-    /// Reads the protected value.
-    pub fn with<R>(&self, f: impl FnOnce(&T) -> R) -> R {
-        f(&self.state.borrow().value)
-    }
-
-    /// Mutates the protected value.
-    pub fn with_mut<R>(&mut self, f: impl FnOnce(&mut T) -> R) -> R {
-        f(&mut self.state.borrow_mut().value)
-    }
-}
-
-impl<T> AsyncMutex<T> {
-    /// Creates a mutex holding `value`.
-    pub fn new(value: T) -> Self {
-        AsyncMutex {
-            state: Rc::new(RefCell::new(MutexState {
-                value,
-                locked: false,
-                waiters: Vec::new(),
-            })),
-        }
-    }
-
-    /// Acquires the lock, waiting in virtual time if necessary.
-    pub async fn lock(&self) -> AsyncMutexGuard<T> {
-        poll_fn(|cx| {
-            let mut s = self.state.borrow_mut();
-            if !s.locked {
-                s.locked = true;
-                Poll::Ready(())
-            } else {
-                s.waiters.push(cx.waker().clone());
-                Poll::Pending
-            }
-        })
-        .await;
-        AsyncMutexGuard {
-            state: Rc::clone(&self.state),
-        }
-    }
-
-    /// Acquires immediately or returns `None`.
-    pub fn try_lock(&self) -> Option<AsyncMutexGuard<T>> {
-        let mut s = self.state.borrow_mut();
-        if s.locked {
-            return None;
-        }
-        s.locked = true;
-        drop(s);
-        Some(AsyncMutexGuard {
-            state: Rc::clone(&self.state),
-        })
-    }
-}
-
-impl<T> Drop for AsyncMutexGuard<T> {
-    fn drop(&mut self) {
-        let mut s = self.state.borrow_mut();
-        s.locked = false;
-        for w in s.waiters.drain(..) {
-            w.wake();
-        }
     }
 }

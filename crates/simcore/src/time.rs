@@ -346,15 +346,15 @@ mod tests {
             SimDuration::from_millis(1).saturating_sub(SimDuration::from_millis(2)),
             SimDuration::ZERO
         );
-        assert_eq!(SimTime::MAX.saturating_add(SimDuration::from_secs(1)), SimTime::MAX);
+        assert_eq!(
+            SimTime::MAX.saturating_add(SimDuration::from_secs(1)),
+            SimTime::MAX
+        );
     }
 
     #[test]
     fn mul_f64_rounds() {
-        assert_eq!(
-            SimDuration::from_nanos(100).mul_f64(1.5).as_nanos(),
-            150
-        );
+        assert_eq!(SimDuration::from_nanos(100).mul_f64(1.5).as_nanos(), 150);
         assert_eq!(SimDuration::from_secs(1).mul_f64(0.001).as_millis(), 1);
     }
 

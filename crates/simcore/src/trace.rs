@@ -1,0 +1,848 @@
+//! Structured tracing keyed to virtual time.
+//!
+//! Every simulation owns a [`Tracer`] (reachable through
+//! [`SimCtx::tracer`](crate::SimCtx::tracer)). Instrumented subsystems emit
+//! *spans* (`begin`/`end` pairs) and *instants* into a bounded ring buffer;
+//! each event carries the virtual [`SimTime`], a [`Layer`] tag, a static
+//! name and a typed, allocation-free [`Payload`].
+//!
+//! # Cost model
+//!
+//! The tracer starts **disabled** and the disabled path is a no-op: one
+//! `Cell<bool>` load, no allocation, no ring write. Hot paths capture the
+//! `Rc<Tracer>` once at construction and call [`Tracer::begin`] /
+//! [`Tracer::end`] / [`Tracer::instant`] unconditionally; the event structs
+//! are `Copy` and are only materialised into the ring when tracing is on.
+//!
+//! # Exporters
+//!
+//! A [`TraceSnapshot`] renders to JSON-lines ([`TraceSnapshot::to_jsonl`])
+//! or to the Chrome `trace_event` array format
+//! ([`TraceSnapshot::to_chrome`]), which loads directly in Perfetto /
+//! `chrome://tracing`. Both exporters format timestamps with integer
+//! arithmetic so output is byte-identical across runs and platforms.
+//!
+//! # Attribution
+//!
+//! [`LatencyAttribution::from_snapshot`] folds a snapshot into per-layer
+//! busy time, which the bench harness divides by acknowledged commits to
+//! answer "where do a commit's microseconds go?".
+
+use std::cell::{Cell, RefCell};
+use std::collections::VecDeque;
+use std::fmt::Write as _;
+
+use crate::time::{SimDuration, SimTime};
+
+/// Default ring capacity (events), enough for several simulated seconds of
+/// a busy single-disk machine.
+pub const DEFAULT_CAPACITY: usize = 1 << 16;
+
+/// The subsystem a trace event belongs to. Doubles as the Chrome `tid` so
+/// each layer renders as its own track.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Layer {
+    /// Workload clients: transaction submit / commit observation.
+    App,
+    /// Database engine: transaction execution, checkpoints.
+    Engine,
+    /// Write-ahead log: appends, group-commit formation, forces.
+    Wal,
+    /// RapiLog dependable buffer: admission, acks.
+    Buffer,
+    /// RapiLog drain: batch consolidation, emergency drain, freeze.
+    Drain,
+    /// Simulated disk: media I/O with seek/rotation/transfer breakdown.
+    Disk,
+    /// Power supply: warnings, death, restore.
+    Power,
+    /// Fault injector: crashes, power cuts, recovery.
+    Fault,
+}
+
+impl Layer {
+    /// Every layer, in track order.
+    pub const ALL: [Layer; 8] = [
+        Layer::App,
+        Layer::Engine,
+        Layer::Wal,
+        Layer::Buffer,
+        Layer::Drain,
+        Layer::Disk,
+        Layer::Power,
+        Layer::Fault,
+    ];
+
+    /// Human-readable (and Chrome thread) name.
+    pub fn label(self) -> &'static str {
+        match self {
+            Layer::App => "app",
+            Layer::Engine => "engine",
+            Layer::Wal => "wal",
+            Layer::Buffer => "buffer",
+            Layer::Drain => "drain",
+            Layer::Disk => "disk",
+            Layer::Power => "power",
+            Layer::Fault => "fault",
+        }
+    }
+
+    /// Stable per-layer track id for the Chrome exporter.
+    pub fn track(self) -> u32 {
+        match self {
+            Layer::App => 1,
+            Layer::Engine => 2,
+            Layer::Wal => 3,
+            Layer::Buffer => 4,
+            Layer::Drain => 5,
+            Layer::Disk => 6,
+            Layer::Power => 7,
+            Layer::Fault => 8,
+        }
+    }
+}
+
+/// Span phase of an event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase {
+    /// Opens a span on the event's layer.
+    Begin,
+    /// Closes the most recent open span with the same layer and name.
+    End,
+    /// A point event with no duration.
+    Instant,
+}
+
+/// Typed, allocation-free event payload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Payload {
+    /// No payload.
+    #[default]
+    None,
+    /// A byte count.
+    Bytes {
+        /// Bytes involved.
+        bytes: u64,
+    },
+    /// A buffered extent (RapiLog admission).
+    Extent {
+        /// Buffer sequence number.
+        seq: u64,
+        /// Starting sector.
+        sector: u64,
+        /// Payload bytes.
+        bytes: u64,
+    },
+    /// A consolidated drain batch.
+    Batch {
+        /// Extents consumed.
+        extents: u64,
+        /// Contiguous runs after consolidation.
+        runs: u64,
+        /// Total bytes.
+        bytes: u64,
+    },
+    /// A media I/O with the timing model's breakdown.
+    Io {
+        /// Starting sector.
+        sector: u64,
+        /// Sector count.
+        sectors: u64,
+        /// True for writes.
+        write: bool,
+        /// Seek (or fixed-overhead) nanoseconds.
+        seek: u64,
+        /// Rotational-wait nanoseconds.
+        rotation: u64,
+        /// Transfer nanoseconds.
+        transfer: u64,
+    },
+    /// A WAL record or flush.
+    Wal {
+        /// Log sequence number.
+        lsn: u64,
+        /// Bytes staged or forced.
+        bytes: u64,
+        /// Records covered.
+        records: u64,
+    },
+    /// An acknowledged commit as seen by a client.
+    Commit {
+        /// Client-local transaction number.
+        txn: u64,
+        /// Observed latency in nanoseconds.
+        latency: u64,
+    },
+    /// A bare numeric annotation.
+    Mark {
+        /// The value.
+        value: u64,
+    },
+    /// A static-string annotation.
+    Text {
+        /// The text.
+        text: &'static str,
+    },
+}
+
+/// One recorded event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Virtual time of the event.
+    pub time: SimTime,
+    /// Owning subsystem.
+    pub layer: Layer,
+    /// Static event name (span name for `Begin`/`End`).
+    pub name: &'static str,
+    /// Begin / end / instant.
+    pub phase: Phase,
+    /// Typed payload.
+    pub payload: Payload,
+}
+
+struct Ring {
+    events: VecDeque<TraceEvent>,
+    capacity: usize,
+    dropped: u64,
+    total: u64,
+}
+
+/// The per-simulation event recorder.
+///
+/// Created disabled; see the [module docs](self) for the cost model.
+pub struct Tracer {
+    on: Cell<bool>,
+    ring: RefCell<Ring>,
+}
+
+impl Default for Tracer {
+    fn default() -> Self {
+        Tracer::new()
+    }
+}
+
+impl Tracer {
+    /// Creates a disabled tracer with [`DEFAULT_CAPACITY`].
+    pub fn new() -> Tracer {
+        Tracer {
+            on: Cell::new(false),
+            ring: RefCell::new(Ring {
+                events: VecDeque::new(),
+                capacity: DEFAULT_CAPACITY,
+                dropped: 0,
+                total: 0,
+            }),
+        }
+    }
+
+    /// Turns recording on or off. Events emitted while off vanish without
+    /// touching the ring.
+    pub fn set_enabled(&self, on: bool) {
+        self.on.set(on);
+    }
+
+    /// True if recording.
+    pub fn is_enabled(&self) -> bool {
+        self.on.get()
+    }
+
+    /// Resizes the ring; excess oldest events are evicted (and counted as
+    /// dropped).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn set_capacity(&self, capacity: usize) {
+        assert!(capacity > 0, "trace ring capacity must be positive");
+        let mut ring = self.ring.borrow_mut();
+        ring.capacity = capacity;
+        while ring.events.len() > capacity {
+            ring.events.pop_front();
+            ring.dropped += 1;
+        }
+    }
+
+    fn record(&self, ev: TraceEvent) {
+        // The disabled check lives in the public inline wrappers so a
+        // disabled tracer never reaches this function.
+        let mut ring = self.ring.borrow_mut();
+        ring.total += 1;
+        if ring.events.len() == ring.capacity {
+            ring.events.pop_front();
+            ring.dropped += 1;
+        }
+        ring.events.push_back(ev);
+    }
+
+    /// Opens a span.
+    #[inline]
+    pub fn begin(&self, time: SimTime, layer: Layer, name: &'static str, payload: Payload) {
+        if !self.on.get() {
+            return;
+        }
+        self.record(TraceEvent {
+            time,
+            layer,
+            name,
+            phase: Phase::Begin,
+            payload,
+        });
+    }
+
+    /// Closes the most recent open span with this layer and name.
+    #[inline]
+    pub fn end(&self, time: SimTime, layer: Layer, name: &'static str, payload: Payload) {
+        if !self.on.get() {
+            return;
+        }
+        self.record(TraceEvent {
+            time,
+            layer,
+            name,
+            phase: Phase::End,
+            payload,
+        });
+    }
+
+    /// Records a point event.
+    #[inline]
+    pub fn instant(&self, time: SimTime, layer: Layer, name: &'static str, payload: Payload) {
+        if !self.on.get() {
+            return;
+        }
+        self.record(TraceEvent {
+            time,
+            layer,
+            name,
+            phase: Phase::Instant,
+            payload,
+        });
+    }
+
+    /// Copies the ring out. Recording continues unaffected.
+    pub fn snapshot(&self) -> TraceSnapshot {
+        let ring = self.ring.borrow();
+        TraceSnapshot {
+            events: ring.events.iter().copied().collect(),
+            dropped: ring.dropped,
+            total: ring.total,
+        }
+    }
+
+    /// Empties the ring and resets the drop counters; the enabled flag and
+    /// capacity are untouched.
+    pub fn clear(&self) {
+        let mut ring = self.ring.borrow_mut();
+        ring.events.clear();
+        ring.dropped = 0;
+        ring.total = 0;
+    }
+
+    /// Events currently buffered.
+    pub fn len(&self) -> usize {
+        self.ring.borrow().events.len()
+    }
+
+    /// True if no events are buffered.
+    pub fn is_empty(&self) -> bool {
+        self.ring.borrow().events.is_empty()
+    }
+}
+
+/// Writes `ns` nanoseconds as a microsecond decimal (`"12.345"`) using only
+/// integer arithmetic, so exporter output never depends on float formatting.
+fn write_us(out: &mut String, ns: u64) {
+    let _ = write!(out, "{}.{:03}", ns / 1000, ns % 1000);
+}
+
+fn payload_args(out: &mut String, payload: &Payload) {
+    match *payload {
+        Payload::None => out.push_str("{}"),
+        Payload::Bytes { bytes } => {
+            let _ = write!(out, "{{\"bytes\":{bytes}}}");
+        }
+        Payload::Extent { seq, sector, bytes } => {
+            let _ = write!(
+                out,
+                "{{\"seq\":{seq},\"sector\":{sector},\"bytes\":{bytes}}}"
+            );
+        }
+        Payload::Batch {
+            extents,
+            runs,
+            bytes,
+        } => {
+            let _ = write!(
+                out,
+                "{{\"extents\":{extents},\"runs\":{runs},\"bytes\":{bytes}}}"
+            );
+        }
+        Payload::Io {
+            sector,
+            sectors,
+            write,
+            seek,
+            rotation,
+            transfer,
+        } => {
+            let _ = write!(
+                out,
+                "{{\"sector\":{sector},\"sectors\":{sectors},\"write\":{write},\
+                 \"seek_ns\":{seek},\"rotation_ns\":{rotation},\"transfer_ns\":{transfer}}}"
+            );
+        }
+        Payload::Wal {
+            lsn,
+            bytes,
+            records,
+        } => {
+            let _ = write!(
+                out,
+                "{{\"lsn\":{lsn},\"bytes\":{bytes},\"records\":{records}}}"
+            );
+        }
+        Payload::Commit { txn, latency } => {
+            let _ = write!(out, "{{\"txn\":{txn},\"latency_ns\":{latency}}}");
+        }
+        Payload::Mark { value } => {
+            let _ = write!(out, "{{\"value\":{value}}}");
+        }
+        Payload::Text { text } => {
+            // Static strings in this codebase are plain ASCII identifiers;
+            // escape the JSON specials anyway to stay valid.
+            out.push_str("{\"text\":\"");
+            for c in text.chars() {
+                match c {
+                    '"' => out.push_str("\\\""),
+                    '\\' => out.push_str("\\\\"),
+                    c if (c as u32) < 0x20 => {
+                        let _ = write!(out, "\\u{:04x}", c as u32);
+                    }
+                    c => out.push(c),
+                }
+            }
+            out.push_str("\"}");
+        }
+    }
+}
+
+/// An owned copy of the ring at a point in time.
+#[derive(Debug, Clone)]
+pub struct TraceSnapshot {
+    /// Events, oldest first.
+    pub events: Vec<TraceEvent>,
+    /// Events evicted by the ring before this snapshot.
+    pub dropped: u64,
+    /// Events ever recorded (buffered + dropped).
+    pub total: u64,
+}
+
+impl TraceSnapshot {
+    /// One JSON object per line:
+    /// `{"t_ns":..,"layer":"..","name":"..","ph":"B","args":{..}}`.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::with_capacity(self.events.len() * 96);
+        for ev in &self.events {
+            let ph = match ev.phase {
+                Phase::Begin => "B",
+                Phase::End => "E",
+                Phase::Instant => "i",
+            };
+            let _ = write!(
+                out,
+                "{{\"t_ns\":{},\"layer\":\"{}\",\"name\":\"{}\",\"ph\":\"{ph}\",\"args\":",
+                ev.time.as_nanos(),
+                ev.layer.label(),
+                ev.name,
+            );
+            payload_args(&mut out, &ev.payload);
+            out.push_str("}\n");
+        }
+        out
+    }
+
+    /// Chrome `trace_event` JSON (array form), loadable in Perfetto or
+    /// `chrome://tracing`. Layers map to threads of a single process;
+    /// timestamps are virtual microseconds.
+    pub fn to_chrome(&self) -> String {
+        let mut out = String::with_capacity(self.events.len() * 128 + 1024);
+        out.push_str("[\n");
+        let mut first = true;
+        // Thread-name metadata so Perfetto labels each layer track.
+        for layer in Layer::ALL {
+            if !first {
+                out.push_str(",\n");
+            }
+            first = false;
+            let _ = write!(
+                out,
+                "{{\"ph\":\"M\",\"pid\":1,\"tid\":{},\"name\":\"thread_name\",\
+                 \"args\":{{\"name\":\"{}\"}}}}",
+                layer.track(),
+                layer.label(),
+            );
+        }
+        for ev in &self.events {
+            let ph = match ev.phase {
+                Phase::Begin => "B",
+                Phase::End => "E",
+                Phase::Instant => "i",
+            };
+            if !first {
+                out.push_str(",\n");
+            }
+            first = false;
+            let _ = write!(
+                out,
+                "{{\"ph\":\"{ph}\",\"pid\":1,\"tid\":{},\"ts\":",
+                ev.layer.track()
+            );
+            write_us(&mut out, ev.time.as_nanos());
+            let _ = write!(
+                out,
+                ",\"name\":\"{}\",\"cat\":\"{}\"",
+                ev.name,
+                ev.layer.label()
+            );
+            if ev.phase == Phase::Instant {
+                out.push_str(",\"s\":\"t\"");
+            }
+            out.push_str(",\"args\":");
+            payload_args(&mut out, &ev.payload);
+            out.push('}');
+        }
+        out.push_str("\n]\n");
+        out
+    }
+}
+
+/// Busy time of one layer, folded from matched spans.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LayerBusy {
+    /// The layer.
+    pub layer: Layer,
+    /// Matched spans counted.
+    pub spans: u64,
+    /// Total span time (overlapping spans within a layer add up).
+    pub busy: SimDuration,
+}
+
+/// Per-layer commit-latency attribution.
+///
+/// Dividing each layer's busy time by the number of acknowledged commits
+/// gives the average "where did the microseconds go" decomposition the
+/// paper's latency claims rest on.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LatencyAttribution {
+    /// Acknowledged commits the busy time is attributed across.
+    pub commits: u64,
+    /// Busy time per layer (only layers with at least one span appear).
+    pub layers: Vec<LayerBusy>,
+}
+
+impl LatencyAttribution {
+    /// Folds `snap` into per-layer busy time.
+    ///
+    /// Begin/end events pair LIFO per `(layer, name)`; unmatched begins
+    /// (spans still open at snapshot time, or whose begin was evicted from
+    /// the ring) are dropped rather than guessed at.
+    pub fn from_snapshot(snap: &TraceSnapshot, commits: u64) -> LatencyAttribution {
+        use std::collections::HashMap;
+        let mut open: HashMap<(Layer, &'static str), Vec<SimTime>> = HashMap::new();
+        let mut spans: HashMap<Layer, (u64, u64)> = HashMap::new();
+        for ev in &snap.events {
+            match ev.phase {
+                Phase::Begin => open.entry((ev.layer, ev.name)).or_default().push(ev.time),
+                Phase::End => {
+                    if let Some(begin) = open.get_mut(&(ev.layer, ev.name)).and_then(Vec::pop) {
+                        let d = ev.time.saturating_duration_since(begin);
+                        let e = spans.entry(ev.layer).or_insert((0, 0));
+                        e.0 += 1;
+                        e.1 += d.as_nanos();
+                    }
+                }
+                Phase::Instant => {}
+            }
+        }
+        let mut layers: Vec<LayerBusy> = Layer::ALL
+            .iter()
+            .filter_map(|&layer| {
+                spans.get(&layer).map(|&(n, ns)| LayerBusy {
+                    layer,
+                    spans: n,
+                    busy: SimDuration::from_nanos(ns),
+                })
+            })
+            .collect();
+        layers.sort_by_key(|l| l.layer);
+        LatencyAttribution { commits, layers }
+    }
+
+    /// Total busy time of `layer`, zero if it never appeared.
+    pub fn busy(&self, layer: Layer) -> SimDuration {
+        self.layers
+            .iter()
+            .find(|l| l.layer == layer)
+            .map(|l| l.busy)
+            .unwrap_or(SimDuration::ZERO)
+    }
+
+    /// Average busy time of `layer` per acknowledged commit.
+    pub fn per_commit(&self, layer: Layer) -> SimDuration {
+        if self.commits == 0 {
+            return SimDuration::ZERO;
+        }
+        SimDuration::from_nanos(self.busy(layer).as_nanos() / self.commits)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(us: u64) -> SimTime {
+        SimTime::from_micros(us)
+    }
+
+    #[test]
+    fn disabled_tracer_records_nothing() {
+        let tr = Tracer::new();
+        assert!(!tr.is_enabled());
+        tr.begin(t(1), Layer::Disk, "io", Payload::None);
+        tr.end(t(2), Layer::Disk, "io", Payload::None);
+        tr.instant(t(3), Layer::App, "mark", Payload::Mark { value: 1 });
+        assert!(tr.is_empty());
+        let snap = tr.snapshot();
+        assert_eq!(snap.total, 0);
+        assert_eq!(snap.dropped, 0);
+        assert!(snap.events.is_empty());
+    }
+
+    #[test]
+    fn enable_disable_toggles_recording() {
+        let tr = Tracer::new();
+        tr.set_enabled(true);
+        tr.instant(t(1), Layer::App, "a", Payload::None);
+        tr.set_enabled(false);
+        tr.instant(t(2), Layer::App, "b", Payload::None);
+        tr.set_enabled(true);
+        tr.instant(t(3), Layer::App, "c", Payload::None);
+        let snap = tr.snapshot();
+        let names: Vec<_> = snap.events.iter().map(|e| e.name).collect();
+        assert_eq!(names, vec!["a", "c"]);
+    }
+
+    #[test]
+    fn ring_evicts_oldest_and_counts_drops() {
+        let tr = Tracer::new();
+        tr.set_capacity(4);
+        tr.set_enabled(true);
+        for i in 0..10u64 {
+            tr.instant(t(i), Layer::Wal, "e", Payload::Mark { value: i });
+        }
+        assert_eq!(tr.len(), 4);
+        let snap = tr.snapshot();
+        assert_eq!(snap.dropped, 6);
+        assert_eq!(snap.total, 10);
+        let kept: Vec<u64> = snap
+            .events
+            .iter()
+            .map(|e| match e.payload {
+                Payload::Mark { value } => value,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(kept, vec![6, 7, 8, 9], "oldest evicted first");
+    }
+
+    #[test]
+    fn shrinking_capacity_evicts() {
+        let tr = Tracer::new();
+        tr.set_enabled(true);
+        for i in 0..8u64 {
+            tr.instant(t(i), Layer::App, "e", Payload::None);
+        }
+        tr.set_capacity(3);
+        assert_eq!(tr.len(), 3);
+        assert_eq!(tr.snapshot().dropped, 5);
+    }
+
+    #[test]
+    fn clear_resets_but_keeps_flag() {
+        let tr = Tracer::new();
+        tr.set_enabled(true);
+        tr.instant(t(1), Layer::App, "x", Payload::None);
+        tr.clear();
+        assert!(tr.is_empty());
+        assert!(tr.is_enabled());
+        assert_eq!(tr.snapshot().total, 0);
+    }
+
+    #[test]
+    fn nested_spans_attribute_lifo() {
+        let tr = Tracer::new();
+        tr.set_enabled(true);
+        // outer [0, 100us], inner [20, 30us], same layer, different names.
+        tr.begin(t(0), Layer::Drain, "outer", Payload::None);
+        tr.begin(t(20), Layer::Drain, "inner", Payload::None);
+        tr.end(t(30), Layer::Drain, "inner", Payload::None);
+        tr.end(t(100), Layer::Drain, "outer", Payload::None);
+        let attr = LatencyAttribution::from_snapshot(&tr.snapshot(), 1);
+        assert_eq!(attr.busy(Layer::Drain).as_micros(), 110, "overlap adds");
+        assert_eq!(attr.layers[0].spans, 2);
+    }
+
+    #[test]
+    fn same_name_nesting_pairs_lifo() {
+        let tr = Tracer::new();
+        tr.set_enabled(true);
+        tr.begin(t(0), Layer::Disk, "io", Payload::None);
+        tr.begin(t(10), Layer::Disk, "io", Payload::None);
+        tr.end(t(15), Layer::Disk, "io", Payload::None); // pairs with t=10
+        tr.end(t(40), Layer::Disk, "io", Payload::None); // pairs with t=0
+        let attr = LatencyAttribution::from_snapshot(&tr.snapshot(), 1);
+        assert_eq!(attr.busy(Layer::Disk).as_micros(), 45);
+    }
+
+    #[test]
+    fn unmatched_begins_are_dropped() {
+        let tr = Tracer::new();
+        tr.set_enabled(true);
+        tr.begin(t(0), Layer::Wal, "force", Payload::None);
+        // never ended
+        tr.begin(t(5), Layer::Wal, "append", Payload::None);
+        tr.end(t(9), Layer::Wal, "append", Payload::None);
+        let attr = LatencyAttribution::from_snapshot(&tr.snapshot(), 2);
+        assert_eq!(attr.busy(Layer::Wal).as_micros(), 4);
+        assert_eq!(attr.per_commit(Layer::Wal).as_micros(), 2);
+    }
+
+    #[test]
+    fn stray_end_is_ignored() {
+        let tr = Tracer::new();
+        tr.set_enabled(true);
+        tr.end(t(9), Layer::Buffer, "ack", Payload::None);
+        let attr = LatencyAttribution::from_snapshot(&tr.snapshot(), 1);
+        assert_eq!(attr.busy(Layer::Buffer), SimDuration::ZERO);
+        assert!(attr.layers.is_empty());
+    }
+
+    #[test]
+    fn attribution_zero_commits_is_safe() {
+        let tr = Tracer::new();
+        tr.set_enabled(true);
+        tr.begin(t(0), Layer::Disk, "io", Payload::None);
+        tr.end(t(10), Layer::Disk, "io", Payload::None);
+        let attr = LatencyAttribution::from_snapshot(&tr.snapshot(), 0);
+        assert_eq!(attr.per_commit(Layer::Disk), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn jsonl_lines_parse_shape() {
+        let tr = Tracer::new();
+        tr.set_enabled(true);
+        tr.begin(
+            t(1),
+            Layer::Disk,
+            "media_write",
+            Payload::Io {
+                sector: 8,
+                sectors: 4,
+                write: true,
+                seek: 100,
+                rotation: 200,
+                transfer: 300,
+            },
+        );
+        tr.end(t(2), Layer::Disk, "media_write", Payload::None);
+        tr.instant(t(3), Layer::Power, "warning", Payload::Text { text: "atx" });
+        let out = tr.snapshot().to_jsonl();
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].starts_with("{\"t_ns\":1000,"));
+        assert!(lines[0].contains("\"ph\":\"B\""));
+        assert!(lines[0].contains("\"seek_ns\":100"));
+        assert!(lines[1].contains("\"ph\":\"E\""));
+        assert!(lines[2].contains("\"ph\":\"i\""));
+        assert!(lines[2].contains("\"text\":\"atx\""));
+        for l in lines {
+            assert!(l.starts_with('{') && l.ends_with('}'));
+            assert_eq!(
+                l.matches('{').count(),
+                l.matches('}').count(),
+                "balanced braces in {l}"
+            );
+        }
+    }
+
+    #[test]
+    fn chrome_export_is_wellformed() {
+        let tr = Tracer::new();
+        tr.set_enabled(true);
+        tr.begin(
+            t(10),
+            Layer::Wal,
+            "group_commit",
+            Payload::Bytes { bytes: 4096 },
+        );
+        tr.end(t(25), Layer::Wal, "group_commit", Payload::None);
+        tr.instant(
+            t(30),
+            Layer::App,
+            "commit",
+            Payload::Commit {
+                txn: 1,
+                latency: 5000,
+            },
+        );
+        let out = tr.snapshot().to_chrome();
+        assert!(out.starts_with("[\n"));
+        assert!(out.trim_end().ends_with(']'));
+        // Metadata rows name every layer track.
+        for layer in Layer::ALL {
+            assert!(
+                out.contains(&format!("\"args\":{{\"name\":\"{}\"}}", layer.label())),
+                "missing thread_name for {}",
+                layer.label()
+            );
+        }
+        // Microsecond timestamps rendered with integer math.
+        assert!(out.contains("\"ts\":10.000"));
+        assert!(out.contains("\"ts\":25.000"));
+        // Instants carry scope.
+        assert!(out.contains("\"s\":\"t\""));
+        assert_eq!(out.matches("\"ph\":\"B\"").count(), 1);
+        assert_eq!(out.matches("\"ph\":\"E\"").count(), 1);
+        assert_eq!(out.matches("\"ph\":\"i\"").count(), 1);
+        assert_eq!(out.matches('{').count(), out.matches('}').count());
+    }
+
+    #[test]
+    fn chrome_timestamps_submicrosecond() {
+        let tr = Tracer::new();
+        tr.set_enabled(true);
+        tr.instant(
+            SimTime::from_nanos(1_234_567),
+            Layer::App,
+            "x",
+            Payload::None,
+        );
+        let out = tr.snapshot().to_chrome();
+        assert!(out.contains("\"ts\":1234.567"), "got: {out}");
+    }
+
+    #[test]
+    fn exports_are_deterministic() {
+        fn build() -> String {
+            let tr = Tracer::new();
+            tr.set_enabled(true);
+            for i in 0..50u64 {
+                tr.begin(t(i * 10), Layer::Disk, "io", Payload::Bytes { bytes: i });
+                tr.end(t(i * 10 + 5), Layer::Disk, "io", Payload::None);
+            }
+            let snap = tr.snapshot();
+            format!("{}{}", snap.to_jsonl(), snap.to_chrome())
+        }
+        assert_eq!(build(), build());
+    }
+}

@@ -24,11 +24,12 @@ use std::collections::BTreeMap;
 use std::rc::Rc;
 
 use rapilog_simcore::sync::{Notify, Semaphore};
+use rapilog_simcore::trace::{Layer, Payload, Tracer};
 use rapilog_simcore::{SimCtx, SimDuration, SimTime};
 
 use crate::spec::DiskSpec;
 use crate::store::SectorStore;
-use crate::timing::TimingModel;
+use crate::timing::{ServiceParts, TimingModel};
 use crate::{BlockDevice, Geometry, IoError, IoResult, LocalBoxFuture, SECTOR_SIZE};
 
 /// Largest contiguous run the writeback task commits in one media op.
@@ -92,6 +93,20 @@ struct DiskInner {
     offline: Cell<bool>,
     power_epoch: Cell<u64>,
     stats: RefCell<DiskStats>,
+    tracer: Rc<Tracer>,
+}
+
+impl DiskInner {
+    fn io_payload(&self, sector: u64, sectors: u64, write: bool, parts: ServiceParts) -> Payload {
+        Payload::Io {
+            sector,
+            sectors,
+            write,
+            seek: parts.seek.as_nanos(),
+            rotation: parts.rotation.as_nanos(),
+            transfer: parts.transfer.as_nanos(),
+        }
+    }
 }
 
 /// A cloneable handle to a simulated disk.
@@ -126,6 +141,7 @@ impl Disk {
             offline: Cell::new(false),
             power_epoch: Cell::new(0),
             stats: RefCell::new(DiskStats::default()),
+            tracer: ctx.tracer(),
             spec,
         });
         if inner.spec.cache.is_some() {
@@ -166,6 +182,9 @@ impl Disk {
         self.inner.offline.set(true);
         self.inner.power_epoch.set(self.inner.power_epoch.get() + 1);
         let now = self.inner.ctx.now();
+        self.inner
+            .tracer
+            .instant(now, Layer::Power, "disk_power_cut", Payload::None);
         {
             let mut st = self.inner.st.borrow_mut();
             if let Some(inf) = st.inflight.take() {
@@ -186,10 +205,8 @@ impl Disk {
                         inf.nsectors
                     };
                     if committed > 0 {
-                        st.store.write_run(
-                            inf.sector,
-                            &inf.data[..(committed as usize * SECTOR_SIZE)],
-                        );
+                        st.store
+                            .write_run(inf.sector, &inf.data[..(committed as usize * SECTOR_SIZE)]);
                     }
                 }
             }
@@ -205,6 +222,12 @@ impl Disk {
     /// Restores power. Media contents persist; the cache starts empty.
     pub fn power_restore(&self) {
         self.inner.offline.set(false);
+        self.inner.tracer.instant(
+            self.inner.ctx.now(),
+            Layer::Power,
+            "disk_power_restore",
+            Payload::None,
+        );
     }
 
     fn check_access(&self, sector: u64, len: usize) -> IoResult<u64> {
@@ -212,7 +235,10 @@ impl Disk {
             return Err(IoError::Misaligned { len });
         }
         let count = (len / SECTOR_SIZE) as u64;
-        if sector.checked_add(count).is_none_or(|end| end > self.inner.geometry.sectors) {
+        if sector
+            .checked_add(count)
+            .is_none_or(|end| end > self.inner.geometry.sectors)
+        {
             return Err(IoError::OutOfRange { sector, count });
         }
         Ok(count)
@@ -261,9 +287,10 @@ impl Disk {
         let epoch = self.inner.power_epoch.get();
         let dur = {
             let mut st = self.inner.st.borrow_mut();
-            let dur = st
+            let parts = st
                 .timing
-                .service_time(self.inner.ctx.now(), sector, count, false);
+                .service(self.inner.ctx.now(), sector, count, false);
+            let dur = parts.total();
             st.inflight = Some(Inflight {
                 sector,
                 nsectors: count,
@@ -272,12 +299,30 @@ impl Disk {
                 start: self.inner.ctx.now(),
                 duration: dur,
             });
+            self.inner.tracer.begin(
+                self.inner.ctx.now(),
+                Layer::Disk,
+                "media_read",
+                self.inner.io_payload(sector, count, false, parts),
+            );
             dur
         };
         self.inner.ctx.sleep(dur).await;
         if self.inner.power_epoch.get() != epoch {
+            self.inner.tracer.end(
+                self.inner.ctx.now(),
+                Layer::Disk,
+                "media_read",
+                Payload::Text { text: "power_loss" },
+            );
             return Err(IoError::PowerLoss);
         }
+        self.inner.tracer.end(
+            self.inner.ctx.now(),
+            Layer::Disk,
+            "media_read",
+            Payload::None,
+        );
         let mut st = self.inner.st.borrow_mut();
         st.inflight = None;
         st.store.read_run(sector, buf);
@@ -381,10 +426,28 @@ impl Disk {
         }
         let epoch = self.inner.power_epoch.get();
         let dur = self.inner.st.borrow().timing.flush_time();
+        self.inner.tracer.begin(
+            self.inner.ctx.now(),
+            Layer::Disk,
+            "media_flush",
+            Payload::None,
+        );
         self.inner.ctx.sleep(dur).await;
         if self.inner.power_epoch.get() != epoch {
+            self.inner.tracer.end(
+                self.inner.ctx.now(),
+                Layer::Disk,
+                "media_flush",
+                Payload::Text { text: "power_loss" },
+            );
             return Err(IoError::PowerLoss);
         }
+        self.inner.tracer.end(
+            self.inner.ctx.now(),
+            Layer::Disk,
+            "media_flush",
+            Payload::None,
+        );
         Ok(())
     }
 
@@ -397,9 +460,8 @@ impl Disk {
         let epoch = self.inner.power_epoch.get();
         let dur = {
             let mut st = self.inner.st.borrow_mut();
-            let dur = st
-                .timing
-                .service_time(self.inner.ctx.now(), sector, count, true);
+            let parts = st.timing.service(self.inner.ctx.now(), sector, count, true);
+            let dur = parts.total();
             st.inflight = Some(Inflight {
                 sector,
                 nsectors: count,
@@ -408,14 +470,32 @@ impl Disk {
                 start: self.inner.ctx.now(),
                 duration: dur,
             });
+            self.inner.tracer.begin(
+                self.inner.ctx.now(),
+                Layer::Disk,
+                "media_write",
+                self.inner.io_payload(sector, count, true, parts),
+            );
             dur
         };
         self.inner.ctx.sleep(dur).await;
         if self.inner.power_epoch.get() != epoch {
             // The power-cut handler already disposed of the in-flight op
             // (committing a torn prefix if configured).
+            self.inner.tracer.end(
+                self.inner.ctx.now(),
+                Layer::Disk,
+                "media_write",
+                Payload::Text { text: "power_loss" },
+            );
             return Err(IoError::PowerLoss);
         }
+        self.inner.tracer.end(
+            self.inner.ctx.now(),
+            Layer::Disk,
+            "media_write",
+            Payload::None,
+        );
         let mut st = self.inner.st.borrow_mut();
         st.inflight = None;
         st.store.write_run(sector, data);
@@ -460,14 +540,14 @@ async fn writeback_loop(inner: Rc<DiskInner>) {
                         let mut data = Vec::with_capacity(SECTOR_SIZE * 8);
                         let mut versions = vec![entry.version];
                         data.extend_from_slice(&entry.data[..]);
-                        let mut next = first + 1;
-                        for (&s, e) in iter {
-                            if s != next || versions.len() as u64 >= MAX_WRITEBACK_SECTORS {
+                        for (i, (&s, e)) in iter.enumerate() {
+                            if s != first + 1 + i as u64
+                                || versions.len() as u64 >= MAX_WRITEBACK_SECTORS
+                            {
                                 break;
                             }
                             data.extend_from_slice(&e.data[..]);
                             versions.push(e.version);
-                            next += 1;
                         }
                         Some((first, data, versions))
                     }
@@ -609,10 +689,7 @@ mod tests {
             let t0 = ctx.now();
             disk.write(100, &data, false).await.unwrap();
             let ack = ctx.now() - t0;
-            assert!(
-                ack < SimDuration::from_millis(1),
-                "cached ack took {ack}"
-            );
+            assert!(ack < SimDuration::from_millis(1), "cached ack took {ack}");
             disk.flush().await.unwrap();
             // Simulate the crash: cache is dropped, media must have it.
             disk.power_cut();

@@ -50,6 +50,7 @@ pub mod timing;
 pub use disk::{Disk, DiskStats};
 pub use spec::{specs, CacheSpec, DiskSpec, TimingSpec};
 pub use store::SectorStore;
+pub use timing::ServiceParts;
 
 use std::fmt;
 use std::future::Future;

@@ -12,6 +12,31 @@ use rapilog_simcore::{SimDuration, SimTime};
 use crate::spec::TimingSpec;
 use crate::SECTOR_SIZE;
 
+/// Breakdown of one access's service time into mechanical components.
+///
+/// For an HDD, `seek` is the positioning phase (seek overlapped with
+/// controller overhead), `rotation` is the wait for the target sector to
+/// pass under the head, and `transfer` is the media transfer including
+/// track-boundary skew. For an SSD, `seek` carries the command latency and
+/// `rotation` is always zero.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ServiceParts {
+    /// Positioning: seek overlapped with command overhead (HDD), or command
+    /// latency (SSD).
+    pub seek: SimDuration,
+    /// Rotational wait (HDD only).
+    pub rotation: SimDuration,
+    /// Media/bus transfer.
+    pub transfer: SimDuration,
+}
+
+impl ServiceParts {
+    /// The whole service time.
+    pub fn total(&self) -> SimDuration {
+        self.seek + self.rotation + self.transfer
+    }
+}
+
 /// Mutable timing state for one device.
 pub enum TimingModel {
     /// Rotating disk; remembers the head's cylinder.
@@ -107,8 +132,24 @@ impl TimingModel {
         now: SimTime,
         sector: u64,
         nsectors: u64,
-        _is_write: bool,
+        is_write: bool,
     ) -> SimDuration {
+        self.service(now, sector, nsectors, is_write).total()
+    }
+
+    /// Like [`service_time`](Self::service_time), but returns the
+    /// seek/rotation/transfer breakdown for trace attribution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nsectors` is zero.
+    pub fn service(
+        &mut self,
+        now: SimTime,
+        sector: u64,
+        nsectors: u64,
+        _is_write: bool,
+    ) -> ServiceParts {
         assert!(nsectors > 0, "service_time: empty access");
         match self {
             TimingModel::Hdd {
@@ -141,8 +182,7 @@ impl TimingModel {
                 // Physical angle of a logical sector includes the per-track
                 // skew offset.
                 let angle_sectors = ((sector % spt) + ((sector / spt) % spt) * *track_skew) % spt;
-                let target_ns =
-                    (angle_sectors as u128 * *rotation_ns as u128 / spt as u128) as u64;
+                let target_ns = (angle_sectors as u128 * *rotation_ns as u128 / spt as u128) as u64;
                 let mut rot_wait_ns = (target_ns + *rotation_ns - head_ns) % *rotation_ns;
                 // Sequential-stream absorption: when this access starts
                 // exactly where the previous one ended AND the head has
@@ -164,13 +204,14 @@ impl TimingModel {
                 // (head switch + waiting out the skew gap).
                 let boundaries = (sector + nsectors - 1) / spt - sector / spt;
                 let transfer_sectors = nsectors as u128 + boundaries as u128 * *track_skew as u128;
-                let transfer_ns =
-                    (transfer_sectors * *rotation_ns as u128 / spt as u128) as u64;
+                let transfer_ns = (transfer_sectors * *rotation_ns as u128 / spt as u128) as u64;
                 *current_cylinder = (sector + nsectors - 1) / spt;
                 *last_end_sector = Some(sector + nsectors);
-                seek.max(*overhead)
-                    + SimDuration::from_nanos(rot_wait_ns)
-                    + SimDuration::from_nanos(transfer_ns)
+                ServiceParts {
+                    seek: seek.max(*overhead),
+                    rotation: SimDuration::from_nanos(rot_wait_ns),
+                    transfer: SimDuration::from_nanos(transfer_ns),
+                }
             }
             TimingModel::Ssd {
                 read_latency,
@@ -189,7 +230,11 @@ impl TimingModel {
                 } else {
                     (bytes as u128 * 1_000_000_000u128 / *bus_bytes_per_sec as u128) as u64
                 };
-                latency + SimDuration::from_nanos(transfer_ns)
+                ServiceParts {
+                    seek: latency,
+                    rotation: SimDuration::ZERO,
+                    transfer: SimDuration::from_nanos(transfer_ns),
+                }
             }
         }
     }
@@ -332,5 +377,41 @@ mod tests {
     fn zero_sector_access_rejected() {
         let mut m = hdd_model();
         let _ = m.service_time(SimTime::ZERO, 0, 0, false);
+    }
+
+    #[test]
+    fn parts_sum_to_service_time() {
+        let mut a = hdd_model();
+        let mut b = hdd_model();
+        let mut now = SimTime::ZERO;
+        let mut sector = 0u64;
+        for i in 0..20u64 {
+            let parts = a.service(now, sector, 8, true);
+            let total = b.service_time(now, sector, 8, true);
+            assert_eq!(parts.total(), total, "step {i}");
+            now += total + SimDuration::from_micros(137);
+            sector = (sector + 8 + i * 991) % (8 << 30 >> 9);
+        }
+    }
+
+    #[test]
+    fn hdd_parts_decompose_sensibly() {
+        let mut m = hdd_model();
+        // Far seek from cylinder 0: seek dominates and rotation is bounded
+        // by one revolution.
+        let parts = m.service(SimTime::ZERO, 1900 * 5000, 1, false);
+        assert!(parts.seek > SimDuration::from_micros(600));
+        assert!(parts.rotation <= SimDuration::from_nanos(8_333_333));
+        assert!(parts.transfer > SimDuration::ZERO);
+    }
+
+    #[test]
+    fn ssd_parts_have_no_rotation() {
+        let spec = specs::ssd_sata(1 << 30);
+        let mut m = TimingModel::from_spec(&spec.timing, spec.sectors);
+        let parts = m.service(SimTime::ZERO, 0, 2048, true);
+        assert_eq!(parts.rotation, SimDuration::ZERO);
+        assert!(parts.transfer > SimDuration::ZERO);
+        assert_eq!(parts.total(), parts.seek + parts.transfer);
     }
 }

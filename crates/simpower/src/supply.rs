@@ -284,15 +284,9 @@ mod tests {
             let ctx = ctx.clone();
             async move {
                 p2.cut_mains();
-                assert_eq!(
-                    p2.time_until_death(),
-                    Some(SimDuration::from_millis(200))
-                );
+                assert_eq!(p2.time_until_death(), Some(SimDuration::from_millis(200)));
                 ctx.sleep(SimDuration::from_millis(50)).await;
-                assert_eq!(
-                    p2.time_until_death(),
-                    Some(SimDuration::from_millis(150))
-                );
+                assert_eq!(p2.time_until_death(), Some(SimDuration::from_millis(150)));
             }
         });
         sim.run();

@@ -10,12 +10,12 @@
 use std::cell::RefCell;
 use std::rc::Rc;
 
-use rand::rngs::SmallRng;
-
+use rapilog_simcore::rng::SimRng;
 
 use rapilog_dbengine::DbError;
 use rapilog_simcore::rng::exponential;
 use rapilog_simcore::stats::Histogram;
+use rapilog_simcore::trace::{Layer, Payload};
 use rapilog_simcore::{SimCtx, SimDuration};
 
 use crate::session::{DbServer, Job, JobOutcome};
@@ -108,7 +108,7 @@ impl RunStats {
 /// and its kind index.
 pub trait JobSource: 'static {
     /// Builds the next transaction for a client.
-    fn next_job(&self, client: u64, seq: u64, rng: &mut SmallRng) -> (Job, usize);
+    fn next_job(&self, client: u64, seq: u64, rng: &mut SimRng) -> (Job, usize);
 }
 
 /// Runs `cfg.clients` closed-loop clients against `server`.
@@ -147,6 +147,15 @@ pub async fn run(
                             s.committed += 1;
                             s.kind_commits[kind] += 1;
                             s.latency.record((t1 - t0).as_nanos());
+                            ctx2.tracer().instant(
+                                t1,
+                                Layer::App,
+                                "commit",
+                                Payload::Commit {
+                                    txn: seq,
+                                    latency: (t1 - t0).as_nanos(),
+                                },
+                            );
                         }
                         JobOutcome::Aborted(DbError::LockTimeout(_)) => s.lock_timeouts += 1,
                         JobOutcome::Aborted(_) => s.aborted += 1,
@@ -180,7 +189,7 @@ pub struct TpccSource {
 }
 
 impl JobSource for TpccSource {
-    fn next_job(&self, client: u64, seq: u64, rng: &mut SmallRng) -> (Job, usize) {
+    fn next_job(&self, client: u64, seq: u64, rng: &mut SimRng) -> (Job, usize) {
         let params = tpcc::generate(rng, &self.scale, client + 1, seq);
         let kind = params.kind();
         let tables = self.tables;
@@ -202,7 +211,7 @@ pub struct TpcbSource {
 }
 
 impl JobSource for TpcbSource {
-    fn next_job(&self, client: u64, seq: u64, rng: &mut SmallRng) -> (Job, usize) {
+    fn next_job(&self, client: u64, seq: u64, rng: &mut SimRng) -> (Job, usize) {
         let params = tpcb::generate(rng, &self.scale, client + 1, seq);
         let tables = self.tables;
         (
@@ -219,7 +228,7 @@ impl JobSource for TpcbSource {
 pub struct StormSource;
 
 impl JobSource for StormSource {
-    fn next_job(&self, client: u64, seq: u64, _rng: &mut SmallRng) -> (Job, usize) {
+    fn next_job(&self, client: u64, seq: u64, _rng: &mut SimRng) -> (Job, usize) {
         (
             crate::session::job(move |db| async move {
                 let table = match crate::micro::registers_table(&db) {
@@ -315,13 +324,7 @@ mod tests {
                 measure: SimDuration::from_millis(400),
                 think_time: None,
             };
-            let stats = run(
-                &ctx,
-                &server,
-                Rc::new(TpccSource { tables, scale }),
-                cfg,
-            )
-            .await;
+            let stats = run(&ctx, &server, Rc::new(TpccSource { tables, scale }), cfg).await;
             assert!(stats.committed > 20, "committed {}", stats.committed);
             assert!(
                 stats.kind_commits[0] > 0,

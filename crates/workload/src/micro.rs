@@ -82,14 +82,8 @@ pub async fn write_pair(db: &Database, table: TableId, client: u64, seq: u64) ->
 /// Reads both registers of `client` (post-recovery audit).
 pub async fn read_pair(db: &Database, table: TableId, client: u64) -> DbResult<(u64, u64)> {
     let (a, b) = register_keys(client);
-    let ra = db
-        .get(table, a)
-        .await?
-        .ok_or(DbError::NotFound(table, a))?;
-    let rb = db
-        .get(table, b)
-        .await?
-        .ok_or(DbError::NotFound(table, b))?;
+    let ra = db.get(table, a).await?.ok_or(DbError::NotFound(table, a))?;
+    let rb = db.get(table, b).await?.ok_or(DbError::NotFound(table, b))?;
     Ok((decode_seq(&ra)?, decode_seq(&rb)?))
 }
 

@@ -5,8 +5,7 @@
 //! commit-latency-bound OLTP kernel. The paper uses pgbench-style load to
 //! isolate the logging path from TPC-C's wider working set.
 
-use rand::rngs::SmallRng;
-use rand::Rng;
+use rapilog_simcore::rng::SimRng;
 
 use rapilog_dbengine::util::{put_u32, put_u64, Cursor};
 use rapilog_dbengine::{Database, DbError, Key, TableDef, TableId};
@@ -129,13 +128,8 @@ pub async fn load(db: &Database, scale: &TpcbScale) -> DbResult<TpcbTables> {
     for b in 1..=scale.branches {
         db.insert(txn, t.branches, b, &encode_balance(0)).await?;
         for tl in 0..scale.tellers_per_branch {
-            db.insert(
-                txn,
-                t.tellers,
-                b * 1_000 + tl,
-                &encode_balance(0),
-            )
-            .await?;
+            db.insert(txn, t.tellers, b * 1_000 + tl, &encode_balance(0))
+                .await?;
         }
         for a in 0..scale.accounts_per_branch {
             db.insert(txn, t.accounts, b * 10_000_000 + a, &encode_balance(0))
@@ -167,7 +161,7 @@ pub struct TpcbParams {
 }
 
 /// Draws one transaction.
-pub fn generate(rng: &mut SmallRng, scale: &TpcbScale, client_tag: u64, seq: u64) -> TpcbParams {
+pub fn generate(rng: &mut SimRng, scale: &TpcbScale, client_tag: u64, seq: u64) -> TpcbParams {
     let branch = rng.gen_range(1..=scale.branches);
     TpcbParams {
         branch,
@@ -200,8 +194,12 @@ pub async fn execute(db: &Database, t: &TpcbTables, p: &TpcbParams) -> DbResult<
         (t.branches, p.branch),
     ] {
         let row = tx!(db.get_for_update(txn, table, key).await);
-        let bal = tx!(decode_balance(&tx!(row.ok_or(DbError::NotFound(table, key)))));
-        tx!(db.update(txn, table, key, &encode_balance(bal + p.delta)).await);
+        let bal = tx!(decode_balance(&tx!(
+            row.ok_or(DbError::NotFound(table, key))
+        )));
+        tx!(db
+            .update(txn, table, key, &encode_balance(bal + p.delta))
+            .await);
     }
     let mut hist = Vec::new();
     put_u64(&mut hist, p.account);
@@ -213,7 +211,6 @@ pub async fn execute(db: &Database, t: &TpcbTables, p: &TpcbParams) -> DbResult<
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
     use rapilog_dbengine::DbConfig;
     use rapilog_simcore::{DomainId, Sim};
     use rapilog_simdisk::{specs, BlockDevice, Disk};
@@ -242,7 +239,7 @@ mod tests {
             .unwrap();
             let t = load(&db, &scale).await.unwrap();
             assert_eq!(db.row_count(t.accounts), 100);
-            let mut rng = SmallRng::seed_from_u64(5);
+            let mut rng = SimRng::seed_from_u64(5);
             let mut expect_branch = 0i64;
             for seq in 0..50 {
                 let p = generate(&mut rng, &scale, 7, seq);
@@ -261,7 +258,7 @@ mod tests {
 
     #[test]
     fn generate_keys_are_in_population() {
-        let mut rng = SmallRng::seed_from_u64(9);
+        let mut rng = SimRng::seed_from_u64(9);
         let scale = TpcbScale::small();
         for seq in 0..1000 {
             let p = generate(&mut rng, &scale, 1, seq);

@@ -16,8 +16,7 @@
 //! population knobs for simulation speed. Row payloads are padded so the
 //! log volume per transaction is in the right ballpark.
 
-use rand::rngs::SmallRng;
-use rand::Rng;
+use rapilog_simcore::rng::SimRng;
 
 use rapilog_dbengine::util::{put_u16, put_u32, put_u64, Cursor};
 use rapilog_dbengine::{Database, DbError, Key, TableDef, TableId};
@@ -478,7 +477,7 @@ impl TpccTables {
 }
 
 /// Populates the schema. Commits in batches so undo stays bounded.
-pub async fn load(db: &Database, scale: &TpccScale, rng: &mut SmallRng) -> DbResult<TpccTables> {
+pub async fn load(db: &Database, scale: &TpccScale, rng: &mut SimRng) -> DbResult<TpccTables> {
     let t = TpccTables::resolve(db)?;
     let mut txn = db.begin().await?;
     let mut batch = 0usize;
@@ -512,7 +511,8 @@ pub async fn load(db: &Database, scale: &TpccScale, rng: &mut SmallRng) -> DbRes
                 order_cnt: 0,
                 remote_cnt: 0,
             };
-            db.insert(txn, t.stock, stock_key(w, i), &srow.encode()).await?;
+            db.insert(txn, t.stock, stock_key(w, i), &srow.encode())
+                .await?;
             step!();
         }
         for d in 1..=scale.districts {
@@ -545,7 +545,7 @@ pub async fn load(db: &Database, scale: &TpccScale, rng: &mut SmallRng) -> DbRes
 // ---------------------------------------------------------------------------
 
 /// TPC-C NURand.
-pub fn nurand(rng: &mut SmallRng, a: u64, x: u64, y: u64) -> u64 {
+pub fn nurand(rng: &mut SimRng, a: u64, x: u64, y: u64) -> u64 {
     // The constant C is fixed per run; any constant is spec-conformant for
     // our purposes.
     const C: u64 = 123;
@@ -637,12 +637,7 @@ impl TxnParams {
 
 /// Draws a transaction from the standard mix (45/43/4/4/4). `client_tag`
 /// and `seq` make the history key unique without coordination.
-pub fn generate(
-    rng: &mut SmallRng,
-    scale: &TpccScale,
-    client_tag: u64,
-    seq: u64,
-) -> TxnParams {
+pub fn generate(rng: &mut SimRng, scale: &TpccScale, client_tag: u64, seq: u64) -> TxnParams {
     let w = rng.gen_range(1..=scale.warehouses);
     let d = rng.gen_range(1..=scale.districts);
     let roll = rng.gen_range(0..100u32);
@@ -734,9 +729,7 @@ pub async fn execute(db: &Database, t: &TpccTables, params: &TxnParams) -> DbRes
         } => payment(db, t, *w, *d, *c, *amount_cents, *history_key).await,
         TxnParams::OrderStatus { w, d, c } => order_status(db, t, *w, *d, *c).await,
         TxnParams::Delivery { w, d, carrier } => delivery(db, t, *w, *d, *carrier).await,
-        TxnParams::StockLevel { w, d, threshold } => {
-            stock_level(db, t, *w, *d, *threshold).await
-        }
+        TxnParams::StockLevel { w, d, threshold } => stock_level(db, t, *w, *d, *threshold).await,
     }
 }
 
@@ -770,20 +763,32 @@ async fn new_order(
     // District: hot row, locked first.
     let dk = dist_key(w, d);
     let draw = tx!(db, txn, db.get_for_update(txn, t.district, dk).await);
-    let mut drow = tx!(db, txn, DistrictRow::decode(&tx!(db, txn, need(draw, "district"))));
+    let mut drow = tx!(
+        db,
+        txn,
+        DistrictRow::decode(&tx!(db, txn, need(draw, "district")))
+    );
     let o_id = drow.next_o_id as u64;
     drow.next_o_id += 1;
-    tx!(db, txn, db.update(txn, t.district, dk, &drow.encode()).await);
+    tx!(
+        db,
+        txn,
+        db.update(txn, t.district, dk, &drow.encode()).await
+    );
     // Customer read (no lock).
     let _cust = tx!(db, txn, db.get(t.customer, cust_key(w, d, c)).await);
     let mut total = 0u64;
-    let mut ol_no = 1u64;
-    for line in lines {
+    for (ol_idx, line) in lines.iter().enumerate() {
+        let ol_no = ol_idx as u64 + 1;
         let item = tx!(db, txn, db.get(t.item, line.item).await);
         let item = tx!(db, txn, ItemRow::decode(&tx!(db, txn, need(item, "item"))));
         let sk = stock_key(line.supply_w, line.item);
         let stock = tx!(db, txn, db.get_for_update(txn, t.stock, sk).await);
-        let mut stock = tx!(db, txn, StockRow::decode(&tx!(db, txn, need(stock, "stock"))));
+        let mut stock = tx!(
+            db,
+            txn,
+            StockRow::decode(&tx!(db, txn, need(stock, "stock")))
+        );
         stock.qty -= line.qty as i32;
         if stock.qty < 10 {
             stock.qty += 91;
@@ -805,10 +810,14 @@ async fn new_order(
         tx!(
             db,
             txn,
-            db.insert(txn, t.order_line, order_line_key(w, d, o_id, ol_no), &ol.encode())
-                .await
+            db.insert(
+                txn,
+                t.order_line,
+                order_line_key(w, d, o_id, ol_no),
+                &ol.encode()
+            )
+            .await
         );
-        ol_no += 1;
     }
     if rollback {
         // The spec's invalid-item case: everything above is rolled back.
@@ -824,19 +833,29 @@ async fn new_order(
     tx!(
         db,
         txn,
-        db.insert(txn, t.orders, order_key(w, d, o_id), &orow.encode()).await
+        db.insert(txn, t.orders, order_key(w, d, o_id), &orow.encode())
+            .await
     );
     tx!(
         db,
         txn,
-        db.insert(txn, t.new_order, order_key(w, d, o_id), &[1u8]).await
+        db.insert(txn, t.new_order, order_key(w, d, o_id), &[1u8])
+            .await
     );
     // Remember the customer's latest order for Order-Status.
     let ck = cust_key(w, d, c);
     let cust = tx!(db, txn, db.get_for_update(txn, t.customer, ck).await);
-    let mut cust = tx!(db, txn, CustomerRow::decode(&tx!(db, txn, need(cust, "customer"))));
+    let mut cust = tx!(
+        db,
+        txn,
+        CustomerRow::decode(&tx!(db, txn, need(cust, "customer")))
+    );
     cust.last_o_id = o_id as u32;
-    tx!(db, txn, db.update(txn, t.customer, ck, &cust.encode()).await);
+    tx!(
+        db,
+        txn,
+        db.update(txn, t.customer, ck, &cust.encode()).await
+    );
     db.commit(txn).await
 }
 
@@ -852,21 +871,45 @@ async fn payment(
     let txn = db.begin().await?;
     // Lock order: warehouse → district → customer.
     let wrow = tx!(db, txn, db.get_for_update(txn, t.warehouse, w).await);
-    let mut wrow = tx!(db, txn, WarehouseRow::decode(&tx!(db, txn, need(wrow, "warehouse"))));
+    let mut wrow = tx!(
+        db,
+        txn,
+        WarehouseRow::decode(&tx!(db, txn, need(wrow, "warehouse")))
+    );
     wrow.ytd_cents += amount_cents as u64;
-    tx!(db, txn, db.update(txn, t.warehouse, w, &wrow.encode()).await);
+    tx!(
+        db,
+        txn,
+        db.update(txn, t.warehouse, w, &wrow.encode()).await
+    );
     let dk = dist_key(w, d);
     let drow = tx!(db, txn, db.get_for_update(txn, t.district, dk).await);
-    let mut drow = tx!(db, txn, DistrictRow::decode(&tx!(db, txn, need(drow, "district"))));
+    let mut drow = tx!(
+        db,
+        txn,
+        DistrictRow::decode(&tx!(db, txn, need(drow, "district")))
+    );
     drow.ytd_cents += amount_cents as u64;
-    tx!(db, txn, db.update(txn, t.district, dk, &drow.encode()).await);
+    tx!(
+        db,
+        txn,
+        db.update(txn, t.district, dk, &drow.encode()).await
+    );
     let ck = cust_key(w, d, c);
     let crow = tx!(db, txn, db.get_for_update(txn, t.customer, ck).await);
-    let mut crow = tx!(db, txn, CustomerRow::decode(&tx!(db, txn, need(crow, "customer"))));
+    let mut crow = tx!(
+        db,
+        txn,
+        CustomerRow::decode(&tx!(db, txn, need(crow, "customer")))
+    );
     crow.balance_cents -= amount_cents as i64;
     crow.ytd_payment_cents += amount_cents as u64;
     crow.payment_cnt += 1;
-    tx!(db, txn, db.update(txn, t.customer, ck, &crow.encode()).await);
+    tx!(
+        db,
+        txn,
+        db.update(txn, t.customer, ck, &crow.encode()).await
+    );
     let mut hist = Vec::new();
     put_u64(&mut hist, ck);
     put_u32(&mut hist, amount_cents);
@@ -878,7 +921,11 @@ async fn order_status(db: &Database, t: &TpccTables, w: u64, d: u64, c: u64) -> 
     let txn = db.begin().await?;
     let ck = cust_key(w, d, c);
     let crow = tx!(db, txn, db.get(t.customer, ck).await);
-    let crow = tx!(db, txn, CustomerRow::decode(&tx!(db, txn, need(crow, "customer"))));
+    let crow = tx!(
+        db,
+        txn,
+        CustomerRow::decode(&tx!(db, txn, need(crow, "customer")))
+    );
     if crow.last_o_id != 0 {
         let ok = order_key(w, d, crow.last_o_id as u64);
         if let Some(orow) = tx!(db, txn, db.get(t.orders, ok).await) {
@@ -887,8 +934,11 @@ async fn order_status(db: &Database, t: &TpccTables, w: u64, d: u64, c: u64) -> 
                 let _ = tx!(
                     db,
                     txn,
-                    db.get(t.order_line, order_line_key(w, d, crow.last_o_id as u64, ol))
-                        .await
+                    db.get(
+                        t.order_line,
+                        order_line_key(w, d, crow.last_o_id as u64, ol)
+                    )
+                    .await
                 );
             }
         }
@@ -900,14 +950,22 @@ async fn delivery(db: &Database, t: &TpccTables, w: u64, d: u64, carrier: u8) ->
     let txn = db.begin().await?;
     let dk = dist_key(w, d);
     let drow = tx!(db, txn, db.get_for_update(txn, t.district, dk).await);
-    let mut drow = tx!(db, txn, DistrictRow::decode(&tx!(db, txn, need(drow, "district"))));
+    let mut drow = tx!(
+        db,
+        txn,
+        DistrictRow::decode(&tx!(db, txn, need(drow, "district")))
+    );
     if drow.next_deliv_o_id >= drow.next_o_id {
         // Nothing to deliver.
         return db.commit(txn).await;
     }
     let o_id = drow.next_deliv_o_id as u64;
     drow.next_deliv_o_id += 1;
-    tx!(db, txn, db.update(txn, t.district, dk, &drow.encode()).await);
+    tx!(
+        db,
+        txn,
+        db.update(txn, t.district, dk, &drow.encode()).await
+    );
     let ok = order_key(w, d, o_id);
     // The order may be missing if its New-Order rolled back; skip then.
     if let Some(orow_bytes) = tx!(db, txn, db.get_for_update(txn, t.orders, ok).await) {
@@ -919,10 +977,18 @@ async fn delivery(db: &Database, t: &TpccTables, w: u64, d: u64, carrier: u8) ->
         }
         let ck = cust_key(w, d, orow.c_id as u64);
         let crow = tx!(db, txn, db.get_for_update(txn, t.customer, ck).await);
-        let mut crow = tx!(db, txn, CustomerRow::decode(&tx!(db, txn, need(crow, "customer"))));
+        let mut crow = tx!(
+            db,
+            txn,
+            CustomerRow::decode(&tx!(db, txn, need(crow, "customer")))
+        );
         crow.balance_cents += orow.total_cents as i64;
         crow.delivery_cnt += 1;
-        tx!(db, txn, db.update(txn, t.customer, ck, &crow.encode()).await);
+        tx!(
+            db,
+            txn,
+            db.update(txn, t.customer, ck, &crow.encode()).await
+        );
     }
     db.commit(txn).await
 }
@@ -937,7 +1003,11 @@ async fn stock_level(
     let txn = db.begin().await?;
     let dk = dist_key(w, d);
     let drow = tx!(db, txn, db.get(t.district, dk).await);
-    let drow = tx!(db, txn, DistrictRow::decode(&tx!(db, txn, need(drow, "district"))));
+    let drow = tx!(
+        db,
+        txn,
+        DistrictRow::decode(&tx!(db, txn, need(drow, "district")))
+    );
     let newest = drow.next_o_id.saturating_sub(1) as u64;
     let oldest = newest.saturating_sub(19).max(1);
     let mut low = 0u32;
@@ -973,7 +1043,6 @@ async fn stock_level(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
     use rapilog_dbengine::DbConfig;
     use rapilog_simcore::{DomainId, Sim, SimCtx};
     use rapilog_simdisk::{specs, BlockDevice, Disk};
@@ -1050,7 +1119,7 @@ mod tests {
 
     #[test]
     fn nurand_stays_in_range_and_skews() {
-        let mut rng = SmallRng::seed_from_u64(7);
+        let mut rng = SimRng::seed_from_u64(7);
         for _ in 0..10_000 {
             let v = nurand(&mut rng, 1023, 1, 3000);
             assert!((1..=3000).contains(&v));
@@ -1059,7 +1128,7 @@ mod tests {
 
     #[test]
     fn generate_follows_the_mix() {
-        let mut rng = SmallRng::seed_from_u64(11);
+        let mut rng = SimRng::seed_from_u64(11);
         let scale = TpccScale::small();
         let mut counts = [0usize; 5];
         let n = 20_000;
@@ -1076,7 +1145,7 @@ mod tests {
 
     #[test]
     fn new_order_lines_are_sorted_for_lock_ordering() {
-        let mut rng = SmallRng::seed_from_u64(3);
+        let mut rng = SimRng::seed_from_u64(3);
         let scale = TpccScale::small();
         for seq in 0..200 {
             if let TxnParams::NewOrder { lines, .. } = generate(&mut rng, &scale, 1, seq) {
@@ -1111,7 +1180,7 @@ mod tests {
             )
             .await
             .expect("create");
-            let mut rng = SmallRng::seed_from_u64(1);
+            let mut rng = SimRng::seed_from_u64(1);
             let t = load(&db, &scale, &mut rng).await.expect("load");
             f(c2.clone(), db.clone(), t, scale).await;
             db.stop();
@@ -1151,10 +1220,9 @@ mod tests {
                 },
             ];
             new_order(&db, &t, 1, 1, 1, &lines, false).await.unwrap();
-            let d = DistrictRow::decode(
-                &db.get(t.district, dist_key(1, 1)).await.unwrap().unwrap(),
-            )
-            .unwrap();
+            let d =
+                DistrictRow::decode(&db.get(t.district, dist_key(1, 1)).await.unwrap().unwrap())
+                    .unwrap();
             assert_eq!(d.next_o_id, 2);
             let o = OrderRow::decode(&db.get(t.orders, order_key(1, 1, 1)).await.unwrap().unwrap())
                 .unwrap();
@@ -1169,9 +1237,13 @@ mod tests {
                 .await
                 .unwrap()
                 .is_some());
-            let c =
-                CustomerRow::decode(&db.get(t.customer, cust_key(1, 1, 1)).await.unwrap().unwrap())
-                    .unwrap();
+            let c = CustomerRow::decode(
+                &db.get(t.customer, cust_key(1, 1, 1))
+                    .await
+                    .unwrap()
+                    .unwrap(),
+            )
+            .unwrap();
             assert_eq!(c.last_o_id, 1);
         });
     }
@@ -1188,12 +1260,15 @@ mod tests {
                 StockRow::decode(&db.get(t.stock, stock_key(1, 1)).await.unwrap().unwrap())
                     .unwrap();
             new_order(&db, &t, 1, 1, 1, &lines, true).await.unwrap();
-            let d = DistrictRow::decode(
-                &db.get(t.district, dist_key(1, 1)).await.unwrap().unwrap(),
-            )
-            .unwrap();
+            let d =
+                DistrictRow::decode(&db.get(t.district, dist_key(1, 1)).await.unwrap().unwrap())
+                    .unwrap();
             assert_eq!(d.next_o_id, 1, "district counter rolled back");
-            assert!(db.get(t.orders, order_key(1, 1, 1)).await.unwrap().is_none());
+            assert!(db
+                .get(t.orders, order_key(1, 1, 1))
+                .await
+                .unwrap()
+                .is_none());
             let stock_after =
                 StockRow::decode(&db.get(t.stock, stock_key(1, 1)).await.unwrap().unwrap())
                     .unwrap();
@@ -1207,9 +1282,13 @@ mod tests {
             payment(&db, &t, 1, 1, 1, 5000, 42).await.unwrap();
             let w = WarehouseRow::decode(&db.get(t.warehouse, 1).await.unwrap().unwrap()).unwrap();
             assert_eq!(w.ytd_cents, 5000);
-            let c =
-                CustomerRow::decode(&db.get(t.customer, cust_key(1, 1, 1)).await.unwrap().unwrap())
-                    .unwrap();
+            let c = CustomerRow::decode(
+                &db.get(t.customer, cust_key(1, 1, 1))
+                    .await
+                    .unwrap()
+                    .unwrap(),
+            )
+            .unwrap();
             assert_eq!(c.balance_cents, -6000);
             assert_eq!(c.payment_cnt, 1);
             assert!(db.get(t.history, 42).await.unwrap().is_some());
@@ -1230,19 +1309,25 @@ mod tests {
                 .unwrap();
             assert_eq!(o.carrier, 7);
             assert!(
-                db.get(t.new_order, order_key(1, 1, 1)).await.unwrap().is_none(),
+                db.get(t.new_order, order_key(1, 1, 1))
+                    .await
+                    .unwrap()
+                    .is_none(),
                 "new-order entry consumed"
             );
-            let c =
-                CustomerRow::decode(&db.get(t.customer, cust_key(1, 1, 3)).await.unwrap().unwrap())
-                    .unwrap();
+            let c = CustomerRow::decode(
+                &db.get(t.customer, cust_key(1, 1, 3))
+                    .await
+                    .unwrap()
+                    .unwrap(),
+            )
+            .unwrap();
             assert_eq!(c.delivery_cnt, 1);
             // Delivering again: nothing left.
             delivery(&db, &t, 1, 1, 8).await.unwrap();
-            let d = DistrictRow::decode(
-                &db.get(t.district, dist_key(1, 1)).await.unwrap().unwrap(),
-            )
-            .unwrap();
+            let d =
+                DistrictRow::decode(&db.get(t.district, dist_key(1, 1)).await.unwrap().unwrap())
+                    .unwrap();
             assert_eq!(d.next_deliv_o_id, 2);
         });
     }

@@ -25,11 +25,8 @@ fn run_one(profile: EngineProfile, setup: Setup) -> f64 {
     let out2 = Rc::clone(&out);
     let c2 = ctx.clone();
     sim.spawn(async move {
-        let mut mc = MachineConfig::new(
-            setup,
-            specs::instant(256 << 20),
-            specs::hdd_7200(256 << 20),
-        );
+        let mut mc =
+            MachineConfig::new(setup, specs::instant(256 << 20), specs::hdd_7200(256 << 20));
         mc.supply = Some(supplies::atx_psu());
         mc.db.profile = profile;
         let machine = Machine::new(&c2, mc);
@@ -59,7 +56,10 @@ fn run_one(profile: EngineProfile, setup: Setup) -> f64 {
 
 fn main() {
     println!("TPC-B, 8 clients, log on hdd-7200 — throughput (tps)\n");
-    println!("{:<14}{:>12}{:>12}{:>10}", "engine", "virt-sync", "rapilog", "speedup");
+    println!(
+        "{:<14}{:>12}{:>12}{:>10}",
+        "engine", "virt-sync", "rapilog", "speedup"
+    );
     for make in [
         EngineProfile::pg_like as fn() -> EngineProfile,
         EngineProfile::innodb_like,

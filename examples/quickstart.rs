@@ -8,9 +8,8 @@
 //! cargo run --example quickstart
 //! ```
 
-
 use rapilog_suite::microvisor::{Hypervisor, Trust};
-use rapilog_suite::rapilog::{RapiLog, RapiLogConfig};
+use rapilog_suite::rapilog::RapiLog;
 use rapilog_suite::simcore::{Sim, SimDuration};
 use rapilog_suite::simdisk::{specs, BlockDevice, Disk, SECTOR_SIZE};
 
@@ -25,7 +24,7 @@ fn main() {
         // The verified layer: a trusted cell hosting the dependable buffer.
         let hv = Hypervisor::new(&c2);
         let cell = hv.create_cell("rapilog", Trust::Trusted);
-        let rl = RapiLog::new(&c2, &cell, raw.clone(), None, RapiLogConfig::default());
+        let rl = RapiLog::builder(&c2).cell(&cell).disk(raw.clone()).build();
         let vdisk = rl.device();
 
         let record = vec![0xD8u8; 8 * SECTOR_SIZE]; // a 4 KiB log record

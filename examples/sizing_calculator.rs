@@ -14,7 +14,12 @@ use rapilog_suite::simpower::{budget, supplies, SupplySpec};
 
 fn describe(spec: &SupplySpec, bandwidth: u64) {
     let cap = budget::max_buffer_bytes(spec, bandwidth);
-    println!("supply {:<16} window {:>8}  usable {:>8}", spec.name, spec.window(), spec.usable_window());
+    println!(
+        "supply {:<16} window {:>8}  usable {:>8}",
+        spec.name,
+        spec.window(),
+        spec.usable_window()
+    );
     if cap == 0 {
         println!("  -> window below drain-startup cost: run write-through, no buffering");
         return;
@@ -42,7 +47,9 @@ fn main() {
         describe(&spec, bandwidth);
         return;
     }
-    println!("RapiLog buffer sizing (pass: <joules> <watts> <bandwidth B/s> for a custom supply)\n");
+    println!(
+        "RapiLog buffer sizing (pass: <joules> <watts> <bandwidth B/s> for a custom supply)\n"
+    );
     for spec in [
         supplies::atx_psu(),
         supplies::atx_psu_loaded(),

@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# The full local gate: everything CI runs, in the order that fails fastest.
+# Usage: scripts/check.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release --workspace --all-targets"
+cargo build --release --workspace --all-targets
+
+echo "==> cargo test -q --workspace"
+cargo test -q --workspace
+
+echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo fmt --all -- --check"
+cargo fmt --all -- --check
+
+echo "==> all checks passed"

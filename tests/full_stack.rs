@@ -13,11 +13,7 @@ use rapilog_suite::workload::client::{self, RunConfig, TpccSource};
 use rapilog_suite::workload::tpcc::{self, TpccScale};
 
 fn machine_cfg(setup: Setup) -> MachineConfig {
-    let mut mc = MachineConfig::new(
-        setup,
-        specs::instant(512 << 20),
-        specs::hdd_7200(256 << 20),
-    );
+    let mut mc = MachineConfig::new(setup, specs::instant(512 << 20), specs::hdd_7200(256 << 20));
     mc.supply = Some(supplies::atx_psu());
     mc
 }
@@ -101,11 +97,7 @@ fn durability_trials_across_random_instants() {
                     think_time: SimDuration::from_micros(250),
                 },
             );
-            assert!(
-                r.ok,
-                "seed {seed} {fault:?}: violations {:?}",
-                r.violations
-            );
+            assert!(r.ok, "seed {seed} {fault:?}: violations {:?}", r.violations);
             assert!(r.total_acked > 0, "seed {seed}: load ran");
             assert_eq!(r.rapilog_guarantee, Some(true));
         }

@@ -1,19 +1,18 @@
-//! Property-based tests over the suite's core invariants.
+//! Randomised tests over the suite's core invariants.
 //!
-//! Each property builds a fresh deterministic simulation per case; proptest
-//! explores the parameter space (operation sequences, crash instants, fault
-//! seeds) and shrinks failures to minimal counterexamples.
+//! Each property builds a fresh deterministic simulation per case. Cases are
+//! generated from a seeded [`SimRng`], so a failure reproduces exactly by
+//! re-running the test — the printed case number pins the whole scenario.
 
 use std::cell::RefCell;
 use std::collections::HashMap;
 use std::rc::Rc;
 
-use proptest::prelude::*;
-
 use rapilog_suite::dbengine::types::{Lsn, PageId, TableId, TxnId};
 use rapilog_suite::dbengine::wal::Record;
 use rapilog_suite::dbengine::{Database, DbConfig, TableDef};
 use rapilog_suite::faultsim::{run_trial, FaultKind, MachineConfig, Setup, TrialConfig};
+use rapilog_suite::simcore::rng::SimRng;
 use rapilog_suite::simcore::stats::Histogram;
 use rapilog_suite::simcore::{DomainId, Sim, SimDuration, SimTime};
 use rapilog_suite::simdisk::{specs, BlockDevice, Disk};
@@ -23,59 +22,71 @@ use rapilog_suite::simpower::supplies;
 // WAL record roundtrip
 // ---------------------------------------------------------------------------
 
-fn arb_record() -> impl Strategy<Value = Record> {
-    let bytes = proptest::collection::vec(any::<u8>(), 0..200);
-    prop_oneof![
-        any::<u64>().prop_map(|t| Record::Begin { txn: TxnId(t) }),
-        any::<u64>().prop_map(|t| Record::Commit { txn: TxnId(t) }),
-        (any::<u64>(), any::<u64>(), any::<u16>(), any::<u64>(), any::<u16>(), any::<u64>(), bytes.clone(), bytes.clone()).prop_map(
-            |(t, p, tb, pg, sl, k, before, after)| Record::Update {
-                txn: TxnId(t),
-                prev: Lsn(p),
-                table: TableId(tb),
-                page: PageId(pg),
-                slot: sl,
-                key: k,
-                before,
-                after,
-            }
-        ),
-        (any::<u64>(), any::<u64>(), any::<u16>(), any::<u64>(), any::<u16>(), any::<u64>(), bytes).prop_map(
-            |(t, p, tb, pg, sl, k, after)| Record::Insert {
-                txn: TxnId(t),
-                prev: Lsn(p),
-                table: TableId(tb),
-                page: PageId(pg),
-                slot: sl,
-                key: k,
-                after,
-            }
-        ),
-    ]
+fn rand_bytes(rng: &mut SimRng, max_len: usize) -> Vec<u8> {
+    let n = rng.gen_range(0..max_len);
+    (0..n).map(|_| rng.gen_range(0..=255u8)).collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
+fn arb_record(rng: &mut SimRng) -> Record {
+    match rng.gen_range(0..4u32) {
+        0 => Record::Begin {
+            txn: TxnId(rng.next_u64()),
+        },
+        1 => Record::Commit {
+            txn: TxnId(rng.next_u64()),
+        },
+        2 => Record::Update {
+            txn: TxnId(rng.next_u64()),
+            prev: Lsn(rng.next_u64()),
+            table: TableId(rng.gen_range(0..=u16::MAX)),
+            page: PageId(rng.next_u64()),
+            slot: rng.gen_range(0..=u16::MAX),
+            key: rng.next_u64(),
+            before: rand_bytes(rng, 200),
+            after: rand_bytes(rng, 200),
+        },
+        _ => Record::Insert {
+            txn: TxnId(rng.next_u64()),
+            prev: Lsn(rng.next_u64()),
+            table: TableId(rng.gen_range(0..=u16::MAX)),
+            page: PageId(rng.next_u64()),
+            slot: rng.gen_range(0..=u16::MAX),
+            key: rng.next_u64(),
+            after: rand_bytes(rng, 200),
+        },
+    }
+}
 
-    #[test]
-    fn wal_record_roundtrips(rec in arb_record(), lsn in any::<u64>()) {
+#[test]
+fn wal_record_roundtrips() {
+    let mut rng = SimRng::seed_from_u64(0xA11CE);
+    for case in 0..256 {
+        let rec = arb_record(&mut rng);
+        let lsn = rng.next_u64();
         let encoded = rec.encode(Lsn(lsn));
         let (back, n) = Record::decode(&encoded, Lsn(lsn)).expect("roundtrip");
-        prop_assert_eq!(back, rec);
-        prop_assert_eq!(n, encoded.len());
+        assert_eq!(back, rec, "case {case}");
+        assert_eq!(n, encoded.len(), "case {case}");
     }
+}
 
-    #[test]
-    fn wal_record_rejects_any_single_bitflip(rec in arb_record(), lsn in 0u64..1_000_000, flip in any::<(usize, u8)>()) {
+#[test]
+fn wal_record_rejects_any_single_bitflip() {
+    let mut rng = SimRng::seed_from_u64(0xB17F11);
+    for case in 0..256 {
+        let rec = arb_record(&mut rng);
+        let lsn = rng.gen_range(0..1_000_000u64);
         let mut encoded = rec.encode(Lsn(lsn));
-        let (pos, bit) = flip;
-        let pos = pos % encoded.len();
-        let mask = 1u8 << (bit % 8);
+        let pos = rng.gen_range(0..encoded.len());
+        let mask = 1u8 << rng.gen_range(0..8u32);
         encoded[pos] ^= mask;
         // Either the frame is rejected, or the flip hit the length field in
         // a way that still fails (shorter/longer frame cannot re-validate:
         // the CRC covers lsn+kind+payload, the length shapes the CRC input).
-        prop_assert!(Record::decode(&encoded, Lsn(lsn)).is_none());
+        assert!(
+            Record::decode(&encoded, Lsn(lsn)).is_none(),
+            "case {case}: bitflip at byte {pos} mask {mask:#04x} survived"
+        );
     }
 }
 
@@ -83,23 +94,24 @@ proptest! {
 // Histogram percentile bounds
 // ---------------------------------------------------------------------------
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn histogram_percentiles_bounded_and_monotone(mut values in proptest::collection::vec(0u64..u64::MAX / 2, 1..500)) {
+#[test]
+fn histogram_percentiles_bounded_and_monotone() {
+    let mut rng = SimRng::seed_from_u64(0x4157);
+    for case in 0..64 {
+        let n = rng.gen_range(1..500usize);
+        let mut values: Vec<u64> = (0..n).map(|_| rng.gen_range(0..u64::MAX / 2)).collect();
         let mut h = Histogram::new();
         for &v in &values {
             h.record(v);
         }
         values.sort_unstable();
-        prop_assert_eq!(h.min(), values[0]);
-        prop_assert_eq!(h.max(), *values.last().unwrap());
+        assert_eq!(h.min(), values[0], "case {case}");
+        assert_eq!(h.max(), *values.last().unwrap(), "case {case}");
         let mut last = 0u64;
         for p in [0.0, 10.0, 25.0, 50.0, 75.0, 90.0, 99.0, 100.0] {
             let q = h.percentile(p);
-            prop_assert!(q >= last, "percentiles must be monotone");
-            prop_assert!(q >= h.min() && q <= h.max());
+            assert!(q >= last, "case {case}: percentiles must be monotone");
+            assert!(q >= h.min() && q <= h.max(), "case {case}");
             last = q;
         }
     }
@@ -117,23 +129,30 @@ enum Op {
     Delete(u64),
 }
 
-fn arb_txn() -> impl Strategy<Value = (Vec<Op>, bool)> {
-    let op = prop_oneof![
-        (0u64..30, any::<u8>()).prop_map(|(k, v)| Op::Insert(k, v)),
-        (0u64..30, any::<u8>()).prop_map(|(k, v)| Op::Update(k, v)),
-        (0u64..30).prop_map(Op::Delete),
-    ];
-    (proptest::collection::vec(op, 1..6), any::<bool>())
+fn arb_txn(rng: &mut SimRng) -> (Vec<Op>, bool) {
+    let n = rng.gen_range(1..6usize);
+    let ops = (0..n)
+        .map(|_| match rng.gen_range(0..3u32) {
+            0 => Op::Insert(rng.gen_range(0..30u64), rng.gen_range(0..=255u8)),
+            1 => Op::Update(rng.gen_range(0..30u64), rng.gen_range(0..=255u8)),
+            _ => Op::Delete(rng.gen_range(0..30u64)),
+        })
+        .collect();
+    (ops, rng.gen_range(0..2u32) == 0)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// Applies random transactions (some committed, some aborted), crashes
-    /// abruptly, recovers, and compares the database against a model map
-    /// that only saw the committed transactions.
-    #[test]
-    fn recovery_matches_committed_model(txns in proptest::collection::vec(arb_txn(), 1..25), seed in 0u64..10_000) {
+/// Applies random transactions (some committed, some aborted), crashes
+/// abruptly, recovers, and compares the database against a model map that
+/// only saw the committed transactions.
+#[test]
+fn recovery_matches_committed_model() {
+    let mut case_rng = SimRng::seed_from_u64(0x5EED);
+    for case in 0..32 {
+        let txns: Vec<(Vec<Op>, bool)> = {
+            let n = case_rng.gen_range(1..25usize);
+            (0..n).map(|_| arb_txn(&mut case_rng)).collect()
+        };
+        let seed = case_rng.gen_range(0..10_000u64);
         let mut sim = Sim::new(seed);
         let ctx = sim.ctx();
         let ok = Rc::new(RefCell::new(false));
@@ -142,10 +161,21 @@ proptest! {
         sim.spawn(async move {
             let data: Rc<dyn BlockDevice> = Rc::new(Disk::new(&c2, specs::instant(64 << 20)));
             let log: Rc<dyn BlockDevice> = Rc::new(Disk::new(&c2, specs::instant(64 << 20)));
-            let defs = [TableDef { name: "t".to_string(), slot_size: 16, max_rows: 64 }];
-            let db = Database::create(&c2, DbConfig::default(), &defs, Rc::clone(&data), Rc::clone(&log), DomainId::ROOT)
-                .await
-                .unwrap();
+            let defs = [TableDef {
+                name: "t".to_string(),
+                slot_size: 16,
+                max_rows: 64,
+            }];
+            let db = Database::create(
+                &c2,
+                DbConfig::default(),
+                &defs,
+                Rc::clone(&data),
+                Rc::clone(&log),
+                DomainId::ROOT,
+            )
+            .await
+            .unwrap();
             let t = db.table("t").unwrap();
             let mut model: HashMap<u64, Vec<u8>> = HashMap::new();
             for (ops, commit) in txns {
@@ -188,9 +218,10 @@ proptest! {
             }
             // Crash without any orderly flush and recover.
             db.stop();
-            let (db2, _report) = Database::open(&c2, DbConfig::default(), data, log, DomainId::ROOT)
-                .await
-                .expect("recovery");
+            let (db2, _report) =
+                Database::open(&c2, DbConfig::default(), data, log, DomainId::ROOT)
+                    .await
+                    .expect("recovery");
             for k in 0..30u64 {
                 let got = db2.get(t, k).await.unwrap();
                 assert_eq!(
@@ -204,7 +235,10 @@ proptest! {
             *ok2.borrow_mut() = true;
         });
         sim.run_until(SimTime::from_secs(60));
-        prop_assert!(*ok.borrow(), "scenario completed");
+        assert!(
+            *ok.borrow(),
+            "case {case} (sim seed {seed}): scenario did not complete"
+        );
     }
 }
 
@@ -212,15 +246,13 @@ proptest! {
 // Durability across arbitrary fault instants (mini fuzzed Table 2)
 // ---------------------------------------------------------------------------
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(12))]
-
-    #[test]
-    fn rapilog_durable_at_any_fault_instant(
-        seed in 0u64..100_000,
-        fault_ms in 50u64..600,
-        power in any::<bool>(),
-    ) {
+#[test]
+fn rapilog_durable_at_any_fault_instant() {
+    let mut rng = SimRng::seed_from_u64(0xD007);
+    for case in 0..12 {
+        let seed = rng.gen_range(0..100_000u64);
+        let fault_ms = rng.gen_range(50..600u64);
+        let power = rng.gen_range(0..2u32) == 0;
         let mut machine = MachineConfig::new(
             Setup::RapiLog,
             specs::instant(128 << 20),
@@ -231,12 +263,20 @@ proptest! {
             seed,
             TrialConfig {
                 machine,
-                fault: if power { FaultKind::PowerCut } else { FaultKind::GuestCrash },
+                fault: if power {
+                    FaultKind::PowerCut
+                } else {
+                    FaultKind::GuestCrash
+                },
                 clients: 3,
                 fault_after: SimDuration::from_millis(fault_ms),
                 think_time: SimDuration::from_micros(300),
             },
         );
-        prop_assert!(r.ok, "violations: {:?}", r.violations);
+        assert!(
+            r.ok,
+            "case {case} (seed {seed}, fault at {fault_ms} ms, power={power}): {:?}",
+            r.violations
+        );
     }
 }
