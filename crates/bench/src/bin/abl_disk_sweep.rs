@@ -26,6 +26,7 @@ fn hdd_at_rpm(rpm: u32, capacity: u64) -> DiskSpec {
         },
         cache: None::<CacheSpec>,
         torn_writes: true,
+        fault: None,
     }
 }
 

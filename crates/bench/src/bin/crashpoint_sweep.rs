@@ -1,0 +1,114 @@
+//! Crash-point exploration sweep (CI gate).
+//!
+//! Runs the explorer over a grid of seeds × fault instants × fault kinds
+//! (default 8 × 5 × 5 = 200 deterministic trials) and demands a clean
+//! sweep: every acknowledged commit survives every crash point. Then runs
+//! a negative control — the same machine with the drain's resilience
+//! disabled — and demands the opposite: the auditor **must** produce a
+//! replayable counterexample, or a clean main sweep proves nothing.
+//!
+//! Exit status is non-zero when either half fails, so this binary doubles
+//! as the CI gate (`scripts/check.sh`).
+//!
+//! Environment:
+//! * `SEEDS`   — seed count for the main sweep (default 8)
+//! * `TIMES`   — fault instants, comma-separated ms (default `80,160,240,330,420`)
+//! * `QUICK=1` — shrink to 2 seeds × 2 instants for smoke runs
+
+use rapilog_faultsim::{explore_crash_points, ExplorationReport, ExplorerConfig};
+use rapilog_simcore::SimDuration;
+
+fn env_u64(name: &str, default: u64) -> u64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn summarize(title: &str, report: &ExplorationReport) {
+    let s = &report.stats;
+    println!("{title}:");
+    println!(
+        "  trials={} acked_commits={} counterexamples={}",
+        report.trials,
+        report.total_acked,
+        report.counterexamples.len()
+    );
+    println!(
+        "  faults injected: transient={} media={} stalls={} rejected_offline={}",
+        s.transient_errors, s.media_errors, s.stalls, s.rejected_offline
+    );
+    println!(
+        "  drain response:  retries={} remaps={} degraded_entries={} degraded_exits={}",
+        s.drain_retries, s.sector_remaps, s.degraded_entries, s.degraded_exits
+    );
+    for ce in &report.counterexamples {
+        println!("  {}", ce.replay_line());
+    }
+}
+
+fn main() {
+    let quick = std::env::var("QUICK").is_ok();
+    let seeds = if quick { 2 } else { env_u64("SEEDS", 8) };
+    let times: Vec<u64> = match std::env::var("TIMES") {
+        Ok(v) => v.split(',').filter_map(|t| t.trim().parse().ok()).collect(),
+        Err(_) if quick => vec![120, 330],
+        Err(_) => vec![80, 160, 240, 330, 420],
+    };
+
+    let mut cfg = ExplorerConfig::rapilog_default();
+    cfg.seeds = (0..seeds).map(|i| 0x5EED + i * 101).collect();
+    cfg.fault_times_ms = times.clone();
+    println!(
+        "Crash-point sweep: {} seeds x {} instants x {} kinds = {} trials\n",
+        cfg.seeds.len(),
+        cfg.fault_times_ms.len(),
+        cfg.kinds.len(),
+        cfg.seeds.len() * cfg.fault_times_ms.len() * cfg.kinds.len()
+    );
+    let main_report = explore_crash_points(&cfg);
+    summarize("resilient drain (must be clean)", &main_report);
+
+    // Negative control: a drain that cannot retry must lose acked commits
+    // under a disk-error burst, and the auditor must catch it.
+    let mut control = ExplorerConfig::broken_drain();
+    control.seeds = vec![0x5EED];
+    control.fault_times_ms = vec![150];
+    let control_report = explore_crash_points(&control);
+    println!();
+    summarize("broken drain control (must find loss)", &control_report);
+
+    let mut failed = false;
+    if !main_report.clean() {
+        println!("\nFAIL: the resilient sweep produced counterexamples");
+        failed = true;
+    }
+    if main_report.total_acked == 0 {
+        println!("\nFAIL: the sweep audited zero acknowledged commits");
+        failed = true;
+    }
+    if main_report.stats.transient_errors == 0 {
+        println!("\nFAIL: no media faults were injected — the sweep tested nothing");
+        failed = true;
+    }
+    if control_report.clean() {
+        println!("\nFAIL: the broken-drain control found no counterexample");
+        failed = true;
+    }
+    if failed {
+        std::process::exit(1);
+    }
+    // Spot-check replayability of one control counterexample.
+    let ce = &control_report.counterexamples[0];
+    let replay = rapilog_faultsim::replay_crash_point(
+        &control,
+        ce.seed,
+        ce.kind,
+        SimDuration::from_millis(ce.fault_after.as_millis()),
+    );
+    if replay.ok || replay.violations != ce.violations {
+        println!("\nFAIL: counterexample did not replay identically");
+        std::process::exit(1);
+    }
+    println!("\nSWEEP_CLEAN trials={}", main_report.trials);
+}

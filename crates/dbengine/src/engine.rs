@@ -18,6 +18,7 @@ use crate::buffer::{BufferPool, FrameRef};
 use crate::error::{DbError, DbResult};
 use crate::page::{slots_per_page, PAGE_SECTORS, PAGE_SIZE};
 use crate::profile::EngineProfile;
+use crate::retry::RetryingDevice;
 use crate::txn::LockTable;
 use crate::types::{Key, Lsn, PageId, TableId, TxnId};
 use crate::util::{crc32, put_bytes, put_u16, put_u32, put_u64, Cursor};
@@ -47,6 +48,11 @@ pub struct DbConfig {
     pub checkpoint_interval: SimDuration,
     /// Lock wait budget before a transaction is told to abort.
     pub lock_timeout: SimDuration,
+    /// OS-block-layer retry budget for transient device errors (0 = use
+    /// the raw devices). See [`crate::retry::RetryingDevice`].
+    pub io_retries: u32,
+    /// Pause between transient-error retries.
+    pub io_retry_delay: SimDuration,
 }
 
 impl Default for DbConfig {
@@ -57,6 +63,8 @@ impl Default for DbConfig {
             cpu_factor: 1.0,
             checkpoint_interval: SimDuration::from_secs(5),
             lock_timeout: SimDuration::from_millis(500),
+            io_retries: 5,
+            io_retry_delay: SimDuration::from_millis(2),
         }
     }
 }
@@ -238,6 +246,9 @@ impl Database {
         domain: DomainId,
     ) -> DbResult<Database> {
         let tables = layout_tables(defs);
+        // The OS block layer: bounded transient-error retry on both devices.
+        let data_dev = RetryingDevice::wrap(ctx, data_dev, cfg.io_retries, cfg.io_retry_delay);
+        let log_dev = RetryingDevice::wrap(ctx, log_dev, cfg.io_retries, cfg.io_retry_delay);
         // Capacity check against the data device.
         let last = tables.last().map(|t| t.base_page + t.n_pages).unwrap_or(1);
         if last * PAGE_SECTORS > data_dev.geometry().sectors {

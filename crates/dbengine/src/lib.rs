@@ -44,6 +44,7 @@ pub mod error;
 pub mod page;
 pub mod profile;
 pub mod recovery;
+pub mod retry;
 pub mod txn;
 pub mod types;
 pub mod util;

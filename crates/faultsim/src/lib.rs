@@ -18,8 +18,12 @@
 //! Table 2 of the reproduction is a campaign of these trials; the
 //! [`scenario`] module is its engine.
 
+pub mod explorer;
 pub mod machine;
 pub mod scenario;
 
+pub use explorer::{
+    explore_crash_points, replay_crash_point, Counterexample, ExplorationReport, ExplorerConfig,
+};
 pub use machine::{Machine, MachineConfig, Setup};
-pub use scenario::{run_trial, FaultKind, TrialConfig, TrialResult};
+pub use scenario::{run_trial, FaultKind, FaultStats, TrialConfig, TrialResult};

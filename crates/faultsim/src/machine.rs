@@ -392,6 +392,17 @@ impl Machine {
         self.rapilog().map(|rl| rl.audit_report())
     }
 
+    /// Every audit report this machine has produced: instances retired by
+    /// stack rebuilds first, then the current one. Empty when the setup
+    /// never had RapiLog.
+    pub fn rapilog_audit_reports(&self) -> Vec<AuditReport> {
+        let mut reports = self.inner.audit_history.borrow().clone();
+        if let Some(current) = self.rapilog_report() {
+            reports.push(current);
+        }
+        reports
+    }
+
     /// The combined verdict over every RapiLog instance this machine has
     /// run (including those retired by power episodes). `None` when the
     /// setup never had RapiLog.

@@ -25,13 +25,96 @@ use rapilog_workload::session::{job, outcome_from, JobOutcome};
 
 use crate::machine::{Machine, MachineConfig};
 
-/// The two fault classes from the paper's abstract.
+/// The injected fault classes: the paper's two machine-level failures plus
+/// the media-fault scenarios of the IRON-style disk model.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum FaultKind {
     /// Guest OS crash (kernel panic): tasks die, devices keep power.
     GuestCrash,
     /// Mains power cut: residual window, then everything dies.
     PowerCut,
+    /// The log disk fails every command for `burst`, then recovers; the
+    /// guest is crashed `slack` later so the trial audits recovery after
+    /// the drain has been through its retry/degraded cycle.
+    DiskErrorBurst {
+        /// How long every log-disk command fails.
+        burst: SimDuration,
+        /// Healthy time between recovery and the terminating guest crash.
+        slack: SimDuration,
+    },
+    /// The log disk turns sick and *stays* sick across a guest crash that
+    /// fires `lead` later; the drive recovers only after the crash (the
+    /// drain must hold acknowledged bytes through the whole outage).
+    SickLogDisk {
+        /// Sick time before the guest crash.
+        lead: SimDuration,
+    },
+    /// Mains brownout: power is cut but restored `flicker` later, inside
+    /// the residual window — the machine never dies, yet the warning fires
+    /// and the emergency drain runs.
+    PowerFlicker {
+        /// Dark time before mains return (must fit the residual window).
+        flicker: SimDuration,
+    },
+}
+
+impl FaultKind {
+    /// Short label for tables and traces.
+    pub fn label(&self) -> &'static str {
+        match self {
+            FaultKind::GuestCrash => "guest_crash",
+            FaultKind::PowerCut => "power_cut",
+            FaultKind::DiskErrorBurst { .. } => "disk_error_burst",
+            FaultKind::SickLogDisk { .. } => "sick_log_disk",
+            FaultKind::PowerFlicker { .. } => "power_flicker",
+        }
+    }
+}
+
+/// Fault-handling activity observed during one trial, summed over both
+/// disks and every RapiLog instance the machine ran.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FaultStats {
+    /// Media commands failed with a transient error.
+    pub transient_errors: u64,
+    /// Media commands failed with an unrecoverable media error.
+    pub media_errors: u64,
+    /// Media commands delayed by a firmware stall.
+    pub stalls: u64,
+    /// Sectors silently corrupted without an error.
+    pub corrupt_sectors: u64,
+    /// Requests rejected because a disk was offline.
+    pub rejected_offline: u64,
+    /// Transient failures the RapiLog drain retried through.
+    pub drain_retries: u64,
+    /// Defective sectors the drain remapped and rewrote.
+    pub sector_remaps: u64,
+    /// Times RapiLog entered degraded (synchronous-ack) mode.
+    pub degraded_entries: u64,
+    /// Times RapiLog recovered back to early acknowledgement.
+    pub degraded_exits: u64,
+}
+
+impl FaultStats {
+    /// Collects the counters from a machine after a trial.
+    pub fn collect(machine: &Machine) -> FaultStats {
+        let mut fs = FaultStats::default();
+        for disk in [machine.data_disk(), machine.log_disk()] {
+            let s = disk.stats();
+            fs.transient_errors += s.transient_errors;
+            fs.media_errors += s.media_errors;
+            fs.stalls += s.stalls;
+            fs.corrupt_sectors += s.corrupt_sectors;
+            fs.rejected_offline += s.rejected_offline;
+        }
+        for r in machine.rapilog_audit_reports() {
+            fs.drain_retries += r.drain_retries;
+            fs.sector_remaps += r.sector_remaps;
+            fs.degraded_entries += r.degraded_entries;
+            fs.degraded_exits += r.degraded_exits;
+        }
+        fs
+    }
 }
 
 /// Trial parameters.
@@ -75,6 +158,9 @@ pub struct TrialResult {
     pub recovery: RecoveryReport,
     /// RapiLog's own invariant verdict (None for non-RapiLog setups).
     pub rapilog_guarantee: Option<bool>,
+    /// Fault-handling counters (retries, remaps, degraded transitions,
+    /// offline rejections) summed over the trial.
+    pub fault_stats: FaultStats,
     /// Per-layer busy-time attribution over the whole trial (commits =
     /// `total_acked`). Trials always run with tracing enabled.
     pub attribution: LatencyAttribution,
@@ -149,10 +235,7 @@ pub fn run_trial(seed: u64, cfg: TrialConfig) -> TrialResult {
             Layer::Fault,
             "fault_inject",
             Payload::Text {
-                text: match cfg.fault {
-                    FaultKind::GuestCrash => "guest_crash",
-                    FaultKind::PowerCut => "power_cut",
-                },
+                text: cfg.fault.label(),
             },
         );
         match cfg.fault {
@@ -169,6 +252,30 @@ pub fn run_trial(seed: u64, cfg: TrialConfig) -> TrialResult {
                 // Dark for a moment, then the power returns.
                 c2.sleep(SimDuration::from_millis(500)).await;
                 machine.restore_power();
+            }
+            FaultKind::DiskErrorBurst { burst, slack } => {
+                machine.log_disk().set_sick(true);
+                c2.sleep(burst).await;
+                machine.log_disk().set_sick(false);
+                c2.sleep(slack).await;
+                machine.crash_guest();
+            }
+            FaultKind::SickLogDisk { lead } => {
+                machine.log_disk().set_sick(true);
+                c2.sleep(lead).await;
+                machine.crash_guest();
+                // The drive recovers only after the crash; the drain (or
+                // the recovery scan) meets a healthy disk again.
+                machine.log_disk().set_sick(false);
+            }
+            FaultKind::PowerFlicker { flicker } => {
+                machine.cut_power();
+                c2.sleep(flicker).await;
+                machine.restore_power();
+                // Give the stack a beat to settle, then end the trial so
+                // the audit can run against a rebooted machine.
+                c2.sleep(SimDuration::from_millis(100)).await;
+                machine.crash_guest();
             }
         }
         // Wait for every client to observe the failure.
@@ -212,6 +319,7 @@ pub fn run_trial(seed: u64, cfg: TrialConfig) -> TrialResult {
         if rapilog_guarantee == Some(false) {
             violations.push("rapilog internal guarantee violated".to_string());
         }
+        let fault_stats = FaultStats::collect(&machine);
         let total_acked = journals.iter().map(|j| j.acked).sum();
         db.stop();
         let attribution = LatencyAttribution::from_snapshot(&c2.tracer().snapshot(), total_acked);
@@ -223,6 +331,7 @@ pub fn run_trial(seed: u64, cfg: TrialConfig) -> TrialResult {
             total_acked,
             recovery,
             rapilog_guarantee,
+            fault_stats,
             attribution,
         });
     });
@@ -280,6 +389,84 @@ mod tests {
     fn virtualized_sync_survives_power_cut() {
         let r = run_trial(104, base(Setup::Virtualized, FaultKind::PowerCut));
         assert!(r.ok, "violations: {:?}", r.violations);
+    }
+
+    #[test]
+    fn rapilog_survives_disk_error_burst_via_retry_and_degraded_mode() {
+        let mut cfg = base(
+            Setup::RapiLog,
+            FaultKind::DiskErrorBurst {
+                burst: SimDuration::from_millis(60),
+                slack: SimDuration::from_millis(80),
+            },
+        );
+        cfg.think_time = SimDuration::from_micros(150);
+        let r = run_trial(105, cfg);
+        assert!(r.ok, "violations: {:?}", r.violations);
+        assert!(r.total_acked > 0);
+        assert_eq!(r.rapilog_guarantee, Some(true));
+        assert!(
+            r.fault_stats.transient_errors > 0,
+            "the burst failed commands: {:?}",
+            r.fault_stats
+        );
+        assert!(
+            r.fault_stats.drain_retries > 0,
+            "the drain retried through it: {:?}",
+            r.fault_stats
+        );
+    }
+
+    #[test]
+    fn rapilog_survives_a_sick_log_disk_across_the_crash() {
+        let r = run_trial(
+            106,
+            base(
+                Setup::RapiLog,
+                FaultKind::SickLogDisk {
+                    lead: SimDuration::from_millis(40),
+                },
+            ),
+        );
+        assert!(r.ok, "violations: {:?}", r.violations);
+        assert!(r.total_acked > 0);
+        assert_eq!(r.rapilog_guarantee, Some(true));
+        assert!(r.fault_stats.drain_retries > 0);
+    }
+
+    #[test]
+    fn rapilog_survives_a_power_flicker() {
+        let r = run_trial(
+            107,
+            base(
+                Setup::RapiLog,
+                FaultKind::PowerFlicker {
+                    flicker: SimDuration::from_millis(100),
+                },
+            ),
+        );
+        assert!(r.ok, "violations: {:?}", r.violations);
+        assert!(r.total_acked > 0);
+        assert_eq!(r.rapilog_guarantee, Some(true));
+    }
+
+    #[test]
+    fn native_sync_halts_but_never_lies_under_a_disk_error_burst() {
+        // The synchronous engine has no resilience layer: the WAL stops on
+        // the first failed flush. That is loud and ugly — but it must not
+        // lose anything it acknowledged.
+        let r = run_trial(
+            108,
+            base(
+                Setup::Native,
+                FaultKind::DiskErrorBurst {
+                    burst: SimDuration::from_millis(60),
+                    slack: SimDuration::from_millis(80),
+                },
+            ),
+        );
+        assert!(r.ok, "violations: {:?}", r.violations);
+        assert!(r.fault_stats.transient_errors > 0);
     }
 
     #[test]

@@ -53,6 +53,14 @@ pub struct AuditReport {
     pub drain_failures: u64,
     /// Bytes that were still buffered at those failures.
     pub bytes_lost_at_failure: u64,
+    /// Transient device failures the drain retried through.
+    pub drain_retries: u64,
+    /// Defective sectors the drain remapped and rewrote.
+    pub sector_remaps: u64,
+    /// Times the instance entered degraded (synchronous-ack) mode.
+    pub degraded_entries: u64,
+    /// Times the instance recovered back to early acknowledgement.
+    pub degraded_exits: u64,
 }
 
 impl AuditReport {
@@ -136,6 +144,26 @@ impl Audit {
         let mut st = self.st.borrow_mut();
         st.report.drain_failures += 1;
         st.report.bytes_lost_at_failure += occupancy;
+    }
+
+    /// Records one transient failure retried by the drain.
+    pub fn record_retry(&self) {
+        self.st.borrow_mut().report.drain_retries += 1;
+    }
+
+    /// Records one sector remap + rewrite by the drain.
+    pub fn record_remap(&self) {
+        self.st.borrow_mut().report.sector_remaps += 1;
+    }
+
+    /// Records entry into degraded (synchronous-ack) mode.
+    pub fn record_degraded_entry(&self) {
+        self.st.borrow_mut().report.degraded_entries += 1;
+    }
+
+    /// Records recovery back to early acknowledgement.
+    pub fn record_degraded_exit(&self) {
+        self.st.borrow_mut().report.degraded_exits += 1;
     }
 
     /// Snapshot of the findings.

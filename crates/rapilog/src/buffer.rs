@@ -226,6 +226,27 @@ impl DependableBuffer {
         }
     }
 
+    /// Waits until every extent with sequence `<= seq` has been committed
+    /// to media (degraded-mode synchronous acknowledgement). Returns false
+    /// if the buffer froze with the extent still queued — the drain died
+    /// and the commit will never happen on this instance.
+    pub async fn wait_completed(&self, seq: u64) -> bool {
+        loop {
+            {
+                let st = self.st.borrow();
+                let pending = st.queue.front().is_some_and(|h| h.seq <= seq);
+                if !pending {
+                    return true;
+                }
+                if st.frozen {
+                    return false;
+                }
+            }
+            // complete() and freeze() both notify `space`.
+            self.space.notified().await;
+        }
+    }
+
     /// Waits until the buffer is fully drained.
     pub async fn drained(&self) {
         loop {

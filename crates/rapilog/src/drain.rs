@@ -14,15 +14,18 @@
 //!   hit the disk before the residual window expired. With correct sizing
 //!   this is guaranteed; the audit exists to prove it run after run.
 
+use std::rc::Rc;
+
 use rapilog_microvisor::cell::Cell;
+use rapilog_simcore::rng::SimRng;
 use rapilog_simcore::trace::{Layer, Payload};
-use rapilog_simcore::SimCtx;
-use rapilog_simdisk::Disk;
+use rapilog_simcore::{SimCtx, SimDuration};
+use rapilog_simdisk::{Disk, IoError};
 use rapilog_simpower::PowerSupply;
 
 use crate::audit::Audit;
 use crate::buffer::{DependableBuffer, Extent};
-use crate::RapiLogConfig;
+use crate::{ModeState, RapiLogConfig, RetryPolicy};
 
 /// A consolidated contiguous run ready for one device write.
 pub(crate) struct Run {
@@ -72,7 +75,121 @@ pub(crate) fn consolidate(batch: &[Extent]) -> Vec<Run> {
     runs
 }
 
+/// Computes the delay before retry number `attempt` (0-based): capped
+/// exponential backoff plus bounded jitter from the drain's forked RNG.
+/// Deterministic: the same policy, attempt and RNG state give the same
+/// delay on every run.
+pub(crate) fn backoff_delay(policy: &RetryPolicy, attempt: u32, rng: &mut SimRng) -> SimDuration {
+    let base = policy.backoff_base.as_nanos();
+    let mult = 1u64.checked_shl(attempt.min(63)).unwrap_or(u64::MAX);
+    let delay = base.saturating_mul(mult).min(policy.backoff_cap.as_nanos());
+    let jitter = match policy.jitter.as_nanos() {
+        0 => 0,
+        j => rng.next_u64() % j,
+    };
+    SimDuration::from_nanos(delay.saturating_add(jitter))
+}
+
+/// Why [`write_run_resilient`] gave up.
+enum RunFatal {
+    /// The device is unreachable for good (power collapse, or retries
+    /// disabled by configuration): freeze and abandon the drain.
+    DeviceLost,
+}
+
+/// Commits one consolidated run, surviving transient failures (capped
+/// exponential backoff) and grown media defects (remap + rewrite). Enters
+/// degraded mode once the retry budget is exhausted — but never drops the
+/// run: every byte in it was acknowledged, so giving up would turn a slow
+/// disk into a broken promise.
+#[allow(clippy::too_many_arguments)]
+async fn write_run_resilient(
+    ctx: &SimCtx,
+    disk: &Disk,
+    run: &Run,
+    policy: &RetryPolicy,
+    rng: &mut SimRng,
+    audit: &Audit,
+    mode: &ModeState,
+    consecutive_ok: &mut u32,
+) -> Result<(), RunFatal> {
+    let tracer = ctx.tracer();
+    let mut attempt: u32 = 0;
+    let mut remaps: u32 = 0;
+    loop {
+        match disk.write(run.sector, &run.data, true).await {
+            Ok(()) => {
+                *consecutive_ok = consecutive_ok.saturating_add(1);
+                if mode.is_degraded() && *consecutive_ok >= policy.degraded_exit_successes {
+                    mode.set_degraded(false);
+                    audit.record_degraded_exit();
+                    tracer.instant(
+                        ctx.now(),
+                        Layer::Drain,
+                        "degraded_exit",
+                        Payload::Mark {
+                            value: *consecutive_ok as u64,
+                        },
+                    );
+                }
+                return Ok(());
+            }
+            Err(IoError::Transient) if policy.enabled => {
+                *consecutive_ok = 0;
+                audit.record_retry();
+                tracer.instant(
+                    ctx.now(),
+                    Layer::Drain,
+                    "drain_retry",
+                    Payload::Mark {
+                        value: attempt as u64,
+                    },
+                );
+                if attempt >= policy.max_retries && !mode.is_degraded() {
+                    mode.set_degraded(true);
+                    audit.record_degraded_entry();
+                    tracer.instant(
+                        ctx.now(),
+                        Layer::Drain,
+                        "degraded_entry",
+                        Payload::Mark {
+                            value: attempt as u64,
+                        },
+                    );
+                }
+                ctx.sleep(backoff_delay(policy, attempt, rng)).await;
+                attempt = attempt.saturating_add(1);
+            }
+            Err(IoError::MediaError { sector }) if policy.enabled => {
+                *consecutive_ok = 0;
+                remaps += 1;
+                if remaps > policy.max_remaps {
+                    return Err(RunFatal::DeviceLost);
+                }
+                disk.remap(sector);
+                audit.record_remap();
+                tracer.instant(
+                    ctx.now(),
+                    Layer::Drain,
+                    "drain_remap",
+                    Payload::Fault {
+                        kind: "remap",
+                        sector,
+                    },
+                );
+                // Rewrite the whole run: the failed write may have torn at
+                // the defect, and rewriting is idempotent.
+            }
+            Err(_) => {
+                *consecutive_ok = 0;
+                return Err(RunFatal::DeviceLost);
+            }
+        }
+    }
+}
+
 /// Spawns the drain loop and (with a supply) the power watcher.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn start(
     ctx: &SimCtx,
     cell: &Cell,
@@ -81,12 +198,16 @@ pub(crate) fn start(
     cfg: RapiLogConfig,
     supply: Option<PowerSupply>,
     audit: Audit,
+    mode: Rc<ModeState>,
 ) {
     let drain_buffer = buffer.clone();
     let drain_audit = audit.clone();
     let drain_ctx = ctx.clone();
     let tracer = ctx.tracer();
+    let mut rng = ctx.fork_rng();
     cell.spawn(async move {
+        let policy = cfg.retry;
+        let mut consecutive_ok: u32 = 0;
         loop {
             drain_buffer.wait_avail().await;
             loop {
@@ -104,13 +225,26 @@ pub(crate) fn start(
                 tracer.begin(drain_ctx.now(), Layer::Drain, "drain_batch", batch_payload);
                 let mut failed = false;
                 for run in runs {
-                    if disk.write(run.sector, &run.data, true).await.is_err() {
+                    if write_run_resilient(
+                        &drain_ctx,
+                        &disk,
+                        &run,
+                        &policy,
+                        &mut rng,
+                        &drain_audit,
+                        &mode,
+                        &mut consecutive_ok,
+                    )
+                    .await
+                    .is_err()
+                    {
                         failed = true;
                         break;
                     }
                 }
                 if failed {
-                    // The disk is gone (power collapse). Whatever remains
+                    // The disk is gone for good (power collapse, or the
+                    // resilience policy is switched off). Whatever remains
                     // buffered is lost with the machine; the audit decides
                     // whether that violated the guarantee (it must not,
                     // if sizing was honest and the warning fired).
@@ -232,5 +366,264 @@ mod tests {
     #[test]
     fn consolidate_empty() {
         assert!(consolidate(&[]).is_empty());
+    }
+}
+
+#[cfg(test)]
+mod backoff_tests {
+    use super::*;
+
+    fn policy() -> RetryPolicy {
+        RetryPolicy {
+            backoff_base: SimDuration::from_micros(100),
+            backoff_cap: SimDuration::from_millis(20),
+            jitter: SimDuration::from_micros(50),
+            ..RetryPolicy::default()
+        }
+    }
+
+    #[test]
+    fn backoff_is_deterministic_for_equal_rng_state() {
+        let p = policy();
+        let mut a = SimRng::seed_from_u64(99);
+        let mut b = SimRng::seed_from_u64(99);
+        for attempt in 0..12 {
+            assert_eq!(
+                backoff_delay(&p, attempt, &mut a),
+                backoff_delay(&p, attempt, &mut b),
+                "attempt {attempt}"
+            );
+        }
+    }
+
+    #[test]
+    fn backoff_doubles_then_caps() {
+        let mut p = policy();
+        p.jitter = SimDuration::ZERO;
+        let mut rng = SimRng::seed_from_u64(1);
+        assert_eq!(backoff_delay(&p, 0, &mut rng).as_micros(), 100);
+        assert_eq!(backoff_delay(&p, 1, &mut rng).as_micros(), 200);
+        assert_eq!(backoff_delay(&p, 4, &mut rng).as_micros(), 1600);
+        // 100 µs * 2^8 = 25.6 ms > 20 ms cap.
+        assert_eq!(backoff_delay(&p, 8, &mut rng).as_millis(), 20);
+        // Huge attempt numbers must not overflow.
+        assert_eq!(backoff_delay(&p, u32::MAX, &mut rng).as_millis(), 20);
+    }
+
+    #[test]
+    fn jitter_is_bounded_and_consumed_from_the_rng() {
+        let p = policy();
+        let mut rng = SimRng::seed_from_u64(7);
+        for attempt in 0..20 {
+            let base_only = {
+                let mut p0 = p;
+                p0.jitter = SimDuration::ZERO;
+                let mut dummy = SimRng::seed_from_u64(0);
+                backoff_delay(&p0, attempt, &mut dummy)
+            };
+            let with_jitter = backoff_delay(&p, attempt, &mut rng);
+            assert!(with_jitter >= base_only);
+            assert!(with_jitter < base_only + p.jitter);
+        }
+    }
+}
+
+#[cfg(test)]
+mod resilience_tests {
+    use crate::prelude::*;
+    use rapilog_microvisor::{Hypervisor, Trust};
+    use rapilog_simcore::{Sim, SimDuration, SimTime};
+    use rapilog_simdisk::{specs, BlockDevice, Disk, FaultProfile, SECTOR_SIZE};
+    use std::cell::Cell as StdCell;
+    use std::rc::Rc;
+
+    fn setup(sim: &mut Sim, disk: Disk, retry: RetryPolicy) -> RapiLog {
+        let ctx = sim.ctx();
+        let hv = Hypervisor::new(&ctx);
+        let cell = hv.create_cell("rapilog", Trust::Trusted);
+        let rl = RapiLog::builder(&ctx)
+            .cell(&cell)
+            .disk(disk)
+            .capacity(CapacitySpec::Fixed(16 << 20))
+            .retry(retry)
+            .build();
+        std::mem::forget(cell);
+        rl
+    }
+
+    #[test]
+    fn drain_retries_through_transient_faults() {
+        let mut sim = Sim::new(21);
+        let ctx = sim.ctx();
+        let spec = specs::instant(1 << 24).with_faults(FaultProfile::transient(4, 0.3));
+        let disk = Disk::new(&ctx, spec);
+        let rl = setup(&mut sim, disk.clone(), RetryPolicy::default());
+        let dev = rl.device();
+        sim.spawn(async move {
+            for i in 0..200u64 {
+                dev.write(i, &vec![i as u8; SECTOR_SIZE], true)
+                    .await
+                    .unwrap();
+            }
+        });
+        sim.run_until(SimTime::from_secs(30));
+        assert_eq!(rl.occupancy(), 0, "everything drained despite faults");
+        let report = rl.audit_report();
+        assert!(report.guarantee_held());
+        assert!(report.drain_retries > 0, "faults forced retries");
+        // Spot-check contents made it.
+        let mut buf = vec![0u8; SECTOR_SIZE];
+        disk.peek_media(150, &mut buf);
+        assert_eq!(buf, vec![150u8; SECTOR_SIZE]);
+    }
+
+    #[test]
+    fn drain_remaps_grown_defects_and_rewrites() {
+        let mut sim = Sim::new(22);
+        let ctx = sim.ctx();
+        let disk = Disk::new(&ctx, specs::instant(1 << 24));
+        disk.mark_bad(5);
+        let rl = setup(&mut sim, disk.clone(), RetryPolicy::default());
+        let dev = rl.device();
+        sim.spawn(async move {
+            dev.write(4, &vec![0xCD; 3 * SECTOR_SIZE], true)
+                .await
+                .unwrap();
+        });
+        sim.run_until(SimTime::from_secs(5));
+        assert_eq!(rl.occupancy(), 0);
+        let report = rl.audit_report();
+        assert!(report.guarantee_held());
+        assert_eq!(report.sector_remaps, 1);
+        let mut buf = vec![0u8; SECTOR_SIZE];
+        for s in 4..7u64 {
+            disk.peek_media(s, &mut buf);
+            assert_eq!(buf, vec![0xCD; SECTOR_SIZE], "sector {s}");
+        }
+    }
+
+    #[test]
+    fn degraded_mode_enters_on_burst_and_exits_with_hysteresis() {
+        let mut sim = Sim::new(23);
+        let ctx = sim.ctx();
+        let disk = Disk::new(&ctx, specs::instant(1 << 24));
+        let retry = RetryPolicy {
+            max_retries: 3,
+            backoff_base: SimDuration::from_micros(100),
+            backoff_cap: SimDuration::from_millis(2),
+            degraded_exit_successes: 4,
+            ..RetryPolicy::default()
+        };
+        let rl = setup(&mut sim, disk.clone(), retry);
+        let dev = rl.device();
+        let entered = Rc::new(StdCell::new(false));
+        let e2 = Rc::clone(&entered);
+        let rl2 = rl.clone();
+        let c2 = ctx.clone();
+        sim.spawn(async move {
+            for i in 0..400u64 {
+                dev.write(i % 64, &vec![i as u8; SECTOR_SIZE], true)
+                    .await
+                    .unwrap();
+                if rl2.is_degraded() {
+                    e2.set(true);
+                }
+                c2.sleep(SimDuration::from_micros(500)).await;
+            }
+        });
+        // A 40 ms sick burst starting at t=20 ms.
+        let d2 = disk.clone();
+        sim.spawn({
+            let ctx = ctx.clone();
+            async move {
+                ctx.sleep(SimDuration::from_millis(20)).await;
+                d2.set_sick(true);
+                ctx.sleep(SimDuration::from_millis(40)).await;
+                d2.set_sick(false);
+            }
+        });
+        sim.run_until(SimTime::from_secs(10));
+        assert!(entered.get(), "burst drove the instance into degraded mode");
+        let report = rl.audit_report();
+        assert!(report.guarantee_held(), "no acked byte was lost");
+        assert!(report.degraded_entries >= 1);
+        assert_eq!(
+            report.degraded_entries, report.degraded_exits,
+            "every entry recovered"
+        );
+        assert!(!rl.is_degraded(), "healthy again after the burst");
+        assert_eq!(rl.occupancy(), 0);
+    }
+
+    #[test]
+    fn degraded_ack_waits_for_media() {
+        let mut sim = Sim::new(24);
+        let ctx = sim.ctx();
+        // Real mechanics so a media write costs milliseconds.
+        let disk = Disk::new(&ctx, specs::hdd_7200(1 << 30));
+        let retry = RetryPolicy {
+            max_retries: 0,
+            backoff_base: SimDuration::from_micros(200),
+            backoff_cap: SimDuration::from_millis(1),
+            degraded_exit_successes: u32::MAX, // stay degraded
+            ..RetryPolicy::default()
+        };
+        let rl = setup(&mut sim, disk.clone(), retry);
+        let dev = rl.device();
+        let ack_ns = Rc::new(StdCell::new(0u64));
+        let a2 = Rc::clone(&ack_ns);
+        let d2 = disk.clone();
+        let c2 = ctx.clone();
+        sim.spawn(async move {
+            // Trip the mode with a short sick window. The device write is
+            // acked from the buffer before degradation engages; the *drain*
+            // sees the faults and exhausts its (zero) retry budget.
+            d2.set_sick(true);
+            dev.write(0, &vec![1u8; SECTOR_SIZE], true).await.unwrap();
+            c2.sleep(SimDuration::from_millis(5)).await;
+            d2.set_sick(false);
+            c2.sleep(SimDuration::from_millis(50)).await;
+            let t0 = c2.now();
+            dev.write(1, &vec![2u8; SECTOR_SIZE], true).await.unwrap();
+            a2.set((c2.now() - t0).as_nanos());
+        });
+        sim.run_until(SimTime::from_secs(5));
+        assert!(rl.is_degraded(), "exit threshold unreachable by design");
+        assert!(
+            ack_ns.get() > 1_000_000,
+            "degraded ack paid media time, got {} ns",
+            ack_ns.get()
+        );
+        // The write is on media at ack time — the promise is synchronous.
+        let mut buf = vec![0u8; SECTOR_SIZE];
+        disk.peek_media(1, &mut buf);
+        assert_eq!(buf, vec![2u8; SECTOR_SIZE]);
+    }
+
+    #[test]
+    fn disabled_retry_turns_first_fault_into_a_drain_failure() {
+        let mut sim = Sim::new(25);
+        let ctx = sim.ctx();
+        let disk = Disk::new(&ctx, specs::instant(1 << 24));
+        let retry = RetryPolicy {
+            enabled: false,
+            ..RetryPolicy::default()
+        };
+        let rl = setup(&mut sim, disk.clone(), retry);
+        let dev = rl.device();
+        let d2 = disk.clone();
+        sim.spawn(async move {
+            d2.set_sick(true);
+            // Acked into the buffer; the drain then hits the sick disk.
+            let _ = dev.write(0, &vec![9u8; SECTOR_SIZE], true).await;
+        });
+        sim.run_until(SimTime::from_secs(1));
+        let report = rl.audit_report();
+        assert!(report.drain_failures > 0, "drain gave up immediately");
+        assert!(
+            !report.guarantee_held(),
+            "acked bytes were lost: the checker must notice"
+        );
+        assert!(rl.device_frozen());
     }
 }

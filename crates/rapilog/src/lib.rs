@@ -73,7 +73,9 @@ pub mod prelude {
     pub use crate::audit::AuditReport;
     pub use crate::buffer::{BufferStats, DependableBuffer};
     pub use crate::vdisk::RapiLogDevice;
-    pub use crate::{CapacitySpec, RapiLog, RapiLogBuilder, RapiLogConfig, RapiLogSnapshot};
+    pub use crate::{
+        CapacitySpec, RapiLog, RapiLogBuilder, RapiLogConfig, RapiLogSnapshot, RetryPolicy,
+    };
 }
 
 use std::rc::Rc;
@@ -93,6 +95,55 @@ pub enum CapacitySpec {
     FromSupply,
 }
 
+/// How the drain reacts to device faults.
+///
+/// Transient command failures are retried with capped exponential backoff;
+/// media errors are remapped and rewritten. When the retry budget for one
+/// run is exhausted the instance enters **degraded mode**: commits are no
+/// longer acknowledged early — the device waits for the drain to put each
+/// write on media before returning — until
+/// [`degraded_exit_successes`](Self::degraded_exit_successes) consecutive
+/// media writes succeed again. The durability guarantee is preserved at the
+/// cost of latency (invariant I5 in spirit: degrade, never lie).
+#[derive(Debug, Clone, Copy)]
+pub struct RetryPolicy {
+    /// Master switch. With retries disabled, the first device error kills
+    /// the drain exactly as a power collapse would — used by the fault
+    /// harness to prove the durability checker can fail.
+    pub enabled: bool,
+    /// Transient failures tolerated on one run before entering degraded
+    /// mode. The drain keeps retrying past the budget (dropping the batch
+    /// would lose acknowledged data); the budget only gates the mode.
+    pub max_retries: u32,
+    /// First retry delay; doubles each attempt.
+    pub backoff_base: SimDuration,
+    /// Ceiling on the exponential backoff.
+    pub backoff_cap: SimDuration,
+    /// Maximum deterministic jitter added to each delay (decorrelates
+    /// retry storms across instances; drawn from the drain's forked RNG).
+    pub jitter: SimDuration,
+    /// Consecutive successful media writes required to leave degraded mode
+    /// (hysteresis: one lucky write must not flap the mode).
+    pub degraded_exit_successes: u32,
+    /// Sector remaps tolerated on one run before declaring the device dead
+    /// (a disk growing defects this fast has failed).
+    pub max_remaps: u32,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            enabled: true,
+            max_retries: 8,
+            backoff_base: SimDuration::from_micros(100),
+            backoff_cap: SimDuration::from_millis(20),
+            jitter: SimDuration::from_micros(50),
+            degraded_exit_successes: 4,
+            max_remaps: 64,
+        }
+    }
+}
+
 /// RapiLog configuration.
 #[derive(Debug, Clone, Copy)]
 pub struct RapiLogConfig {
@@ -104,6 +155,8 @@ pub struct RapiLogConfig {
     pub ack_base: SimDuration,
     /// Additional copy cost per KiB accepted.
     pub ack_per_kib: SimDuration,
+    /// Drain fault handling.
+    pub retry: RetryPolicy,
 }
 
 impl Default for RapiLogConfig {
@@ -114,7 +167,31 @@ impl Default for RapiLogConfig {
             ack_base: SimDuration::from_micros(2),
             // ~4 GB/s single-copy bandwidth.
             ack_per_kib: SimDuration::from_nanos(250),
+            retry: RetryPolicy::default(),
         }
+    }
+}
+
+/// Shared ack-mode flag between the drain (which decides) and the device
+/// (which obeys): while degraded, writes are acknowledged only after the
+/// drain has committed them to media.
+pub(crate) struct ModeState {
+    degraded: std::cell::Cell<bool>,
+}
+
+impl ModeState {
+    pub(crate) fn new() -> Rc<ModeState> {
+        Rc::new(ModeState {
+            degraded: std::cell::Cell::new(false),
+        })
+    }
+
+    pub(crate) fn is_degraded(&self) -> bool {
+        self.degraded.get()
+    }
+
+    pub(crate) fn set_degraded(&self, on: bool) {
+        self.degraded.set(on);
     }
 }
 
@@ -138,6 +215,9 @@ pub struct RapiLogSnapshot {
     pub frozen: bool,
     /// True if the device runs unbuffered (residual window too small).
     pub write_through: bool,
+    /// True while the instance acknowledges synchronously because the log
+    /// disk is misbehaving (see [`RetryPolicy`]).
+    pub degraded: bool,
 }
 
 /// Fluent constructor for [`RapiLog`]; obtained from [`RapiLog::builder`].
@@ -227,6 +307,12 @@ impl<'a> RapiLogBuilder<'a> {
         self
     }
 
+    /// Drain fault handling (default: [`RetryPolicy::default`]).
+    pub fn retry(mut self, policy: RetryPolicy) -> Self {
+        self.cfg.retry = policy;
+        self
+    }
+
     /// Assembles the instance: sizes the buffer (falling back to
     /// write-through if the residual window cannot cover even one sector),
     /// builds the guest-facing device and spawns the drain tasks.
@@ -262,22 +348,26 @@ impl<'a> RapiLogBuilder<'a> {
             // deployments detect this case up front.
             let audit = audit::Audit::new(ctx, supply.cloned());
             let buffer = DependableBuffer::new(0);
+            let mode = ModeState::new();
             let device =
                 RapiLogDevice::new_write_through(ctx, Rc::new(disk.clone()), cfg, audit.clone());
             return RapiLog {
                 buffer,
                 device,
                 audit,
+                mode,
             };
         }
         let audit = audit::Audit::new(ctx, supply.cloned());
         let buffer = DependableBuffer::new(capacity);
+        let mode = ModeState::new();
         let device = RapiLogDevice::new(
             ctx,
             buffer.clone(),
             Rc::new(disk.clone()),
             cfg,
             audit.clone(),
+            Rc::clone(&mode),
         );
         drain::start(
             ctx,
@@ -287,11 +377,13 @@ impl<'a> RapiLogBuilder<'a> {
             cfg,
             supply.cloned(),
             audit.clone(),
+            Rc::clone(&mode),
         );
         RapiLog {
             buffer,
             device,
             audit,
+            mode,
         }
     }
 }
@@ -302,6 +394,7 @@ pub struct RapiLog {
     buffer: DependableBuffer,
     device: RapiLogDevice,
     audit: audit::Audit,
+    mode: Rc<ModeState>,
 }
 
 impl RapiLog {
@@ -356,7 +449,14 @@ impl RapiLog {
             capacity: self.buffer.capacity(),
             frozen: self.buffer.is_frozen(),
             write_through: self.device.is_write_through(),
+            degraded: self.mode.is_degraded(),
         }
+    }
+
+    /// True while the instance has fallen back to synchronous
+    /// acknowledgements because the log disk is misbehaving.
+    pub fn is_degraded(&self) -> bool {
+        self.mode.is_degraded()
     }
 
     /// Bytes currently buffered (acked, not yet on media).

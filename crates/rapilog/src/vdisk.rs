@@ -26,7 +26,7 @@ use rapilog_simdisk::{BlockDevice, Geometry, IoError, IoResult, LocalBoxFuture, 
 
 use crate::audit::Audit;
 use crate::buffer::{DependableBuffer, PushError};
-use crate::RapiLogConfig;
+use crate::{ModeState, RapiLogConfig};
 
 /// The virtual block device backed by the dependable buffer.
 #[derive(Clone)]
@@ -38,6 +38,8 @@ pub struct RapiLogDevice {
     cfg: RapiLogConfig,
     #[allow(dead_code)]
     audit: Audit,
+    /// Shared with the drain: while degraded, acks wait for media.
+    mode: Rc<ModeState>,
     geometry: Geometry,
     tracer: Rc<Tracer>,
 }
@@ -49,6 +51,7 @@ impl RapiLogDevice {
         backing: Rc<dyn BlockDevice>,
         cfg: RapiLogConfig,
         audit: Audit,
+        mode: Rc<ModeState>,
     ) -> RapiLogDevice {
         let geometry = backing.geometry();
         RapiLogDevice {
@@ -57,6 +60,7 @@ impl RapiLogDevice {
             backing,
             cfg,
             audit,
+            mode,
             geometry,
             tracer: ctx.tracer(),
         }
@@ -78,6 +82,8 @@ impl RapiLogDevice {
             backing,
             cfg,
             audit,
+            // Write-through is already synchronous; it never degrades.
+            mode: ModeState::new(),
             geometry,
             tracer: ctx.tracer(),
         }
@@ -86,6 +92,11 @@ impl RapiLogDevice {
     /// True if the device is running in write-through (unbuffered) mode.
     pub fn is_write_through(&self) -> bool {
         self.buffer.is_none()
+    }
+
+    /// True while acknowledgements wait for media (drain-driven fallback).
+    pub fn is_degraded(&self) -> bool {
+        self.mode.is_degraded()
     }
 
     fn ack_cost(&self, bytes: usize) -> SimDuration {
@@ -180,6 +191,7 @@ impl BlockDevice for RapiLogDevice {
             let chunk_sectors = (buffer.capacity() as usize / SECTOR_SIZE).clamp(1, 128);
             let mut offset = 0usize;
             let mut first = sector;
+            let mut last_seq = None;
             while offset < data.len() {
                 let take = (data.len() - offset).min(chunk_sectors * SECTOR_SIZE);
                 match buffer
@@ -187,6 +199,7 @@ impl BlockDevice for RapiLogDevice {
                     .await
                 {
                     Ok(seq) => {
+                        last_seq = Some(seq);
                         self.tracer.instant(
                             self.ctx.now(),
                             Layer::Buffer,
@@ -204,6 +217,31 @@ impl BlockDevice for RapiLogDevice {
                 }
                 offset += take;
                 first += (take / SECTOR_SIZE) as u64;
+            }
+            // Degraded mode: the log disk is misbehaving, so the early ack
+            // would be a promise the drain might take arbitrarily long to
+            // keep. Hold the acknowledgement until the drain has pushed
+            // this write (same ordered pipeline, so ordering is free) all
+            // the way to media.
+            if self.mode.is_degraded() {
+                if let Some(seq) = last_seq {
+                    self.tracer.begin(
+                        self.ctx.now(),
+                        Layer::Buffer,
+                        "degraded_ack",
+                        Payload::Mark { value: seq },
+                    );
+                    let committed = buffer.wait_completed(seq).await;
+                    self.tracer.end(
+                        self.ctx.now(),
+                        Layer::Buffer,
+                        "degraded_ack",
+                        Payload::Mark { value: seq },
+                    );
+                    if !committed {
+                        return Err(IoError::PowerLoss);
+                    }
+                }
             }
             Ok(())
         })

@@ -173,6 +173,13 @@ pub enum Payload {
         /// Observed latency in nanoseconds.
         latency: u64,
     },
+    /// An injected or observed device fault.
+    Fault {
+        /// Static fault-kind label (e.g. `"transient"`, `"media_error"`).
+        kind: &'static str,
+        /// Sector the fault hit (0 when not sector-addressed).
+        sector: u64,
+    },
     /// A bare numeric annotation.
     Mark {
         /// The value.
@@ -403,6 +410,9 @@ fn payload_args(out: &mut String, payload: &Payload) {
         }
         Payload::Commit { txn, latency } => {
             let _ = write!(out, "{{\"txn\":{txn},\"latency_ns\":{latency}}}");
+        }
+        Payload::Fault { kind, sector } => {
+            let _ = write!(out, "{{\"kind\":\"{kind}\",\"sector\":{sector}}}");
         }
         Payload::Mark { value } => {
             let _ = write!(out, "{{\"value\":{value}}}");

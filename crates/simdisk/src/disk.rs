@@ -20,9 +20,10 @@
 //!   until [`Disk::power_restore`].
 
 use std::cell::{Cell, RefCell};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::rc::Rc;
 
+use rapilog_simcore::rng::SimRng;
 use rapilog_simcore::sync::{Notify, Semaphore};
 use rapilog_simcore::trace::{Layer, Payload, Tracer};
 use rapilog_simcore::{SimCtx, SimDuration, SimTime};
@@ -52,6 +53,20 @@ pub struct DiskStats {
     pub sectors_written: u64,
     /// Writes absorbed by the volatile cache.
     pub cache_write_hits: u64,
+    /// Media ops failed with [`IoError::Transient`] (injected or sick-mode).
+    pub transient_errors: u64,
+    /// Media ops failed with [`IoError::MediaError`].
+    pub media_errors: u64,
+    /// Media ops delayed by an injected firmware stall.
+    pub stalls: u64,
+    /// Sectors silently corrupted by the fault model (no error returned).
+    pub corrupt_sectors: u64,
+    /// Defective sectors remapped to spares ([`Disk::remap`]).
+    pub remaps: u64,
+    /// Requests rejected with [`IoError::PowerLoss`] because the device was
+    /// offline (or lost power mid-request). Previously these failures were
+    /// invisible in the counters.
+    pub rejected_offline: u64,
     /// Total time the actuator was busy.
     pub busy: SimDuration,
 }
@@ -92,8 +107,28 @@ struct DiskInner {
     clean: Notify,
     offline: Cell<bool>,
     power_epoch: Cell<u64>,
+    /// Dedicated fault RNG stream; present iff the spec has a
+    /// [`FaultProfile`](crate::FaultProfile).
+    fault_rng: Option<RefCell<SimRng>>,
+    /// Sectors with a persistent media defect (grown or planted).
+    bad_sectors: RefCell<BTreeSet<u64>>,
+    /// Sick mode: every media op fails with [`IoError::Transient`] until
+    /// cleared — models a drive in an error burst / firmware reset storm.
+    sick: Cell<bool>,
     stats: RefCell<DiskStats>,
     tracer: Rc<Tracer>,
+}
+
+/// Outcome of the fault model for one media operation, decided up front so
+/// the RNG stream advances identically regardless of request timing.
+#[derive(Default)]
+struct FaultPlan {
+    /// Extra latency before the op is serviced.
+    stall: Option<SimDuration>,
+    /// Error to return after the service time elapses.
+    outcome: Option<IoError>,
+    /// Sector to silently corrupt after an otherwise successful write.
+    corrupt: Option<u64>,
 }
 
 impl DiskInner {
@@ -106,6 +141,117 @@ impl DiskInner {
             rotation: parts.rotation.as_nanos(),
             transfer: parts.transfer.as_nanos(),
         }
+    }
+
+    /// Records an offline rejection and returns the error to propagate.
+    /// Every `PowerLoss` exit funnels through here so the failures show up
+    /// in [`DiskStats::rejected_offline`] instead of vanishing.
+    fn reject_offline(&self) -> IoError {
+        self.stats.borrow_mut().rejected_offline += 1;
+        IoError::PowerLoss
+    }
+
+    /// Decides what the fault model does to a media op on `count` sectors
+    /// starting at `sector`. Draw order is fixed per op so the fault
+    /// schedule replays exactly under the same profile seed.
+    fn plan_faults(&self, sector: u64, count: u64, is_write: bool) -> FaultPlan {
+        let mut plan = FaultPlan::default();
+        if self.sick.get() {
+            plan.outcome = Some(IoError::Transient);
+            return plan;
+        }
+        // A known-bad sector in the range fails deterministically, with or
+        // without a probabilistic profile (tests plant defects directly).
+        if let Some(&bad) = self
+            .bad_sectors
+            .borrow()
+            .range(sector..sector + count)
+            .next()
+        {
+            plan.outcome = Some(IoError::MediaError { sector: bad });
+            return plan;
+        }
+        let Some(rng) = &self.fault_rng else {
+            return plan;
+        };
+        let profile = self.spec.fault.as_ref().expect("fault_rng implies profile");
+        let mut rng = rng.borrow_mut();
+        let r_stall = rng.next_f64();
+        let r_transient = rng.next_f64();
+        let r_defect = rng.next_f64();
+        let r_corrupt = rng.next_f64();
+        let pick = rng.next_u64();
+        if r_stall < profile.stall_rate {
+            plan.stall = Some(profile.stall);
+        }
+        if r_transient < profile.transient_rate {
+            plan.outcome = Some(IoError::Transient);
+        } else if is_write && r_defect < profile.grown_defect_rate {
+            let s = sector + pick % count;
+            self.bad_sectors.borrow_mut().insert(s);
+            plan.outcome = Some(IoError::MediaError { sector: s });
+        } else if is_write && r_corrupt < profile.corruption_rate {
+            plan.corrupt = Some(sector + pick % count);
+        }
+        plan
+    }
+
+    /// Applies the pre-service parts of a fault plan (the stall) and traces
+    /// it. Returns `Err` if power was lost during the stall.
+    async fn serve_stall(&self, plan: &FaultPlan, sector: u64) -> IoResult<()> {
+        let Some(stall) = plan.stall else {
+            return Ok(());
+        };
+        self.stats.borrow_mut().stalls += 1;
+        self.tracer.instant(
+            self.ctx.now(),
+            Layer::Disk,
+            "disk_stall",
+            Payload::Fault {
+                kind: "stall",
+                sector,
+            },
+        );
+        let epoch = self.power_epoch.get();
+        self.ctx.sleep(stall).await;
+        if self.power_epoch.get() != epoch {
+            return Err(self.reject_offline());
+        }
+        Ok(())
+    }
+
+    /// Books a planned post-service failure into stats + trace and returns
+    /// it. Call sites have already paid the service time.
+    fn book_failure(&self, err: IoError) -> IoError {
+        let now = self.ctx.now();
+        match err {
+            IoError::Transient => {
+                self.stats.borrow_mut().transient_errors += 1;
+                self.tracer.instant(
+                    now,
+                    Layer::Disk,
+                    "disk_transient",
+                    Payload::Fault {
+                        kind: "transient",
+                        sector: 0,
+                    },
+                );
+            }
+            IoError::MediaError { sector } => {
+                self.stats.borrow_mut().media_errors += 1;
+                self.tracer.instant(
+                    now,
+                    Layer::Disk,
+                    "disk_media_error",
+                    Payload::Fault {
+                        kind: "media_error",
+                        sector,
+                    },
+                );
+            }
+            _ => {}
+        }
+        err
     }
 }
 
@@ -140,6 +286,12 @@ impl Disk {
             clean: Notify::new(),
             offline: Cell::new(false),
             power_epoch: Cell::new(0),
+            fault_rng: spec
+                .fault
+                .as_ref()
+                .map(|f| RefCell::new(SimRng::seed_from_u64(f.seed))),
+            bad_sectors: RefCell::new(BTreeSet::new()),
+            sick: Cell::new(false),
             stats: RefCell::new(DiskStats::default()),
             tracer: ctx.tracer(),
             spec,
@@ -171,6 +323,61 @@ impl Disk {
     /// True if the device has lost power.
     pub fn is_offline(&self) -> bool {
         self.inner.offline.get()
+    }
+
+    /// Puts the device in (or takes it out of) sick mode: while sick, every
+    /// media operation fails with [`IoError::Transient`]. Models an error
+    /// burst — cabling fault, firmware reset storm — that ends.
+    pub fn set_sick(&self, sick: bool) {
+        if self.inner.sick.get() == sick {
+            return;
+        }
+        self.inner.sick.set(sick);
+        self.inner.tracer.instant(
+            self.inner.ctx.now(),
+            Layer::Disk,
+            if sick { "disk_sick" } else { "disk_healthy" },
+            Payload::Fault {
+                kind: if sick { "sick" } else { "healthy" },
+                sector: 0,
+            },
+        );
+    }
+
+    /// True while the device is in sick mode.
+    pub fn is_sick(&self) -> bool {
+        self.inner.sick.get()
+    }
+
+    /// Fault hook: plants a persistent defect at `sector`. Every access
+    /// touching it fails with [`IoError::MediaError`] until remapped.
+    pub fn mark_bad(&self, sector: u64) {
+        self.inner.bad_sectors.borrow_mut().insert(sector);
+    }
+
+    /// Remaps a defective sector to a spare. The spare reads as it was
+    /// before the defect (old media contents persist); subsequent writes
+    /// succeed. Returns false if the sector was not defective.
+    pub fn remap(&self, sector: u64) -> bool {
+        let was_bad = self.inner.bad_sectors.borrow_mut().remove(&sector);
+        if was_bad {
+            self.inner.stats.borrow_mut().remaps += 1;
+            self.inner.tracer.instant(
+                self.inner.ctx.now(),
+                Layer::Disk,
+                "disk_remap",
+                Payload::Fault {
+                    kind: "remap",
+                    sector,
+                },
+            );
+        }
+        was_bad
+    }
+
+    /// Currently defective (unremapped) sectors.
+    pub fn bad_sector_count(&self) -> u64 {
+        self.inner.bad_sectors.borrow().len() as u64
     }
 
     /// Cuts power at the current instant. See the module docs for exactly
@@ -249,7 +456,7 @@ impl Disk {
     pub async fn read(&self, sector: u64, buf: &mut [u8]) -> IoResult<()> {
         let count = self.check_access(sector, buf.len())?;
         if self.inner.offline.get() {
-            return Err(IoError::PowerLoss);
+            return Err(self.inner.reject_offline());
         }
         self.inner.stats.borrow_mut().reads += 1;
         // Fully-cached reads are served at cache latency without touching
@@ -268,7 +475,7 @@ impl Disk {
                 .unwrap_or(SimDuration::ZERO);
             self.inner.ctx.sleep(latency).await;
             if self.inner.offline.get() {
-                return Err(IoError::PowerLoss);
+                return Err(self.inner.reject_offline());
             }
             let st = self.inner.st.borrow();
             for (i, chunk) in buf.chunks_exact_mut(SECTOR_SIZE).enumerate() {
@@ -282,8 +489,10 @@ impl Disk {
         }
         let _permit = self.inner.media_gate.acquire(1).await;
         if self.inner.offline.get() {
-            return Err(IoError::PowerLoss);
+            return Err(self.inner.reject_offline());
         }
+        let plan = self.inner.plan_faults(sector, count, false);
+        self.inner.serve_stall(&plan, sector).await?;
         let epoch = self.inner.power_epoch.get();
         let dur = {
             let mut st = self.inner.st.borrow_mut();
@@ -315,14 +524,28 @@ impl Disk {
                 "media_read",
                 Payload::Text { text: "power_loss" },
             );
-            return Err(IoError::PowerLoss);
+            return Err(self.inner.reject_offline());
         }
         self.inner.tracer.end(
             self.inner.ctx.now(),
             Layer::Disk,
             "media_read",
-            Payload::None,
+            match plan.outcome {
+                Some(IoError::Transient) => Payload::Text { text: "transient" },
+                Some(IoError::MediaError { .. }) => Payload::Text {
+                    text: "media_error",
+                },
+                _ => Payload::None,
+            },
         );
+        if let Some(err) = plan.outcome {
+            self.inner.st.borrow_mut().inflight = None;
+            let mut stats = self.inner.stats.borrow_mut();
+            stats.media_ops += 1;
+            stats.busy += dur;
+            drop(stats);
+            return Err(self.inner.book_failure(err));
+        }
         let mut st = self.inner.st.borrow_mut();
         st.inflight = None;
         st.store.read_run(sector, buf);
@@ -345,7 +568,7 @@ impl Disk {
     pub async fn write(&self, sector: u64, data: &[u8], fua: bool) -> IoResult<()> {
         let count = self.check_access(sector, data.len())?;
         if self.inner.offline.get() {
-            return Err(IoError::PowerLoss);
+            return Err(self.inner.reject_offline());
         }
         {
             let mut stats = self.inner.stats.borrow_mut();
@@ -356,7 +579,7 @@ impl Disk {
             // Wait for cache space (writeback makes progress underneath).
             loop {
                 if self.inner.offline.get() {
-                    return Err(IoError::PowerLoss);
+                    return Err(self.inner.reject_offline());
                 }
                 let used = self.inner.st.borrow().cache.len() as u64;
                 if used + count <= cache.capacity_sectors {
@@ -368,7 +591,7 @@ impl Disk {
             let epoch = self.inner.power_epoch.get();
             self.inner.ctx.sleep(cache.write_latency).await;
             if self.inner.power_epoch.get() != epoch {
-                return Err(IoError::PowerLoss);
+                return Err(self.inner.reject_offline());
             }
             let mut st = self.inner.st.borrow_mut();
             for (i, chunk) in data.chunks_exact(SECTOR_SIZE).enumerate() {
@@ -407,7 +630,7 @@ impl Disk {
         if self.inner.spec.cache.is_some() {
             loop {
                 if self.inner.offline.get() {
-                    return Err(IoError::PowerLoss);
+                    return Err(self.inner.reject_offline());
                 }
                 let drained = {
                     let st = self.inner.st.borrow();
@@ -422,7 +645,10 @@ impl Disk {
         }
         let _permit = self.inner.media_gate.acquire(1).await;
         if self.inner.offline.get() {
-            return Err(IoError::PowerLoss);
+            return Err(self.inner.reject_offline());
+        }
+        if self.inner.sick.get() {
+            return Err(self.inner.book_failure(IoError::Transient));
         }
         let epoch = self.inner.power_epoch.get();
         let dur = self.inner.st.borrow().timing.flush_time();
@@ -440,7 +666,7 @@ impl Disk {
                 "media_flush",
                 Payload::Text { text: "power_loss" },
             );
-            return Err(IoError::PowerLoss);
+            return Err(self.inner.reject_offline());
         }
         self.inner.tracer.end(
             self.inner.ctx.now(),
@@ -455,8 +681,10 @@ impl Disk {
         let count = (data.len() / SECTOR_SIZE) as u64;
         let _permit = self.inner.media_gate.acquire(1).await;
         if self.inner.offline.get() {
-            return Err(IoError::PowerLoss);
+            return Err(self.inner.reject_offline());
         }
+        let plan = self.inner.plan_faults(sector, count, true);
+        self.inner.serve_stall(&plan, sector).await?;
         let epoch = self.inner.power_epoch.get();
         let dur = {
             let mut st = self.inner.st.borrow_mut();
@@ -488,17 +716,62 @@ impl Disk {
                 "media_write",
                 Payload::Text { text: "power_loss" },
             );
-            return Err(IoError::PowerLoss);
+            return Err(self.inner.reject_offline());
         }
         self.inner.tracer.end(
             self.inner.ctx.now(),
             Layer::Disk,
             "media_write",
-            Payload::None,
+            match plan.outcome {
+                Some(IoError::Transient) => Payload::Text { text: "transient" },
+                Some(IoError::MediaError { .. }) => Payload::Text {
+                    text: "media_error",
+                },
+                _ => Payload::None,
+            },
         );
+        if let Some(err) = plan.outcome {
+            let mut st = self.inner.st.borrow_mut();
+            st.inflight = None;
+            // A media error mid-transfer commits the sectors before the
+            // defect — the head wrote them before hitting the bad one. A
+            // transient abort commits nothing.
+            if let IoError::MediaError { sector: bad } = err {
+                let prefix = (bad - sector) as usize * SECTOR_SIZE;
+                if prefix > 0 {
+                    st.store.write_run(sector, &data[..prefix]);
+                }
+            }
+            drop(st);
+            let mut stats = self.inner.stats.borrow_mut();
+            stats.media_ops += 1;
+            stats.busy += dur;
+            drop(stats);
+            return Err(self.inner.book_failure(err));
+        }
         let mut st = self.inner.st.borrow_mut();
         st.inflight = None;
         st.store.write_run(sector, data);
+        // Silent corruption: the op reports success, but one sector's
+        // contents landed wrong. Only a later read-back can notice.
+        if let Some(cs) = plan.corrupt {
+            let mut sec = vec![0u8; SECTOR_SIZE];
+            st.store.read_run(cs, &mut sec);
+            for b in sec.iter_mut().take(32) {
+                *b ^= 0xA5;
+            }
+            st.store.write_run(cs, &sec);
+            self.inner.stats.borrow_mut().corrupt_sectors += 1;
+            self.inner.tracer.instant(
+                self.inner.ctx.now(),
+                Layer::Disk,
+                "disk_corrupt",
+                Payload::Fault {
+                    kind: "corrupt",
+                    sector: cs,
+                },
+            );
+        }
         drop(st);
         let mut stats = self.inner.stats.borrow_mut();
         stats.media_ops += 1;
@@ -574,8 +847,21 @@ async fn writeback_loop(inner: Rc<DiskInner>) {
                 }
             }
             inner.clean.notify_all();
-            if res.is_err() {
-                break;
+            match res {
+                Ok(()) => {}
+                // Device firmware retries transient failures itself — the
+                // host never sees an error for cached writes it already
+                // acknowledged. A short pause, then the batch (still dirty
+                // in the cache) is retried from the top of the loop.
+                Err(IoError::Transient) => {
+                    inner.ctx.sleep(SimDuration::from_millis(2)).await;
+                }
+                // Grown defect under writeback: auto-remap the sector to a
+                // spare (drives do this internally) and retry.
+                Err(IoError::MediaError { sector }) => {
+                    disk.remap(sector);
+                }
+                Err(_) => break,
             }
         }
         inner.clean.notify_all();
@@ -881,6 +1167,240 @@ mod tests {
         assert_eq!(stats.media_ops, 4);
         // Busy time cannot exceed elapsed wall (virtual) time: serialised.
         assert!(stats.busy.as_nanos() <= report.now.as_nanos());
+    }
+}
+
+#[cfg(test)]
+mod fault_tests {
+    use super::*;
+    use crate::spec::{specs, FaultProfile};
+    use rapilog_simcore::{Sim, SimTime};
+
+    fn run_with_faults<F, Fut>(spec: DiskSpec, f: F) -> (Disk, SimTime)
+    where
+        F: FnOnce(SimCtx, Disk) -> Fut + 'static,
+        Fut: std::future::Future<Output = ()> + 'static,
+    {
+        let mut sim = Sim::new(11);
+        let ctx = sim.ctx();
+        let disk = Disk::new(&ctx, spec);
+        sim.spawn(f(ctx, disk.clone()));
+        let end = sim.run().now;
+        (disk, end)
+    }
+
+    #[test]
+    fn transient_faults_hit_at_roughly_the_configured_rate() {
+        let spec = specs::instant(1 << 20).with_faults(FaultProfile::transient(42, 0.2));
+        let (disk, _) = run_with_faults(spec, |_ctx, disk| async move {
+            let data = vec![7u8; SECTOR_SIZE];
+            let mut failures = 0u32;
+            for i in 0..500u64 {
+                if disk.write(i % 100, &data, true).await == Err(IoError::Transient) {
+                    failures += 1;
+                }
+            }
+            assert!(
+                (60..160).contains(&failures),
+                "expected ~100 transient failures, got {failures}"
+            );
+        });
+        let s = disk.stats();
+        assert!(s.transient_errors > 0);
+        assert_eq!(s.media_errors, 0);
+    }
+
+    #[test]
+    fn fault_schedule_is_deterministic_per_seed() {
+        fn stats_for(seed: u64) -> DiskStats {
+            let spec = specs::instant(1 << 20).with_faults(FaultProfile {
+                seed,
+                transient_rate: 0.1,
+                grown_defect_rate: 0.02,
+                stall_rate: 0.05,
+                stall: SimDuration::from_micros(10),
+                corruption_rate: 0.0,
+            });
+            let (disk, _) = run_with_faults(spec, |_ctx, disk| async move {
+                let data = vec![9u8; SECTOR_SIZE];
+                for i in 0..300u64 {
+                    let sector = i % 200;
+                    if disk.write(sector, &data, true).await == Err(IoError::MediaError { sector })
+                    {
+                        disk.remap(sector);
+                    }
+                }
+            });
+            disk.stats()
+        }
+        assert_eq!(stats_for(7), stats_for(7), "same seed, same schedule");
+        assert_ne!(stats_for(7), stats_for(8), "different seed diverges");
+    }
+
+    #[test]
+    fn bad_sector_fails_until_remapped() {
+        let (disk, _) = run_with_faults(specs::instant(1 << 20), |_ctx, disk| async move {
+            let data = vec![3u8; SECTOR_SIZE];
+            disk.write(40, &data, true).await.unwrap();
+            disk.mark_bad(40);
+            assert_eq!(
+                disk.write(40, &data, true).await,
+                Err(IoError::MediaError { sector: 40 })
+            );
+            let mut buf = vec![0u8; SECTOR_SIZE];
+            assert_eq!(
+                disk.read(40, &mut buf).await,
+                Err(IoError::MediaError { sector: 40 })
+            );
+            assert!(disk.remap(40), "sector was defective");
+            assert!(!disk.remap(40), "already remapped");
+            disk.write(40, &data, true).await.unwrap();
+            disk.read(40, &mut buf).await.unwrap();
+            assert_eq!(buf, data);
+        });
+        let s = disk.stats();
+        assert_eq!(s.media_errors, 2);
+        assert_eq!(s.remaps, 1);
+        assert_eq!(disk.bad_sector_count(), 0);
+    }
+
+    #[test]
+    fn multisector_write_over_defect_commits_the_prefix() {
+        let (disk, _) = run_with_faults(specs::instant(1 << 20), |_ctx, disk| async move {
+            disk.mark_bad(12);
+            let data: Vec<u8> = (0..4 * SECTOR_SIZE).map(|i| i as u8).collect();
+            assert_eq!(
+                disk.write(10, &data, true).await,
+                Err(IoError::MediaError { sector: 12 })
+            );
+            // Sectors 10 and 11 made it; 12 and 13 did not.
+            let mut buf = vec![0u8; SECTOR_SIZE];
+            disk.peek_media(10, &mut buf);
+            assert_eq!(buf, data[..SECTOR_SIZE]);
+            disk.peek_media(11, &mut buf);
+            assert_eq!(buf, data[SECTOR_SIZE..2 * SECTOR_SIZE]);
+            disk.peek_media(13, &mut buf);
+            assert_eq!(buf, vec![0u8; SECTOR_SIZE]);
+        });
+        drop(disk);
+    }
+
+    #[test]
+    fn sick_mode_fails_everything_and_recovers() {
+        let (disk, _) = run_with_faults(specs::instant(1 << 20), |_ctx, disk| async move {
+            let data = vec![5u8; SECTOR_SIZE];
+            disk.set_sick(true);
+            assert!(disk.is_sick());
+            assert_eq!(disk.write(0, &data, true).await, Err(IoError::Transient));
+            let mut buf = vec![0u8; SECTOR_SIZE];
+            assert_eq!(disk.read(0, &mut buf).await, Err(IoError::Transient));
+            assert_eq!(disk.flush().await, Err(IoError::Transient));
+            disk.set_sick(false);
+            disk.write(0, &data, true).await.unwrap();
+            disk.read(0, &mut buf).await.unwrap();
+            assert_eq!(buf, data);
+        });
+        assert_eq!(disk.stats().transient_errors, 3);
+    }
+
+    #[test]
+    fn stalls_add_latency_and_are_counted() {
+        let spec = specs::instant(1 << 20).with_faults(FaultProfile::stalls(
+            3,
+            1.0,
+            SimDuration::from_millis(25),
+        ));
+        let (disk, end) = run_with_faults(spec, |_ctx, disk| async move {
+            let data = vec![1u8; SECTOR_SIZE];
+            for i in 0..4u64 {
+                disk.write(i, &data, true).await.unwrap();
+            }
+        });
+        assert_eq!(disk.stats().stalls, 4);
+        assert!(
+            end >= SimTime::from_millis(100),
+            "four 25 ms stalls must show in elapsed time, got {end}"
+        );
+    }
+
+    #[test]
+    fn silent_corruption_alters_media_without_an_error() {
+        let spec = specs::instant(1 << 20).with_faults(FaultProfile {
+            seed: 5,
+            corruption_rate: 1.0,
+            ..FaultProfile::default()
+        });
+        let (disk, _) = run_with_faults(spec, |_ctx, disk| async move {
+            let data = vec![0x11u8; SECTOR_SIZE];
+            disk.write(77, &data, true).await.unwrap();
+            let mut buf = vec![0u8; SECTOR_SIZE];
+            disk.read(77, &mut buf).await.unwrap();
+            assert_ne!(buf, data, "corruption flipped bytes silently");
+        });
+        assert_eq!(disk.stats().corrupt_sectors, 1);
+    }
+
+    #[test]
+    fn offline_rejections_are_counted() {
+        let (disk, _) = run_with_faults(specs::instant(1 << 20), |_ctx, disk| async move {
+            disk.power_cut();
+            let data = vec![0u8; SECTOR_SIZE];
+            let mut buf = vec![0u8; SECTOR_SIZE];
+            assert_eq!(disk.write(0, &data, true).await, Err(IoError::PowerLoss));
+            assert_eq!(disk.read(0, &mut buf).await, Err(IoError::PowerLoss));
+            assert_eq!(disk.flush().await, Err(IoError::PowerLoss));
+            disk.power_restore();
+            disk.write(0, &data, true).await.unwrap();
+        });
+        assert_eq!(disk.stats().rejected_offline, 3);
+    }
+
+    #[test]
+    fn writeback_retries_through_a_sick_interval() {
+        let mut sim = Sim::new(11);
+        let ctx = sim.ctx();
+        let disk = Disk::new(&ctx, specs::hdd_7200_wce(1 << 30));
+        let d2 = disk.clone();
+        sim.spawn(async move {
+            let data = vec![0xEEu8; SECTOR_SIZE];
+            d2.write(8, &data, false).await.unwrap();
+            // Drive falls sick after the cached ack; firmware must retry
+            // the writeback until it recovers.
+            d2.set_sick(true);
+        });
+        let d3 = disk.clone();
+        sim.spawn({
+            let ctx = ctx.clone();
+            async move {
+                ctx.sleep(SimDuration::from_millis(200)).await;
+                d3.set_sick(false);
+            }
+        });
+        sim.run_until(SimTime::from_secs(2));
+        assert_eq!(disk.cached_dirty_sectors(), 0, "writeback got through");
+        let mut buf = vec![0u8; SECTOR_SIZE];
+        disk.peek_media(8, &mut buf);
+        assert_eq!(buf, vec![0xEEu8; SECTOR_SIZE]);
+        assert!(disk.stats().transient_errors > 0, "retries were needed");
+    }
+
+    #[test]
+    fn writeback_auto_remaps_grown_defects() {
+        let mut sim = Sim::new(11);
+        let ctx = sim.ctx();
+        let disk = Disk::new(&ctx, specs::hdd_7200_wce(1 << 30));
+        disk.mark_bad(9);
+        let d2 = disk.clone();
+        sim.spawn(async move {
+            let data = vec![0xABu8; SECTOR_SIZE];
+            d2.write(9, &data, false).await.unwrap();
+        });
+        sim.run_until(SimTime::from_secs(2));
+        assert_eq!(disk.cached_dirty_sectors(), 0);
+        assert_eq!(disk.stats().remaps, 1);
+        let mut buf = vec![0u8; SECTOR_SIZE];
+        disk.peek_media(9, &mut buf);
+        assert_eq!(buf, vec![0xABu8; SECTOR_SIZE]);
     }
 }
 

@@ -48,7 +48,7 @@ pub mod store;
 pub mod timing;
 
 pub use disk::{Disk, DiskStats};
-pub use spec::{specs, CacheSpec, DiskSpec, TimingSpec};
+pub use spec::{specs, CacheSpec, DiskSpec, FaultProfile, TimingSpec};
 pub use store::SectorStore;
 pub use timing::ServiceParts;
 
@@ -79,6 +79,16 @@ pub enum IoError {
     },
     /// The device has lost power; the request did not complete.
     PowerLoss,
+    /// The command failed transiently (bus glitch, command timeout, drive
+    /// firmware hiccup). The same request may well succeed if retried —
+    /// resilient layers above are expected to do exactly that.
+    Transient,
+    /// A persistent media defect: the addressed sector is unreadable /
+    /// unwritable until it is remapped to a spare ([`Disk::remap`]).
+    MediaError {
+        /// The defective sector.
+        sector: u64,
+    },
 }
 
 impl fmt::Display for IoError {
@@ -91,6 +101,10 @@ impl fmt::Display for IoError {
                 write!(f, "buffer not sector-aligned: {len} bytes")
             }
             IoError::PowerLoss => write!(f, "device lost power"),
+            IoError::Transient => write!(f, "transient command failure"),
+            IoError::MediaError { sector } => {
+                write!(f, "unrecoverable media error at sector {sector}")
+            }
         }
     }
 }

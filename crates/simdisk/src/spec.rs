@@ -34,6 +34,85 @@ pub enum TimingSpec {
     },
 }
 
+/// Media-fault model parameters.
+///
+/// Real stable storage fails in more ways than losing power: commands fail
+/// transiently, sectors grow unrecoverable defects, firmware stalls a
+/// request for tens of milliseconds while it retries internally, and —
+/// rarest and nastiest — a write lands wrong without any error (the IRON
+/// taxonomy of Prabhakaran et al., SOSP'05). All of it is driven by a
+/// dedicated [`SimRng`](rapilog_simcore::rng::SimRng) stream seeded from
+/// `seed`, so a fault schedule replays exactly under the same seed
+/// regardless of request timing upstream.
+///
+/// Rates are per *media operation* (requests served from the volatile
+/// cache are electronics, not media, and do not fault). All rates default
+/// to zero; [`FaultProfile::default`] is a healthy disk.
+#[derive(Debug, Clone)]
+pub struct FaultProfile {
+    /// Seed of the fault RNG stream.
+    pub seed: u64,
+    /// Probability that a media op fails with
+    /// [`IoError::Transient`](crate::IoError::Transient).
+    pub transient_rate: f64,
+    /// Probability that a media *write* grows a persistent defect on one of
+    /// its sectors, failing with
+    /// [`IoError::MediaError`](crate::IoError::MediaError) until the sector
+    /// is remapped.
+    pub grown_defect_rate: f64,
+    /// Probability that a media op stalls for [`stall`](Self::stall) before
+    /// being serviced (drive-internal retries / thermal recalibration).
+    pub stall_rate: f64,
+    /// Duration of one write/read stall.
+    pub stall: SimDuration,
+    /// Probability that a media write silently corrupts one of its sectors
+    /// — no error is returned; only a later read-back notices.
+    pub corruption_rate: f64,
+}
+
+impl Default for FaultProfile {
+    fn default() -> Self {
+        FaultProfile {
+            seed: 0,
+            transient_rate: 0.0,
+            grown_defect_rate: 0.0,
+            stall_rate: 0.0,
+            stall: SimDuration::from_millis(30),
+            corruption_rate: 0.0,
+        }
+    }
+}
+
+impl FaultProfile {
+    /// A profile of only transient command failures at the given rate.
+    pub fn transient(seed: u64, rate: f64) -> FaultProfile {
+        FaultProfile {
+            seed,
+            transient_rate: rate,
+            ..FaultProfile::default()
+        }
+    }
+
+    /// A profile of only grown media defects at the given rate.
+    pub fn grown_defects(seed: u64, rate: f64) -> FaultProfile {
+        FaultProfile {
+            seed,
+            grown_defect_rate: rate,
+            ..FaultProfile::default()
+        }
+    }
+
+    /// A profile of only write stalls at the given rate and magnitude.
+    pub fn stalls(seed: u64, rate: f64, stall: SimDuration) -> FaultProfile {
+        FaultProfile {
+            seed,
+            stall_rate: rate,
+            stall,
+            ..FaultProfile::default()
+        }
+    }
+}
+
 /// Volatile write-cache configuration.
 #[derive(Debug, Clone)]
 pub struct CacheSpec {
@@ -61,6 +140,9 @@ pub struct DiskSpec {
     /// atomic). If false (power-loss-protected flash), the whole in-flight
     /// command completes from stored energy.
     pub torn_writes: bool,
+    /// Media-fault model; `None` is a fault-free device (every preset's
+    /// default). Set via [`DiskSpec::with_faults`].
+    pub fault: Option<FaultProfile>,
 }
 
 impl DiskSpec {
@@ -77,6 +159,12 @@ impl DiskSpec {
                 bus_bytes_per_sec, ..
             } => *bus_bytes_per_sec,
         }
+    }
+
+    /// Returns the spec with the given fault profile installed.
+    pub fn with_faults(mut self, profile: FaultProfile) -> DiskSpec {
+        self.fault = Some(profile);
+        self
     }
 
     /// Time for one platter rotation; zero for SSDs.
@@ -112,6 +200,7 @@ pub mod specs {
             },
             cache: None,
             torn_writes: true,
+            fault: None,
         }
     }
 
@@ -143,6 +232,7 @@ pub mod specs {
             },
             cache: None,
             torn_writes: true,
+            fault: None,
         }
     }
 
@@ -159,6 +249,7 @@ pub mod specs {
             },
             cache: None,
             torn_writes: false,
+            fault: None,
         }
     }
 
@@ -175,6 +266,7 @@ pub mod specs {
             },
             cache: None,
             torn_writes: false,
+            fault: None,
         }
     }
 
@@ -191,6 +283,7 @@ pub mod specs {
             },
             cache: None,
             torn_writes: false,
+            fault: None,
         }
     }
 }

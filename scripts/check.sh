@@ -16,4 +16,7 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> cargo fmt --all -- --check"
 cargo fmt --all -- --check
 
+echo "==> crash-point sweep (200 trials + broken-drain control)"
+./target/release/crashpoint_sweep
+
 echo "==> all checks passed"

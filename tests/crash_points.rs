@@ -1,0 +1,96 @@
+//! End-to-end crash-point exploration, including the counterexample
+//! replay workflow.
+//!
+//! The explorer's promise is twofold: a clean sweep over the crash-point
+//! grid for the real drain, and — just as important — a *replayable*
+//! counterexample when the drain is deliberately broken. These tests
+//! exercise the full loop a developer would follow: sweep, read the
+//! replay line, re-run the single trial from its coordinates, and watch
+//! the identical violations reappear.
+
+use rapilog_suite::faultsim::{
+    explore_crash_points, replay_crash_point, ExplorerConfig, FaultKind,
+};
+use rapilog_suite::simcore::SimDuration;
+
+#[test]
+fn crash_point_grid_is_clean_for_the_resilient_drain() {
+    let mut cfg = ExplorerConfig::rapilog_default();
+    // A compact grid (integration-test budget); the bench binary
+    // `crashpoint_sweep` runs the full one.
+    cfg.seeds = vec![0xC0FFEE, 0xC0FFEE + 101];
+    cfg.fault_times_ms = vec![100, 300];
+    let report = explore_crash_points(&cfg);
+    assert_eq!(report.trials, 2 * 2 * 5);
+    assert!(
+        report.clean(),
+        "lost acked commits: {:?}",
+        report
+            .counterexamples
+            .iter()
+            .map(|c| c.replay_line())
+            .collect::<Vec<_>>()
+    );
+    assert!(report.total_acked > 0, "the workload actually ran");
+}
+
+#[test]
+fn counterexample_replays_from_its_coordinates() {
+    // A drain with retries disabled loses acked commits under a disk-error
+    // burst; the explorer must find that and hand back coordinates that
+    // reproduce the exact failure.
+    let mut cfg = ExplorerConfig::broken_drain();
+    cfg.seeds = vec![0x0BAD];
+    cfg.fault_times_ms = vec![200];
+    let report = explore_crash_points(&cfg);
+    assert!(
+        !report.clean(),
+        "the planted bug (retry disabled) must be caught"
+    );
+    let ce = &report.counterexamples[0];
+    assert!(matches!(ce.kind, FaultKind::DiskErrorBurst { .. }));
+    assert_eq!(ce.fault_after, SimDuration::from_millis(200));
+    assert!(
+        ce.violations.iter().any(|v| v.contains("durability")),
+        "violations name the lost commits: {:?}",
+        ce.violations
+    );
+    assert!(
+        ce.replay_line().contains("seed=2989"),
+        "replay line carries the seed: {}",
+        ce.replay_line()
+    );
+
+    // First replay: identical trial, identical verdict.
+    let replay = replay_crash_point(&cfg, ce.seed, ce.kind, ce.fault_after);
+    assert!(!replay.ok);
+    assert_eq!(replay.violations, ce.violations, "replay must be exact");
+
+    // Second replay: determinism is not single-shot.
+    let again = replay_crash_point(&cfg, ce.seed, ce.kind, ce.fault_after);
+    assert_eq!(again.violations, ce.violations);
+}
+
+#[test]
+fn fixing_the_drain_fixes_the_counterexample() {
+    // The counterexample workflow ends with a fix: the same coordinates
+    // under the *default* (resilient) policy must pass.
+    let broken = {
+        let mut cfg = ExplorerConfig::broken_drain();
+        cfg.seeds = vec![0x0BAD];
+        cfg.fault_times_ms = vec![200];
+        cfg
+    };
+    let report = explore_crash_points(&broken);
+    let ce = &report.counterexamples[0];
+
+    let mut fixed = broken.clone();
+    fixed.retry = rapilog_suite::rapilog::RetryPolicy::default();
+    let r = replay_crash_point(&fixed, ce.seed, ce.kind, ce.fault_after);
+    assert!(
+        r.ok,
+        "resilient drain survives the exact crash point that broke the \
+         crippled one: {:?}",
+        r.violations
+    );
+}

@@ -280,3 +280,46 @@ fn rapilog_durable_at_any_fault_instant() {
         );
     }
 }
+
+/// No acknowledged commit may be lost when the log disk throws a burst of
+/// transient errors before the crash: the drain must retry/degrade through
+/// the burst, and recovery must still see every acked write. Burst length,
+/// crash instant and a background media-fault rate are all randomised.
+#[test]
+fn rapilog_durable_under_disk_error_bursts() {
+    use rapilog_suite::simdisk::FaultProfile;
+
+    let mut rng = SimRng::seed_from_u64(0xD15C);
+    for case in 0..8 {
+        let seed = rng.gen_range(0..100_000u64);
+        let fault_ms = rng.gen_range(80..450u64);
+        let burst_ms = rng.gen_range(10..80u64);
+        let transient_rate = rng.gen_range(0..30u64) as f64 / 1000.0;
+        let mut machine = MachineConfig::new(
+            Setup::RapiLog,
+            specs::instant(128 << 20),
+            specs::hdd_7200(128 << 20)
+                .with_faults(FaultProfile::transient(seed ^ 0xFA07, transient_rate)),
+        );
+        machine.supply = Some(supplies::atx_psu());
+        let r = run_trial(
+            seed,
+            TrialConfig {
+                machine,
+                fault: FaultKind::DiskErrorBurst {
+                    burst: SimDuration::from_millis(burst_ms),
+                    slack: SimDuration::from_millis(60),
+                },
+                clients: 3,
+                fault_after: SimDuration::from_millis(fault_ms),
+                think_time: SimDuration::from_micros(300),
+            },
+        );
+        assert!(
+            r.ok,
+            "case {case} (seed {seed}, burst {burst_ms} ms at {fault_ms} ms, \
+             bg rate {transient_rate}): {:?}",
+            r.violations
+        );
+    }
+}
