@@ -6,18 +6,54 @@
 //! the opposite. RapiLog is orthogonal to this knob — it accelerates the
 //! *commit* path, not the recovery path — so the sweep runs on the
 //! RapiLog setup to show both effects coexisting.
+//!
+//! The interval points are independent trials, fanned out over host
+//! threads (`RAPILOG_BENCH_THREADS`) and reported in interval order. A
+//! summary row goes into `BENCH_sweeps.json`.
+
+use std::time::Instant;
 
 use rapilog_bench::table::{f1, TextTable};
+use rapilog_bench::{run_parallel, thread_count, Json};
 use rapilog_dbengine::DbConfig;
 use rapilog_faultsim::{run_trial, FaultKind, MachineConfig, Setup, TrialConfig};
 use rapilog_simcore::SimDuration;
 use rapilog_simdisk::specs;
 use rapilog_simpower::supplies;
 
+const INTERVALS_MS: [u64; 6] = [100, 250, 500, 1_000, 2_000, 10_000];
+
 fn main() {
+    let threads = thread_count();
     println!(
-        "Ablation C: checkpoint interval vs recovery, register workload, guest crash at 2 s\n"
+        "Ablation C: checkpoint interval vs recovery, register workload, guest crash at 2 s \
+         ({threads} threads)\n"
     );
+    let wall_start = Instant::now();
+    let jobs: Vec<TrialConfig> = INTERVALS_MS
+        .iter()
+        .map(|&interval_ms| {
+            let mut machine = MachineConfig::new(
+                Setup::RapiLog,
+                specs::instant(256 << 20),
+                specs::hdd_7200(512 << 20),
+            );
+            machine.supply = Some(supplies::atx_psu());
+            machine.db = DbConfig {
+                checkpoint_interval: SimDuration::from_millis(interval_ms),
+                ..DbConfig::default()
+            };
+            TrialConfig {
+                machine,
+                fault: FaultKind::GuestCrash,
+                clients: 8,
+                fault_after: SimDuration::from_secs(2),
+                think_time: SimDuration::from_micros(200),
+            }
+        })
+        .collect();
+    let results = run_parallel(jobs, threads, |cfg| run_trial(42, cfg));
+    let wall = wall_start.elapsed();
     let mut t = TextTable::new(&[
         "checkpoint interval",
         "acked commits",
@@ -25,27 +61,8 @@ fn main() {
         "redo applied",
         "recovery (ms)",
     ]);
-    for interval_ms in [100u64, 250, 500, 1_000, 2_000, 10_000] {
-        let mut machine = MachineConfig::new(
-            Setup::RapiLog,
-            specs::instant(256 << 20),
-            specs::hdd_7200(512 << 20),
-        );
-        machine.supply = Some(supplies::atx_psu());
-        machine.db = DbConfig {
-            checkpoint_interval: SimDuration::from_millis(interval_ms),
-            ..DbConfig::default()
-        };
-        let r = run_trial(
-            42,
-            TrialConfig {
-                machine,
-                fault: FaultKind::GuestCrash,
-                clients: 8,
-                fault_after: SimDuration::from_secs(2),
-                think_time: SimDuration::from_micros(200),
-            },
-        );
+    let mut json_rows = Vec::new();
+    for (interval_ms, r) in INTERVALS_MS.iter().zip(&results) {
         assert!(r.ok, "trial must stay clean: {:?}", r.violations);
         t.row(&[
             format!("{interval_ms} ms"),
@@ -54,8 +71,30 @@ fn main() {
             r.recovery.redo_applied.to_string(),
             f1(r.recovery.duration.as_millis_f64()),
         ]);
+        json_rows.push(Json::obj([
+            ("interval_ms", Json::int(*interval_ms)),
+            ("acked_commits", Json::int(r.total_acked)),
+            ("scanned_records", Json::int(r.recovery.scanned_records)),
+            ("redo_applied", Json::int(r.recovery.redo_applied)),
+            (
+                "recovery_ms",
+                Json::Num(r.recovery.duration.as_millis_f64()),
+            ),
+        ]));
     }
     println!("{}", t.render());
     println!("Expected shape: scanned records and recovery time grow with the interval;");
     println!("durability is untouched at every setting (the trial asserts it).");
+    let row = Json::obj([
+        ("bench", Json::str("abl_ckpt_sweep")),
+        ("threads", Json::int(threads as u64)),
+        ("trials", Json::int(INTERVALS_MS.len() as u64)),
+        ("wall_ms", Json::int(wall.as_millis() as u64)),
+        (
+            "trials_per_sec",
+            Json::Num(INTERVALS_MS.len() as f64 / wall.as_secs_f64()),
+        ),
+        ("rows", Json::Arr(json_rows)),
+    ]);
+    rapilog_bench::json::upsert_line("BENCH_sweeps.json", &row).expect("write BENCH_sweeps.json");
 }

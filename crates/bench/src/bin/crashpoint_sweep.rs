@@ -7,6 +7,12 @@
 //! disabled — and demands the opposite: the auditor **must** produce a
 //! replayable counterexample, or a clean main sweep proves nothing.
 //!
+//! Trials fan out over host threads (`RAPILOG_BENCH_THREADS`, default all
+//! cores); results are merged in canonical grid order, so the report is
+//! bit-identical at any thread count. A machine-readable summary row —
+//! wall-clock, trials/sec, thread count — is upserted into
+//! `BENCH_sweeps.json`.
+//!
 //! Exit status is non-zero when either half fails, so this binary doubles
 //! as the CI gate (`scripts/check.sh`).
 //!
@@ -14,8 +20,12 @@
 //! * `SEEDS`   — seed count for the main sweep (default 8)
 //! * `TIMES`   — fault instants, comma-separated ms (default `80,160,240,330,420`)
 //! * `QUICK=1` — shrink to 2 seeds × 2 instants for smoke runs
+//! * `RAPILOG_BENCH_THREADS` — worker threads (default: host parallelism)
 
-use rapilog_faultsim::{explore_crash_points, ExplorationReport, ExplorerConfig};
+use std::time::Instant;
+
+use rapilog_bench::{explore_crash_points_parallel, thread_count, Json};
+use rapilog_faultsim::{ExplorationReport, ExplorerConfig};
 use rapilog_simcore::SimDuration;
 
 fn env_u64(name: &str, default: u64) -> u64 {
@@ -55,26 +65,34 @@ fn main() {
         Err(_) if quick => vec![120, 330],
         Err(_) => vec![80, 160, 240, 330, 420],
     };
+    let threads = thread_count();
 
     let mut cfg = ExplorerConfig::rapilog_default();
     cfg.seeds = (0..seeds).map(|i| 0x5EED + i * 101).collect();
     cfg.fault_times_ms = times.clone();
+    let trials = cfg.seeds.len() * cfg.fault_times_ms.len() * cfg.kinds.len();
     println!(
-        "Crash-point sweep: {} seeds x {} instants x {} kinds = {} trials\n",
+        "Crash-point sweep: {} seeds x {} instants x {} kinds = {trials} trials on {threads} threads\n",
         cfg.seeds.len(),
         cfg.fault_times_ms.len(),
         cfg.kinds.len(),
-        cfg.seeds.len() * cfg.fault_times_ms.len() * cfg.kinds.len()
     );
-    let main_report = explore_crash_points(&cfg);
+    let wall_start = Instant::now();
+    let main_report = explore_crash_points_parallel(&cfg, threads);
+    let wall = wall_start.elapsed();
     summarize("resilient drain (must be clean)", &main_report);
+    let trials_per_sec = main_report.trials as f64 / wall.as_secs_f64();
+    println!(
+        "  wall-clock: {:.2} s on {threads} threads ({trials_per_sec:.1} trials/s)",
+        wall.as_secs_f64()
+    );
 
     // Negative control: a drain that cannot retry must lose acked commits
     // under a disk-error burst, and the auditor must catch it.
     let mut control = ExplorerConfig::broken_drain();
     control.seeds = vec![0x5EED];
     control.fault_times_ms = vec![150];
-    let control_report = explore_crash_points(&control);
+    let control_report = explore_crash_points_parallel(&control, threads);
     println!();
     summarize("broken drain control (must find loss)", &control_report);
 
@@ -110,5 +128,22 @@ fn main() {
         println!("\nFAIL: counterexample did not replay identically");
         std::process::exit(1);
     }
-    println!("\nSWEEP_CLEAN trials={}", main_report.trials);
+    let row = Json::obj([
+        ("bench", Json::str("crashpoint_sweep")),
+        ("quick", Json::Bool(quick)),
+        ("threads", Json::int(threads as u64)),
+        ("trials", Json::int(main_report.trials)),
+        ("acked_commits", Json::int(main_report.total_acked)),
+        (
+            "counterexamples",
+            Json::int(main_report.counterexamples.len() as u64),
+        ),
+        ("wall_ms", Json::int(wall.as_millis() as u64)),
+        ("trials_per_sec", Json::Num(trials_per_sec)),
+    ]);
+    rapilog_bench::json::upsert_line("BENCH_sweeps.json", &row).expect("write BENCH_sweeps.json");
+    println!(
+        "\nSWEEP_CLEAN trials={} (row upserted into BENCH_sweeps.json)",
+        main_report.trials
+    );
 }

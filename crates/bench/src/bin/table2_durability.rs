@@ -7,11 +7,19 @@
 //! control: PostgreSQL's `synchronous_commit = off`, which the auditor
 //! must catch losing acknowledged transactions.
 //!
+//! Trials within a row are independent deterministic simulations, so they
+//! fan out over host threads (`RAPILOG_BENCH_THREADS`); per-trial results
+//! are aggregated in seed order, making the table bit-identical at any
+//! thread count. A summary row goes into `BENCH_sweeps.json`.
+//!
 //! Environment: `TRIALS=<n>` overrides the per-row trial count
 //! (default 40; the committed EXPERIMENTS.md run used 200); `QUICK=1`
 //! drops it to 8.
 
+use std::time::Instant;
+
 use rapilog_bench::table::{f1, TextTable};
+use rapilog_bench::{run_parallel, thread_count, Json};
 use rapilog_dbengine::EngineProfile;
 use rapilog_faultsim::{run_trial, FaultKind, MachineConfig, Setup, TrialConfig};
 use rapilog_simcore::SimDuration;
@@ -34,7 +42,10 @@ fn main() {
         } else {
             40
         });
-    println!("Table 2: durability trials ({trials} per row, randomised fault instants)\n");
+    let threads = thread_count();
+    println!(
+        "Table 2: durability trials ({trials} per row, randomised fault instants, {threads} threads)\n"
+    );
     let rows = vec![
         RowSpec {
             label: "rapilog / guest crash",
@@ -67,6 +78,7 @@ fn main() {
             profile: EngineProfile::async_unsafe(),
         },
     ];
+    let wall_start = Instant::now();
     let mut t = TextTable::new(&[
         "configuration",
         "trials",
@@ -75,32 +87,38 @@ fn main() {
         "acked lost",
         "mean recovery (ms)",
     ]);
+    let mut json_rows = Vec::new();
     for row in rows {
-        let mut total_acked = 0u64;
-        let mut violating = 0u64;
-        let mut lost = 0u64;
-        let mut recovery_ms = 0.0f64;
-        for i in 0..trials {
-            let seed = 9000 + i * 13;
-            let mut machine = MachineConfig::new(
-                row.setup,
-                specs::instant(256 << 20),
-                specs::hdd_7200(256 << 20),
-            );
-            machine.supply = Some(supplies::atx_psu());
-            machine.db.profile = row.profile.clone();
-            // Randomised fault instant in [150, 650) ms of load.
-            let fault_after = SimDuration::from_millis(150 + (seed * 7919) % 500);
-            let r = run_trial(
-                seed,
-                TrialConfig {
+        // One job per trial; seeds are fixed, so the job list (and with it
+        // the aggregate below) is independent of the thread count.
+        let jobs: Vec<(u64, TrialConfig)> = (0..trials)
+            .map(|i| {
+                let seed = 9000 + i * 13;
+                let mut machine = MachineConfig::new(
+                    row.setup,
+                    specs::instant(256 << 20),
+                    specs::hdd_7200(256 << 20),
+                );
+                machine.supply = Some(supplies::atx_psu());
+                machine.db.profile = row.profile.clone();
+                // Randomised fault instant in [150, 650) ms of load.
+                let fault_after = SimDuration::from_millis(150 + (seed * 7919) % 500);
+                let cfg = TrialConfig {
                     machine,
                     fault: row.fault,
                     clients: 4,
                     fault_after,
                     think_time: SimDuration::from_micros(200),
-                },
-            );
+                };
+                (seed, cfg)
+            })
+            .collect();
+        let results = run_parallel(jobs, threads, |(seed, cfg)| run_trial(seed, cfg));
+        let mut total_acked = 0u64;
+        let mut violating = 0u64;
+        let mut lost = 0u64;
+        let mut recovery_ms = 0.0f64;
+        for r in &results {
             total_acked += r.total_acked;
             if !r.ok {
                 violating += 1;
@@ -119,8 +137,30 @@ fn main() {
             lost.to_string(),
             f1(recovery_ms / trials as f64),
         ]);
+        json_rows.push(Json::obj([
+            ("configuration", Json::str(row.label)),
+            ("trials", Json::int(trials)),
+            ("acked_commits", Json::int(total_acked)),
+            ("violating_trials", Json::int(violating)),
+            ("acked_lost", Json::int(lost)),
+            ("mean_recovery_ms", Json::Num(recovery_ms / trials as f64)),
+        ]));
     }
+    let wall = wall_start.elapsed();
     println!("{}", t.render());
     println!("Expected shape: zero violations everywhere except the async-unsafe control row,");
     println!("which must show lost acknowledged transactions (the auditor has teeth).");
+    let total_trials = trials * json_rows.len() as u64;
+    let row = Json::obj([
+        ("bench", Json::str("table2_durability")),
+        ("threads", Json::int(threads as u64)),
+        ("trials", Json::int(total_trials)),
+        ("wall_ms", Json::int(wall.as_millis() as u64)),
+        (
+            "trials_per_sec",
+            Json::Num(total_trials as f64 / wall.as_secs_f64()),
+        ),
+        ("rows", Json::Arr(json_rows)),
+    ]);
+    rapilog_bench::json::upsert_line("BENCH_sweeps.json", &row).expect("write BENCH_sweeps.json");
 }

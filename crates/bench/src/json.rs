@@ -1,0 +1,221 @@
+//! A minimal JSON emitter for the machine-readable benchmark artifacts.
+//!
+//! The suite has no external dependencies, so the `BENCH_hotpaths.json`
+//! and `BENCH_sweeps.json` files are produced by this hand-rolled value
+//! tree. It emits strictly valid JSON (string escaping, `null` for
+//! non-finite numbers) but is an *emitter only* — consumers are `jq`, CI
+//! checks and plotting scripts, which never round-trip through it.
+//!
+//! `BENCH_hotpaths.json` is one pretty-printed document. `BENCH_sweeps.json`
+//! is JSON-lines — one object per line, keyed by a `"bench"` field — so
+//! independent sweep binaries can each [`upsert_line`] their own row
+//! without parsing the others.
+
+use std::fmt::Write as _;
+use std::io;
+use std::path::Path;
+
+/// A JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any number; non-finite values render as `null`.
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object with insertion-ordered keys.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Builds an object from `(key, value)` pairs.
+    pub fn obj(pairs: impl IntoIterator<Item = (&'static str, Json)>) -> Json {
+        Json::Obj(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+    }
+
+    /// A string value.
+    pub fn str(s: impl Into<String>) -> Json {
+        Json::Str(s.into())
+    }
+
+    /// An integer value (exact for |n| < 2^53).
+    pub fn int(n: u64) -> Json {
+        Json::Num(n as f64)
+    }
+
+    /// Renders compactly (single line).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, None, 0);
+        out
+    }
+
+    /// Renders with 2-space indentation.
+    pub fn render_pretty(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, Some(2), 0);
+        out.push('\n');
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: Option<usize>, depth: usize) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Num(n) => {
+                if !n.is_finite() {
+                    out.push_str("null");
+                } else if n.fract() == 0.0 && n.abs() < 9e15 {
+                    let _ = write!(out, "{}", *n as i64);
+                } else {
+                    let _ = write!(out, "{n}");
+                }
+            }
+            Json::Str(s) => {
+                out.push('"');
+                for c in s.chars() {
+                    match c {
+                        '"' => out.push_str("\\\""),
+                        '\\' => out.push_str("\\\\"),
+                        '\n' => out.push_str("\\n"),
+                        '\r' => out.push_str("\\r"),
+                        '\t' => out.push_str("\\t"),
+                        c if (c as u32) < 0x20 => {
+                            let _ = write!(out, "\\u{:04x}", c as u32);
+                        }
+                        c => out.push(c),
+                    }
+                }
+                out.push('"');
+            }
+            Json::Arr(items) => {
+                Self::write_seq(out, indent, depth, '[', ']', items.len(), |out, i, d| {
+                    items[i].write(out, indent, d);
+                });
+            }
+            Json::Obj(pairs) => {
+                Self::write_seq(out, indent, depth, '{', '}', pairs.len(), |out, i, d| {
+                    Json::Str(pairs[i].0.clone()).write(out, None, 0);
+                    out.push(':');
+                    if indent.is_some() {
+                        out.push(' ');
+                    }
+                    pairs[i].1.write(out, indent, d);
+                });
+            }
+        }
+    }
+
+    fn write_seq(
+        out: &mut String,
+        indent: Option<usize>,
+        depth: usize,
+        open: char,
+        close: char,
+        len: usize,
+        mut item: impl FnMut(&mut String, usize, usize),
+    ) {
+        out.push(open);
+        for i in 0..len {
+            if i > 0 {
+                out.push(',');
+            }
+            if let Some(w) = indent {
+                out.push('\n');
+                out.push_str(&" ".repeat(w * (depth + 1)));
+            }
+            item(out, i, depth + 1);
+        }
+        if len > 0 {
+            if let Some(w) = indent {
+                out.push('\n');
+                out.push_str(&" ".repeat(w * depth));
+            }
+        }
+        out.push(close);
+    }
+}
+
+/// Writes `doc` to `path` as one pretty-printed JSON document
+/// (`BENCH_hotpaths.json` style).
+pub fn write_doc(path: impl AsRef<Path>, doc: &Json) -> io::Result<()> {
+    std::fs::write(path, doc.render_pretty())
+}
+
+/// Upserts one JSON-lines row keyed by the object's `"bench"` field
+/// (`BENCH_sweeps.json` style): an existing line for the same bench is
+/// replaced, other lines are preserved verbatim, and a missing file is
+/// created. `row` must contain a `"bench"` string.
+pub fn upsert_line(path: impl AsRef<Path>, row: &Json) -> io::Result<()> {
+    let bench = match row {
+        Json::Obj(pairs) => pairs
+            .iter()
+            .find(|(k, _)| k == "bench")
+            .and_then(|(_, v)| match v {
+                Json::Str(s) => Some(s.clone()),
+                _ => None,
+            }),
+        _ => None,
+    }
+    .expect("upsert_line row must be an object with a \"bench\" string");
+    let marker = format!("\"bench\":{}", Json::str(&bench).render());
+    let existing = std::fs::read_to_string(&path).unwrap_or_default();
+    let mut lines: Vec<String> = existing
+        .lines()
+        .filter(|l| !l.trim().is_empty() && !l.contains(&marker))
+        .map(str::to_string)
+        .collect();
+    lines.push(row.render());
+    std::fs::write(path, lines.join("\n") + "\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_scalars_and_escapes() {
+        assert_eq!(Json::Null.render(), "null");
+        assert_eq!(Json::Bool(true).render(), "true");
+        assert_eq!(Json::int(42).render(), "42");
+        assert_eq!(Json::Num(1.5).render(), "1.5");
+        assert_eq!(Json::Num(f64::NAN).render(), "null");
+        assert_eq!(Json::str("a\"b\\c\nd").render(), "\"a\\\"b\\\\c\\nd\"");
+    }
+
+    #[test]
+    fn renders_nested_structures() {
+        let doc = Json::obj([
+            ("name", Json::str("x")),
+            ("xs", Json::Arr(vec![Json::int(1), Json::int(2)])),
+        ]);
+        assert_eq!(doc.render(), r#"{"name":"x","xs":[1,2]}"#);
+        let pretty = doc.render_pretty();
+        assert!(pretty.contains("  \"name\": \"x\""), "pretty: {pretty}");
+    }
+
+    #[test]
+    fn upsert_replaces_only_the_matching_row() {
+        let dir = std::env::temp_dir().join(format!("rapilog-json-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("sweeps.json");
+        let _ = std::fs::remove_file(&path);
+        let row =
+            |name: &str, v: u64| Json::obj([("bench", Json::str(name)), ("value", Json::int(v))]);
+        upsert_line(&path, &row("a", 1)).unwrap();
+        upsert_line(&path, &row("b", 2)).unwrap();
+        upsert_line(&path, &row("a", 3)).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines.iter().any(|l| l.contains(r#""bench":"b""#)));
+        assert!(lines.iter().any(|l| l.contains(r#""value":3"#)));
+        assert!(!text.contains(r#""value":1"#), "old row replaced");
+        let _ = std::fs::remove_file(&path);
+    }
+}

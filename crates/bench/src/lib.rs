@@ -10,12 +10,24 @@
 //! * [`perf::run_perf`] — a complete performance run: assemble a machine in
 //!   one of the three setups, install and load a workload, drive it with
 //!   closed-loop clients, return the measured statistics;
+//! * [`parallel`] — host-thread fan-out for independent deterministic
+//!   trials, merging results in job order so N-thread runs are
+//!   bit-identical to 1-thread runs;
+//! * [`json`] — a tiny hand-rolled JSON emitter for the machine-readable
+//!   `BENCH_*.json` artifacts;
+//! * [`alloc`] — a counting global allocator for allocations-per-operation
+//!   assertions in the microbenchmarks;
 //! * [`table`] — plain-text table formatting for the harness output.
 //!
 //! Microbenchmarks for the hot paths (WAL encoding, histogram recording,
 //! executor scheduling, trace recording) live under `benches/`.
 
+pub mod alloc;
+pub mod json;
+pub mod parallel;
 pub mod perf;
 pub mod table;
 
+pub use json::Json;
+pub use parallel::{explore_crash_points_parallel, run_parallel, thread_count};
 pub use perf::{run_perf, PerfConfig, PerfOutcome, WorkloadSpec};

@@ -1,0 +1,101 @@
+//! The parallel harness's one promise: thread count never changes results.
+//!
+//! Every trial is a closed deterministic simulation, and
+//! `run_parallel`/`explore_crash_points_parallel` merge results in job
+//! (grid) order — so a sweep on N threads must be **bit-identical** to the
+//! same sweep on 1 thread, per-trial outcomes and merged report alike.
+//! These tests check exactly that; the full 200-trial gate-sized variant
+//! is `#[ignore]`d for regular runs (`cargo test -- --ignored` runs it).
+
+use rapilog_bench::{explore_crash_points_parallel, run_parallel};
+use rapilog_faultsim::{
+    explore_crash_points, run_trial, ExplorationReport, ExplorerConfig, TrialResult,
+};
+
+/// Field-wise equality for `TrialResult` (which deliberately does not
+/// implement `PartialEq`: latency attribution carries floats that tests
+/// compare bit-wise only here, where identical inputs are guaranteed).
+fn assert_same_trial(a: &TrialResult, b: &TrialResult, ctx: &str) {
+    assert_eq!(a.ok, b.ok, "{ctx}: ok");
+    assert_eq!(a.violations, b.violations, "{ctx}: violations");
+    assert_eq!(a.total_acked, b.total_acked, "{ctx}: total_acked");
+    assert_eq!(a.fault_stats, b.fault_stats, "{ctx}: fault_stats");
+    assert_eq!(a.recovered, b.recovered, "{ctx}: recovered rows");
+    assert_eq!(a.journals.len(), b.journals.len(), "{ctx}: journal count");
+    for (ja, jb) in a.journals.iter().zip(&b.journals) {
+        assert_eq!(ja.acked, jb.acked, "{ctx}: journal acked");
+        assert_eq!(ja.attempted, jb.attempted, "{ctx}: journal attempted");
+    }
+    assert_eq!(
+        a.recovery.scanned_records, b.recovery.scanned_records,
+        "{ctx}: recovery scan"
+    );
+    assert_eq!(
+        a.recovery.redo_applied, b.recovery.redo_applied,
+        "{ctx}: recovery redo"
+    );
+}
+
+fn assert_same_report(a: &ExplorationReport, b: &ExplorationReport) {
+    assert_eq!(a.trials, b.trials, "trial count");
+    assert_eq!(a.total_acked, b.total_acked, "total acked");
+    assert_eq!(a.stats, b.stats, "fault stats");
+    assert_eq!(
+        a.counterexamples.len(),
+        b.counterexamples.len(),
+        "counterexample count"
+    );
+    for (ca, cb) in a.counterexamples.iter().zip(&b.counterexamples) {
+        assert_eq!(ca.seed, cb.seed, "counterexample seed");
+        assert_eq!(ca.fault_after, cb.fault_after, "counterexample instant");
+        assert_eq!(ca.violations, cb.violations, "counterexample violations");
+    }
+}
+
+fn reduced_config() -> ExplorerConfig {
+    let mut cfg = ExplorerConfig::rapilog_default();
+    cfg.seeds = vec![0x5EED, 0x5EED + 101];
+    cfg.fault_times_ms = vec![120];
+    cfg
+}
+
+#[test]
+fn per_trial_outcomes_identical_on_one_and_many_threads() {
+    let cfg = reduced_config();
+    let jobs = |c: &ExplorerConfig| -> Vec<_> {
+        c.grid()
+            .into_iter()
+            .map(|(seed, kind, after)| (seed, c.trial(seed, kind, after)))
+            .collect()
+    };
+    let seq = run_parallel(jobs(&cfg), 1, |(seed, t)| run_trial(seed, t));
+    let par = run_parallel(jobs(&cfg), 4, |(seed, t)| run_trial(seed, t));
+    assert_eq!(seq.len(), par.len());
+    for (i, (a, b)) in seq.iter().zip(&par).enumerate() {
+        assert_same_trial(a, b, &format!("grid point {i}"));
+    }
+}
+
+#[test]
+fn merged_report_identical_to_sequential_sweep() {
+    let cfg = reduced_config();
+    let seq = explore_crash_points(&cfg);
+    let par = explore_crash_points_parallel(&cfg, 4);
+    assert_eq!(seq.trials, cfg.grid().len() as u64);
+    assert_same_report(&seq, &par);
+}
+
+/// The gate-sized sweep (8 seeds × 5 instants × 5 kinds = 200 trials),
+/// sequential vs. every-core. Minutes of CPU, so opt-in:
+/// `cargo test -p rapilog-bench -- --ignored`.
+#[test]
+#[ignore = "gate-sized sweep; run with -- --ignored"]
+fn full_sweep_identical_across_thread_counts() {
+    let mut cfg = ExplorerConfig::rapilog_default();
+    cfg.seeds = (0..8).map(|i| 0x5EED + i * 101).collect();
+    cfg.fault_times_ms = vec![80, 160, 240, 330, 420];
+    let seq = explore_crash_points(&cfg);
+    let par = explore_crash_points_parallel(&cfg, rapilog_bench::thread_count());
+    assert_eq!(seq.trials, 200);
+    assert_same_report(&seq, &par);
+}

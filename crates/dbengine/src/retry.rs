@@ -14,6 +14,7 @@
 
 use std::rc::Rc;
 
+use rapilog_simcore::bytes::SectorBuf;
 use rapilog_simcore::{SimCtx, SimDuration};
 use rapilog_simdisk::{BlockDevice, Geometry, IoError, IoResult, LocalBoxFuture};
 
@@ -90,6 +91,30 @@ impl BlockDevice for RetryingDevice {
             let mut attempt = 0u32;
             loop {
                 match self.inner.write(sector, data, fua).await {
+                    Err(IoError::Transient) if attempt < self.retries => {
+                        attempt += 1;
+                        if !self.delay.is_zero() {
+                            self.ctx.sleep(self.delay).await;
+                        }
+                    }
+                    other => return other,
+                }
+            }
+        })
+    }
+
+    fn write_buf(
+        &self,
+        sector: u64,
+        data: SectorBuf,
+        fua: bool,
+    ) -> LocalBoxFuture<'_, IoResult<()>> {
+        Box::pin(async move {
+            let mut attempt = 0u32;
+            loop {
+                // The clone is an O(1) refcount bump, so retries do not
+                // re-copy the payload.
+                match self.inner.write_buf(sector, data.clone(), fua).await {
                     Err(IoError::Transient) if attempt < self.retries => {
                         attempt += 1;
                         if !self.delay.is_zero() {

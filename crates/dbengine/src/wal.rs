@@ -21,6 +21,7 @@
 use std::cell::RefCell;
 use std::rc::Rc;
 
+use rapilog_simcore::bytes::{SectorBuf, SectorPool};
 use rapilog_simcore::sync::Notify;
 use rapilog_simcore::trace::{Layer, Payload, Tracer};
 use rapilog_simcore::{SimCtx, SimDuration};
@@ -340,19 +341,27 @@ impl Record {
         Some(rec)
     }
 
+    /// Encodes the full framed record at `lsn`, appending to `out` in
+    /// place (no intermediate allocation — this is the WAL staging hot
+    /// path). Returns the encoded length.
+    pub fn encode_into(&self, lsn: Lsn, out: &mut Vec<u8>) -> usize {
+        let base = out.len();
+        put_u32(out, 0); // len placeholder
+        put_u32(out, 0); // crc placeholder
+        put_u64(out, lsn.0);
+        out.push(self.kind());
+        self.encode_payload(out);
+        let total = out.len() - base;
+        out[base..base + 4].copy_from_slice(&(total as u32).to_le_bytes());
+        let crc = crc32(&out[base + 8..]);
+        out[base + 4..base + 8].copy_from_slice(&crc.to_le_bytes());
+        total
+    }
+
     /// Encodes the full framed record at `lsn`.
     pub fn encode(&self, lsn: Lsn) -> Vec<u8> {
-        let mut payload = Vec::new();
-        self.encode_payload(&mut payload);
-        let total = RECORD_HEADER + payload.len();
-        let mut out = Vec::with_capacity(total);
-        put_u32(&mut out, total as u32);
-        put_u32(&mut out, 0); // crc placeholder
-        put_u64(&mut out, lsn.0);
-        out.push(self.kind());
-        out.extend_from_slice(&payload);
-        let crc = crc32(&out[8..]);
-        out[4..8].copy_from_slice(&crc.to_le_bytes());
+        let mut out = Vec::new();
+        self.encode_into(lsn, &mut out);
         out
     }
 
@@ -454,6 +463,9 @@ struct WalInner {
     kick: Notify,
     durable_changed: Notify,
     tracer: Rc<Tracer>,
+    /// Recycled flush buffers: in steady state each group commit reuses an
+    /// allocation instead of growing a fresh `Vec` per batch.
+    pool: SectorPool,
 }
 
 impl Wal {
@@ -489,6 +501,7 @@ impl Wal {
             kick: Notify::new(),
             durable_changed: Notify::new(),
             tracer: ctx.tracer(),
+            pool: SectorPool::new(),
         });
         // Preload the partial tail sector so rewrites keep earlier bytes.
         // At `new` time nothing is staged, so this is only needed when
@@ -568,23 +581,23 @@ impl Wal {
             return Err(DbError::Stopped);
         }
         let lsn = st.next;
-        let bytes = rec.encode(lsn);
+        // Frame the record directly into the staging buffer: no
+        // per-record temporaries on the commit hot path.
+        let staged = rec.encode_into(lsn, &mut st.buf) as u64;
         let region_bytes = self.inner.region_sectors * SECTOR_SIZE as u64;
-        let used = lsn.0 + bytes.len() as u64 - st.recovery_start.0;
+        let used = lsn.0 + staged - st.recovery_start.0;
         assert!(
             used + SECTOR_SIZE as u64 <= region_bytes,
             "log region exhausted ({used} of {region_bytes} bytes): \
              increase log_region or checkpoint more often"
         );
-        st.buf.extend_from_slice(&bytes);
-        st.next = lsn.advance(bytes.len() as u64);
+        st.next = lsn.advance(staged);
         st.stats.records += 1;
-        st.stats.bytes += bytes.len() as u64;
+        st.stats.bytes += staged;
         if matches!(rec, Record::Commit { .. }) {
             st.stats.commits += 1;
         }
         let end = st.next;
-        let staged = bytes.len() as u64;
         drop(st);
         self.inner.tracer.instant(
             self.inner.ctx.now(),
@@ -740,25 +753,32 @@ async fn flusher_loop(inner: Rc<WalInner>) {
                 inner.ctx.sleep(inner.policy.group_delay).await;
             }
             // Snapshot the staged range (latecomers during the device write
-            // ride the next batch).
+            // ride the next batch). The snapshot goes into a pooled, frozen
+            // buffer: downstream layers (virtio ring, RapiLog buffer and
+            // drain) take views of it instead of copying, and in steady
+            // state the allocation itself is recycled batch to batch.
             let (start_sector_lsn, data, end) = {
                 let st = inner.st.borrow();
-                let mut data = st.buf.clone();
-                let pad = (SECTOR_SIZE - data.len() % SECTOR_SIZE) % SECTOR_SIZE;
-                data.resize(data.len() + pad, 0);
-                (st.buf_start, data, st.next)
+                let mut v = inner.pool.take(st.buf.len() + SECTOR_SIZE);
+                v.extend_from_slice(&st.buf);
+                let pad = (SECTOR_SIZE - v.len() % SECTOR_SIZE) % SECTOR_SIZE;
+                v.resize(v.len() + pad, 0);
+                (st.buf_start, SectorBuf::from_vec(v), st.next)
             };
+            let batch_bytes = data.len() as u64;
             inner.tracer.begin(
                 inner.ctx.now(),
                 Layer::Wal,
                 "group_commit",
                 Payload::Wal {
                     lsn: start_sector_lsn.0,
-                    bytes: data.len() as u64,
+                    bytes: batch_bytes,
                     records: 0,
                 },
             );
-            // Write, splitting at the circular-region wrap.
+            // Write, splitting at the circular-region wrap. Each split is
+            // an O(1) view of the pooled batch, handed down the zero-copy
+            // `write_buf` path.
             let region_bytes = inner.region_sectors * SECTOR_SIZE as u64;
             let mut ok = true;
             let mut off = 0usize;
@@ -769,7 +789,7 @@ async fn flusher_loop(inner: Rc<WalInner>) {
                 let n = (data.len() - off).min(until_wrap);
                 if inner
                     .dev
-                    .write(dev_sector, &data[off..off + n], true)
+                    .write_buf(dev_sector, data.slice(off..off + n), true)
                     .await
                     .is_err()
                 {
@@ -778,6 +798,11 @@ async fn flusher_loop(inner: Rc<WalInner>) {
                 }
                 off += n;
             }
+            // Reclaim the batch allocation if every downstream view has
+            // been dropped (always true over a synchronous disk; over
+            // RapiLog the drain may still hold views, in which case the
+            // allocation is simply freed later).
+            inner.pool.recycle(data);
             {
                 let mut st = inner.st.borrow_mut();
                 if !ok {
@@ -810,7 +835,7 @@ async fn flusher_loop(inner: Rc<WalInner>) {
                 "group_commit",
                 Payload::Wal {
                     lsn: end.0,
-                    bytes: data.len() as u64,
+                    bytes: batch_bytes,
                     records: 0,
                 },
             );

@@ -82,6 +82,23 @@ impl ExplorerConfig {
         }
     }
 
+    /// The full grid in canonical order: seed-outer, fault-instant-middle,
+    /// kind-inner — exactly the order [`explore_crash_points`] visits, so a
+    /// parallel runner that merges per-point results by grid index produces
+    /// a report bit-identical to the sequential sweep.
+    pub fn grid(&self) -> Vec<(u64, FaultKind, SimDuration)> {
+        let mut points =
+            Vec::with_capacity(self.seeds.len() * self.fault_times_ms.len() * self.kinds.len());
+        for &seed in &self.seeds {
+            for &ms in &self.fault_times_ms {
+                for &kind in &self.kinds {
+                    points.push((seed, kind, SimDuration::from_millis(ms)));
+                }
+            }
+        }
+        points
+    }
+
     /// The [`TrialConfig`] for one grid point.
     pub fn trial(&self, seed: u64, kind: FaultKind, fault_after: SimDuration) -> TrialConfig {
         let mut log_spec = specs::hdd_7200(128 << 20);
@@ -180,7 +197,10 @@ impl ExplorationReport {
         self.counterexamples.is_empty()
     }
 
-    fn absorb(&mut self, point: &Counterexample, r: &TrialResult) {
+    /// Folds one trial's outcome into the report. Public so external
+    /// runners (e.g. a thread-parallel sweep) can rebuild the exact
+    /// sequential report by absorbing per-point results in grid order.
+    pub fn absorb(&mut self, point: &Counterexample, r: &TrialResult) {
         self.trials += 1;
         self.total_acked += r.total_acked;
         let s = &r.fault_stats;
@@ -205,21 +225,16 @@ impl ExplorationReport {
 /// deterministic trial each, and collects the verdicts.
 pub fn explore_crash_points(cfg: &ExplorerConfig) -> ExplorationReport {
     let mut report = ExplorationReport::default();
-    for &seed in &cfg.seeds {
-        for &ms in &cfg.fault_times_ms {
-            for &kind in &cfg.kinds {
-                let fault_after = SimDuration::from_millis(ms);
-                let r = run_trial(seed, cfg.trial(seed, kind, fault_after));
-                let point = Counterexample {
-                    seed,
-                    kind,
-                    fault_after,
-                    setup: cfg.setup,
-                    violations: Vec::new(),
-                };
-                report.absorb(&point, &r);
-            }
-        }
+    for (seed, kind, fault_after) in cfg.grid() {
+        let r = run_trial(seed, cfg.trial(seed, kind, fault_after));
+        let point = Counterexample {
+            seed,
+            kind,
+            fault_after,
+            setup: cfg.setup,
+            violations: Vec::new(),
+        };
+        report.absorb(&point, &r);
     }
     report
 }

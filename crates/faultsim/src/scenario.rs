@@ -73,7 +73,7 @@ impl FaultKind {
 
 /// Fault-handling activity observed during one trial, summed over both
 /// disks and every RapiLog instance the machine ran.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct FaultStats {
     /// Media commands failed with a transient error.
     pub transient_errors: u64,

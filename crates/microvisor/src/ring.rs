@@ -18,6 +18,7 @@
 use std::cell::RefCell;
 use std::rc::Rc;
 
+use rapilog_simcore::bytes::SectorBuf;
 use rapilog_simcore::chan::{self, OnceSender, Sender};
 use rapilog_simcore::{SimCtx, SimDuration};
 use rapilog_simdisk::{BlockDevice, Geometry, IoError, IoResult, LocalBoxFuture};
@@ -80,7 +81,10 @@ enum BlkReq {
     },
     Write {
         sector: u64,
-        data: Vec<u8>,
+        /// Owned view of the guest's bytes: carried through the ring
+        /// without copying (the simulated analogue of the descriptor
+        /// pointing into guest memory).
+        data: SectorBuf,
         fua: bool,
     },
     Flush,
@@ -132,9 +136,10 @@ impl VirtioBlk {
                             let mut buf = vec![0u8; sectors * backend.geometry().sector_size];
                             backend.read(sector, &mut buf).await.map(|()| buf)
                         }
-                        BlkReq::Write { sector, data, fua } => {
-                            backend.write(sector, &data, fua).await.map(|()| Vec::new())
-                        }
+                        BlkReq::Write { sector, data, fua } => backend
+                            .write_buf(sector, data, fua)
+                            .await
+                            .map(|()| Vec::new()),
                         BlkReq::Flush => backend.flush().await.map(|()| Vec::new()),
                     };
                     reply.send(result);
@@ -199,6 +204,20 @@ impl BlockDevice for VirtioBlk {
         data: &'a [u8],
         fua: bool,
     ) -> LocalBoxFuture<'a, IoResult<()>> {
+        // Borrowed-slice entry point: one copy into an owned buffer here,
+        // then the zero-copy path below.
+        Box::pin(async move {
+            self.write_buf(sector, SectorBuf::copy_from(data), fua)
+                .await
+        })
+    }
+
+    fn write_buf(
+        &self,
+        sector: u64,
+        data: SectorBuf,
+        fua: bool,
+    ) -> LocalBoxFuture<'_, IoResult<()>> {
         Box::pin(async move {
             if data.is_empty() || !data.len().is_multiple_of(self.geometry.sector_size) {
                 return Err(IoError::Misaligned { len: data.len() });
@@ -208,12 +227,7 @@ impl BlockDevice for VirtioBlk {
                 s.requests += 1;
                 s.bytes_out += data.len() as u64;
             }
-            self.submit(BlkReq::Write {
-                sector,
-                data: data.to_vec(),
-                fua,
-            })
-            .await?;
+            self.submit(BlkReq::Write { sector, data, fua }).await?;
             Ok(())
         })
     }

@@ -10,11 +10,21 @@
 //! never exceed the capacity derived from the residual-energy window, so
 //! the emergency drain always fits. When the buffer is full, writers wait —
 //! that is the graceful degradation to synchronous-disk speed (I5).
+//!
+//! # Zero-copy data path
+//!
+//! Extent bytes are [`SectorBuf`]s: admission takes an O(1) view of the
+//! caller's buffer, the overlay holds per-sector *views into the same
+//! allocation* (not copies), and the drain removes extents from the queue
+//! by move ([`pop_batch`](DependableBuffer::pop_batch)) while a small
+//! `(seq, sector, len)` ledger keeps occupancy accounting and
+//! read-your-writes intact until [`complete`](DependableBuffer::complete).
 
 use std::cell::RefCell;
 use std::collections::{HashMap, VecDeque};
 use std::rc::Rc;
 
+use rapilog_simcore::bytes::SectorBuf;
 use rapilog_simcore::sync::Notify;
 use rapilog_simdisk::SECTOR_SIZE;
 
@@ -25,8 +35,9 @@ pub struct Extent {
     pub seq: u64,
     /// First sector of the run.
     pub sector: u64,
-    /// The bytes (a positive multiple of the sector size).
-    pub data: Vec<u8>,
+    /// The bytes (a positive multiple of the sector size), shared with the
+    /// admission-time writer and the read-your-writes overlay.
+    pub data: SectorBuf,
 }
 
 /// Cumulative buffer statistics.
@@ -44,16 +55,38 @@ pub struct BufferStats {
     pub backpressure_events: u64,
 }
 
+/// Accounting stub for an extent the drain has taken by move but not yet
+/// committed. Keeps `wait_completed`, occupancy and overlay cleanup working
+/// without holding a second copy of the bytes.
+struct InflightExtent {
+    seq: u64,
+    sector: u64,
+    len: u64,
+}
+
 struct BufSt {
     queue: VecDeque<Extent>,
+    /// Extents popped by the drain, oldest first, awaiting `complete`.
+    inflight: VecDeque<InflightExtent>,
     occupancy: u64,
     capacity: u64,
     next_seq: u64,
     /// Per-sector newest acked-but-possibly-undrained bytes, tagged with
-    /// the extent seq that wrote them.
-    overlay: HashMap<u64, (u64, Vec<u8>)>,
+    /// the extent seq that wrote them. Each entry is a sector-sized view
+    /// into the owning extent's allocation.
+    overlay: HashMap<u64, (u64, SectorBuf)>,
     frozen: bool,
     stats: BufferStats,
+}
+
+impl BufSt {
+    /// Sequence number of the oldest extent not yet completed, if any.
+    fn oldest_pending_seq(&self) -> Option<u64> {
+        self.inflight
+            .front()
+            .map(|r| r.seq)
+            .or_else(|| self.queue.front().map(|e| e.seq))
+    }
 }
 
 /// Handle to the buffer; clones share state.
@@ -78,6 +111,7 @@ impl DependableBuffer {
         DependableBuffer {
             st: Rc::new(RefCell::new(BufSt {
                 queue: VecDeque::new(),
+                inflight: VecDeque::new(),
                 occupancy: 0,
                 capacity,
                 next_seq: 0,
@@ -96,7 +130,7 @@ impl DependableBuffer {
         self.st.borrow().capacity
     }
 
-    /// Bytes currently buffered.
+    /// Bytes currently buffered (queued plus drained-but-uncommitted).
     pub fn occupancy(&self) -> u64 {
         self.st.borrow().occupancy
     }
@@ -119,13 +153,14 @@ impl DependableBuffer {
     }
 
     /// Accepts a write, waiting for space under backpressure. Returns the
-    /// extent's sequence number.
+    /// extent's sequence number. The bytes are *viewed*, not copied: the
+    /// queue and the read-your-writes overlay share `data`'s allocation.
     ///
     /// # Panics
     ///
     /// Panics if `data` is empty, not sector aligned, or alone larger than
     /// the whole capacity (a configuration error: the caller must split).
-    pub async fn push(&self, sector: u64, data: Vec<u8>) -> Result<u64, PushError> {
+    pub async fn push(&self, sector: u64, data: SectorBuf) -> Result<u64, PushError> {
         assert!(
             !data.is_empty() && data.len().is_multiple_of(SECTOR_SIZE),
             "extent must be a positive multiple of the sector size"
@@ -152,8 +187,9 @@ impl DependableBuffer {
                     if waited {
                         st.stats.backpressure_events += 1;
                     }
-                    for (i, chunk) in data.chunks_exact(SECTOR_SIZE).enumerate() {
-                        st.overlay.insert(sector + i as u64, (seq, chunk.to_vec()));
+                    for i in 0..(data.len() / SECTOR_SIZE) {
+                        let view = data.slice(i * SECTOR_SIZE..(i + 1) * SECTOR_SIZE);
+                        st.overlay.insert(sector + i as u64, (seq, view));
                     }
                     st.queue.push_back(Extent { seq, sector, data });
                     drop(st);
@@ -176,49 +212,59 @@ impl DependableBuffer {
         }
     }
 
-    /// Returns (clones of) the head extents totalling at most `max_bytes`
-    /// (always at least one if non-empty), without removing them: the data
-    /// stays readable and crash-safe until [`complete`](Self::complete).
-    pub fn peek_batch(&self, max_bytes: usize) -> Vec<Extent> {
-        let st = self.st.borrow();
+    /// Removes and returns the head extents totalling at most `max_bytes`
+    /// (always at least one if non-empty). The extents are transferred *by
+    /// move* — no clone — while a `(seq, sector, len)` ledger entry per
+    /// extent keeps occupancy charged and the overlay views alive, so the
+    /// data stays readable and the emergency-drain budget stays honest
+    /// until [`complete`](Self::complete).
+    pub fn pop_batch(&self, max_bytes: usize) -> Vec<Extent> {
+        let mut st = self.st.borrow_mut();
         let mut out = Vec::new();
         let mut total = 0usize;
-        for e in &st.queue {
-            if !out.is_empty() && total + e.data.len() > max_bytes {
+        while let Some(head) = st.queue.front() {
+            if !out.is_empty() && total + head.data.len() > max_bytes {
                 break;
             }
+            let e = st.queue.pop_front().expect("peeked head vanished");
             total += e.data.len();
-            out.push(e.clone());
+            st.inflight.push_back(InflightExtent {
+                seq: e.seq,
+                sector: e.sector,
+                len: e.data.len() as u64,
+            });
+            out.push(e);
         }
         out
     }
 
     /// Marks every extent with `seq <= up_to` as committed to media:
-    /// removes them, releases space, cleans overlay entries that were not
-    /// superseded by newer writes.
-    ///
-    /// # Panics
-    ///
-    /// Panics if called out of order (head seq > `up_to` while older
-    /// extents remain would indicate a drain ordering bug).
+    /// releases their space and cleans overlay entries that were not
+    /// superseded by newer writes. Covers both extents handed to the drain
+    /// via [`pop_batch`](Self::pop_batch) (the normal pipeline) and ones
+    /// still queued (direct completion, e.g. model tests).
     pub fn complete(&self, up_to: u64) {
-        let became_empty = {
-            let mut st = self.st.borrow_mut();
-            while let Some(head) = st.queue.front() {
-                if head.seq > up_to {
-                    break;
-                }
-                let e = st.queue.pop_front().expect("peeked head vanished");
-                st.occupancy -= e.data.len() as u64;
-                st.stats.drained_bytes += e.data.len() as u64;
-                for i in 0..(e.data.len() / SECTOR_SIZE) as u64 {
-                    let s = e.sector + i;
-                    if st.overlay.get(&s).map(|(q, _)| *q) == Some(e.seq) {
-                        st.overlay.remove(&s);
-                    }
+        fn release(st: &mut BufSt, seq: u64, sector: u64, len: u64) {
+            st.occupancy -= len;
+            st.stats.drained_bytes += len;
+            for i in 0..len / SECTOR_SIZE as u64 {
+                let s = sector + i;
+                if st.overlay.get(&s).map(|(q, _)| *q) == Some(seq) {
+                    st.overlay.remove(&s);
                 }
             }
-            st.queue.is_empty()
+        }
+        let became_empty = {
+            let mut st = self.st.borrow_mut();
+            while st.inflight.front().is_some_and(|r| r.seq <= up_to) {
+                let r = st.inflight.pop_front().expect("peeked head vanished");
+                release(&mut st, r.seq, r.sector, r.len);
+            }
+            while st.queue.front().is_some_and(|e| e.seq <= up_to) {
+                let e = st.queue.pop_front().expect("peeked head vanished");
+                release(&mut st, e.seq, e.sector, e.data.len() as u64);
+            }
+            st.queue.is_empty() && st.inflight.is_empty()
         };
         self.space.notify_all();
         if became_empty {
@@ -228,13 +274,13 @@ impl DependableBuffer {
 
     /// Waits until every extent with sequence `<= seq` has been committed
     /// to media (degraded-mode synchronous acknowledgement). Returns false
-    /// if the buffer froze with the extent still queued — the drain died
+    /// if the buffer froze with the extent still pending — the drain died
     /// and the commit will never happen on this instance.
     pub async fn wait_completed(&self, seq: u64) -> bool {
         loop {
             {
                 let st = self.st.borrow();
-                let pending = st.queue.front().is_some_and(|h| h.seq <= seq);
+                let pending = st.oldest_pending_seq().is_some_and(|h| h <= seq);
                 if !pending {
                     return true;
                 }
@@ -247,18 +293,23 @@ impl DependableBuffer {
         }
     }
 
-    /// Waits until the buffer is fully drained.
+    /// Waits until the buffer is fully drained (nothing queued and nothing
+    /// popped-but-uncommitted).
     pub async fn drained(&self) {
         loop {
-            if self.st.borrow().queue.is_empty() {
-                return;
+            {
+                let st = self.st.borrow();
+                if st.queue.is_empty() && st.inflight.is_empty() {
+                    return;
+                }
             }
             self.empty.notified().await;
         }
     }
 
-    /// Read-your-writes: newest acked bytes for `sector`, if buffered.
-    pub fn read_overlay(&self, sector: u64) -> Option<Vec<u8>> {
+    /// Read-your-writes: newest acked bytes for `sector`, if buffered. The
+    /// returned view shares the extent's allocation (O(1)).
+    pub fn read_overlay(&self, sector: u64) -> Option<SectorBuf> {
         self.st
             .borrow()
             .overlay
@@ -266,9 +317,11 @@ impl DependableBuffer {
             .map(|(_, d)| d.clone())
     }
 
-    /// Extents currently queued (tests/audits).
+    /// Extents currently accounted for (queued plus in flight with the
+    /// drain) — tests/audits.
     pub fn queued(&self) -> usize {
-        self.st.borrow().queue.len()
+        let st = self.st.borrow();
+        st.queue.len() + st.inflight.len()
     }
 }
 
@@ -278,12 +331,12 @@ mod tests {
     use rapilog_simcore::{Sim, SimDuration};
     use std::cell::Cell as StdCell;
 
-    fn sector_data(tag: u8, sectors: usize) -> Vec<u8> {
-        vec![tag; sectors * SECTOR_SIZE]
+    fn sector_data(tag: u8, sectors: usize) -> SectorBuf {
+        SectorBuf::from_vec(vec![tag; sectors * SECTOR_SIZE])
     }
 
     #[test]
-    fn push_peek_complete_in_order() {
+    fn push_pop_complete_in_order() {
         let mut sim = Sim::new(0);
         let buf = DependableBuffer::new(1 << 20);
         let b2 = buf.clone();
@@ -292,9 +345,12 @@ mod tests {
             let s1 = b2.push(2, sector_data(2, 1)).await.unwrap();
             assert!(s1 > s0);
             assert_eq!(b2.occupancy(), 3 * SECTOR_SIZE as u64);
-            let batch = b2.peek_batch(usize::MAX);
+            let batch = b2.pop_batch(usize::MAX);
             assert_eq!(batch.len(), 2);
             assert_eq!(batch[0].sector, 0);
+            // Popped but uncommitted: still charged and still accounted.
+            assert_eq!(b2.occupancy(), 3 * SECTOR_SIZE as u64);
+            assert_eq!(b2.queued(), 2);
             b2.complete(s1);
             assert_eq!(b2.occupancy(), 0);
             assert_eq!(b2.queued(), 0);
@@ -307,21 +363,45 @@ mod tests {
     }
 
     #[test]
-    fn peek_batch_respects_limit_but_returns_at_least_one() {
+    fn pop_batch_respects_limit_but_returns_at_least_one() {
         let mut sim = Sim::new(0);
         let buf = DependableBuffer::new(1 << 20);
         let b2 = buf.clone();
         sim.spawn(async move {
             b2.push(0, sector_data(1, 4)).await.unwrap();
             b2.push(4, sector_data(2, 4)).await.unwrap();
+            b2.push(8, sector_data(3, 4)).await.unwrap();
             // Limit below one extent: still returns the head.
-            let batch = b2.peek_batch(SECTOR_SIZE);
+            let batch = b2.pop_batch(SECTOR_SIZE);
             assert_eq!(batch.len(), 1);
             // Limit covering one and a half extents: returns one.
-            let batch = b2.peek_batch(6 * SECTOR_SIZE);
+            let batch = b2.pop_batch(6 * SECTOR_SIZE);
             assert_eq!(batch.len(), 1);
-            let batch = b2.peek_batch(8 * SECTOR_SIZE);
-            assert_eq!(batch.len(), 2);
+            let batch = b2.pop_batch(8 * SECTOR_SIZE);
+            assert_eq!(batch.len(), 1, "only one extent left");
+        });
+        sim.run();
+    }
+
+    #[test]
+    fn pop_batch_transfers_extents_by_move_without_copying() {
+        let mut sim = Sim::new(0);
+        let buf = DependableBuffer::new(1 << 20);
+        let b2 = buf.clone();
+        sim.spawn(async move {
+            let data = sector_data(7, 2);
+            let admitted_ptr = data.as_ptr();
+            b2.push(0, data).await.unwrap();
+            let batch = b2.pop_batch(usize::MAX);
+            assert_eq!(
+                batch[0].data.as_ptr(),
+                admitted_ptr,
+                "drain sees the admitted bytes, not a copy"
+            );
+            // The overlay view shares the same allocation too.
+            let overlay = b2.read_overlay(1).unwrap();
+            assert!(overlay.same_allocation(&batch[0].data));
+            assert_eq!(overlay.as_ptr(), unsafe { admitted_ptr.add(SECTOR_SIZE) });
         });
         sim.run();
     }
@@ -348,12 +428,45 @@ mod tests {
             let ctx = ctx.clone();
             async move {
                 ctx.sleep(SimDuration::from_millis(7)).await;
+                b3.pop_batch(usize::MAX);
                 b3.complete(0);
             }
         });
         sim.run();
         assert_eq!(pushed_at.get(), 7, "writer waited for the drain");
         assert_eq!(buf.stats().backpressure_events, 1);
+    }
+
+    #[test]
+    fn occupancy_held_until_complete_not_pop() {
+        let mut sim = Sim::new(0);
+        let ctx = sim.ctx();
+        let buf = DependableBuffer::new(2 * SECTOR_SIZE as u64);
+        let pushed_at = Rc::new(StdCell::new(0u64));
+        let b2 = buf.clone();
+        let p2 = Rc::clone(&pushed_at);
+        sim.spawn({
+            let ctx = ctx.clone();
+            async move {
+                b2.push(0, sector_data(1, 2)).await.unwrap();
+                b2.push(2, sector_data(2, 1)).await.unwrap();
+                p2.set(ctx.now().as_millis());
+            }
+        });
+        let b3 = buf.clone();
+        sim.spawn({
+            let ctx = ctx.clone();
+            async move {
+                // Popping alone must NOT release space: the bytes are still
+                // in flight and still budgeted against residual energy.
+                ctx.sleep(SimDuration::from_millis(3)).await;
+                b3.pop_batch(usize::MAX);
+                ctx.sleep(SimDuration::from_millis(4)).await;
+                b3.complete(0);
+            }
+        });
+        sim.run();
+        assert_eq!(pushed_at.get(), 7, "space appeared only at complete()");
     }
 
     #[test]
@@ -368,8 +481,26 @@ mod tests {
             let _s1 = b2.push(5, sector_data(0xBB, 1)).await.unwrap();
             assert_eq!(b2.read_overlay(5), Some(sector_data(0xBB, 1)));
             // Completing the OLD extent must not evict the newer overlay.
+            b2.pop_batch(SECTOR_SIZE);
             b2.complete(s0);
             assert_eq!(b2.read_overlay(5), Some(sector_data(0xBB, 1)));
+        });
+        sim.run();
+    }
+
+    #[test]
+    fn overlay_survives_pop_until_complete() {
+        let mut sim = Sim::new(0);
+        let buf = DependableBuffer::new(1 << 20);
+        let b2 = buf.clone();
+        sim.spawn(async move {
+            let s0 = b2.push(9, sector_data(0xCC, 1)).await.unwrap();
+            let batch = b2.pop_batch(usize::MAX);
+            // Between pop and complete the guest can still read its tail.
+            assert_eq!(b2.read_overlay(9), Some(sector_data(0xCC, 1)));
+            drop(batch);
+            b2.complete(s0);
+            assert_eq!(b2.read_overlay(9), None, "committed: overlay cleaned");
         });
         sim.run();
     }
@@ -416,6 +547,7 @@ mod tests {
                 let ctx2 = ctx.clone();
                 ctx.spawn(async move {
                     ctx2.sleep(SimDuration::from_millis(4)).await;
+                    b3.pop_batch(usize::MAX);
                     b3.complete(0);
                 });
                 b2.drained().await;

@@ -20,21 +20,35 @@ use rapilog_microvisor::cell::Cell;
 use rapilog_simcore::rng::SimRng;
 use rapilog_simcore::trace::{Layer, Payload};
 use rapilog_simcore::{SimCtx, SimDuration};
-use rapilog_simdisk::{Disk, IoError};
+use rapilog_simdisk::{Disk, IoError, IoRun, SECTOR_SIZE};
 use rapilog_simpower::PowerSupply;
 
 use crate::audit::Audit;
 use crate::buffer::{DependableBuffer, Extent};
 use crate::{ModeState, RapiLogConfig, RetryPolicy};
 
-/// A consolidated contiguous run ready for one device write.
-pub(crate) struct Run {
-    pub sector: u64,
-    pub data: Vec<u8>,
+/// Truncates `run` to its first `keep_sectors` sectors, slicing the
+/// boundary segment if the cut falls inside it (an O(1) re-view, not a
+/// copy).
+fn truncate_run(run: &mut IoRun, keep_sectors: u64) {
+    let mut keep_bytes = keep_sectors as usize * SECTOR_SIZE;
+    let mut keep_segments = 0;
+    while keep_segments < run.segments.len() && keep_bytes > 0 {
+        let len = run.segments[keep_segments].len();
+        if len <= keep_bytes {
+            keep_bytes -= len;
+        } else {
+            let cut = run.segments[keep_segments].slice(0..keep_bytes);
+            run.segments[keep_segments] = cut;
+            keep_bytes = 0;
+        }
+        keep_segments += 1;
+    }
+    run.segments.truncate(keep_segments);
 }
 
-/// Consolidates a batch of extents into maximal contiguous ascending runs
-/// holding the *newest* bytes per sector.
+/// Consolidates a batch of extents into scatter-gather runs holding the
+/// *newest* bytes per sector.
 ///
 /// This is the drain's key trick: a log stream contains endless rewrites of
 /// its tail sector (every group-commit flush re-forces it). Replaying those
@@ -42,35 +56,38 @@ pub(crate) struct Run {
 /// RapiLog exists to remove. Because the batch is committed (and
 /// acknowledged to [`complete`](crate::buffer::DependableBuffer::complete))
 /// only as a whole, writing the per-sector union preserves the durability
-/// guarantee while turning the batch into a single sequential stream. Later
-/// extents overwrite earlier bytes, so the union is exactly the state the
-/// writer intended.
-pub(crate) fn consolidate(batch: &[Extent]) -> Vec<Run> {
-    use std::collections::BTreeMap;
-    let mut newest: BTreeMap<u64, &[u8]> = BTreeMap::new();
+/// guarantee while turning the batch into a single sequential stream.
+///
+/// The builder is a single sort-free pass in sequence order, appending O(1)
+/// views of extent memory (no per-sector re-copying):
+///
+/// * an extent starting exactly at the current run's end extends it;
+/// * a *tail rewrite* — an extent overlapping the current run's tail and
+///   reaching at least its end — truncates the superseded tail views and
+///   extends the run, so the group-commit hot pattern still yields one run;
+/// * anything else starts a new run. Runs are written to the device **in
+///   order**, so a later run overlapping an earlier one lands newest-last
+///   on the media — newest-wins without any per-sector map.
+pub(crate) fn consolidate(batch: &[Extent]) -> Vec<IoRun> {
+    let mut runs: Vec<IoRun> = Vec::new();
     for e in batch {
-        for (i, chunk) in e
-            .data
-            .chunks_exact(rapilog_simdisk::SECTOR_SIZE)
-            .enumerate()
-        {
-            newest.insert(e.sector + i as u64, chunk);
-        }
-    }
-    let mut runs: Vec<Run> = Vec::new();
-    for (sector, chunk) in newest {
-        match runs.last_mut() {
-            Some(run)
-                if run.sector + (run.data.len() / rapilog_simdisk::SECTOR_SIZE) as u64
-                    == sector =>
-            {
-                run.data.extend_from_slice(chunk);
+        let nsectors = (e.data.len() / SECTOR_SIZE) as u64;
+        if let Some(run) = runs.last_mut() {
+            let run_end = run.sector + run.sectors();
+            if e.sector == run_end {
+                run.segments.push(e.data.clone());
+                continue;
             }
-            _ => runs.push(Run {
-                sector,
-                data: chunk.to_vec(),
-            }),
+            if e.sector >= run.sector && e.sector < run_end && e.sector + nsectors >= run_end {
+                truncate_run(run, e.sector - run.sector);
+                run.segments.push(e.data.clone());
+                continue;
+            }
         }
+        runs.push(IoRun {
+            sector: e.sector,
+            segments: vec![e.data.clone()],
+        });
     }
     runs
 }
@@ -106,7 +123,7 @@ enum RunFatal {
 async fn write_run_resilient(
     ctx: &SimCtx,
     disk: &Disk,
-    run: &Run,
+    run: &IoRun,
     policy: &RetryPolicy,
     rng: &mut SimRng,
     audit: &Audit,
@@ -117,7 +134,12 @@ async fn write_run_resilient(
     let mut attempt: u32 = 0;
     let mut remaps: u32 = 0;
     loop {
-        match disk.write(run.sector, &run.data, true).await {
+        // Vectored zero-copy write: the disk views the run's segments until
+        // they land on the media store. Segment clones are refcount bumps.
+        match disk
+            .write_segments(run.sector, run.segments.clone(), true)
+            .await
+        {
             Ok(()) => {
                 *consecutive_ok = consecutive_ok.saturating_add(1);
                 if mode.is_degraded() && *consecutive_ok >= policy.degraded_exit_successes {
@@ -211,7 +233,10 @@ pub(crate) fn start(
         loop {
             drain_buffer.wait_avail().await;
             loop {
-                let batch = drain_buffer.peek_batch(cfg.max_batch);
+                // Extents move out of the queue; the buffer's in-flight
+                // ledger keeps occupancy and read-your-writes alive until
+                // complete().
+                let batch = drain_buffer.pop_batch(cfg.max_batch);
                 if batch.is_empty() {
                     break;
                 }
@@ -220,7 +245,7 @@ pub(crate) fn start(
                 let batch_payload = Payload::Batch {
                     extents: batch.len() as u64,
                     runs: runs.len() as u64,
-                    bytes: runs.iter().map(|r| r.data.len() as u64).sum(),
+                    bytes: runs.iter().map(|r| r.bytes() as u64).sum(),
                 };
                 tracer.begin(drain_ctx.now(), Layer::Drain, "drain_batch", batch_payload);
                 let mut failed = false;
@@ -321,14 +346,25 @@ pub(crate) fn start(
 mod tests {
     use super::*;
     use crate::buffer::Extent;
-    use rapilog_simdisk::SECTOR_SIZE;
+    use rapilog_simcore::bytes::SectorBuf;
+    use rapilog_simdisk::{SectorStore, SECTOR_SIZE};
 
     fn ext(seq: u64, sector: u64, sectors: usize) -> Extent {
         Extent {
             seq,
             sector,
-            data: vec![seq as u8; sectors * SECTOR_SIZE],
+            data: SectorBuf::from_vec(vec![seq as u8; sectors * SECTOR_SIZE]),
         }
+    }
+
+    /// Applies runs in order onto a store and reads back `sectors` sectors
+    /// from `first` — the media-order ground truth for newest-wins.
+    fn apply_and_read(runs: &[IoRun], first: u64, sectors: usize) -> Vec<u8> {
+        let mut store = SectorStore::new();
+        store.write_runs(runs);
+        let mut buf = vec![0u8; sectors * SECTOR_SIZE];
+        store.read_run(first, &mut buf);
+        buf
     }
 
     #[test]
@@ -336,7 +372,8 @@ mod tests {
         let runs = consolidate(&[ext(0, 0, 2), ext(1, 2, 3), ext(2, 5, 1)]);
         assert_eq!(runs.len(), 1);
         assert_eq!(runs[0].sector, 0);
-        assert_eq!(runs[0].data.len(), 6 * SECTOR_SIZE);
+        assert_eq!(runs[0].bytes(), 6 * SECTOR_SIZE);
+        assert_eq!(runs[0].segments.len(), 3, "segments appended, not copied");
     }
 
     #[test]
@@ -346,9 +383,10 @@ mod tests {
         let runs = consolidate(&[ext(0, 9, 1), ext(1, 10, 1), ext(2, 10, 1), ext(3, 11, 1)]);
         assert_eq!(runs.len(), 1);
         assert_eq!(runs[0].sector, 9);
-        assert_eq!(runs[0].data.len(), 3 * SECTOR_SIZE);
+        assert_eq!(runs[0].bytes(), 3 * SECTOR_SIZE);
+        let media = apply_and_read(&runs, 9, 3);
         assert_eq!(
-            &runs[0].data[SECTOR_SIZE..2 * SECTOR_SIZE],
+            &media[SECTOR_SIZE..2 * SECTOR_SIZE],
             &vec![2u8; SECTOR_SIZE][..],
             "newest bytes win for the rewritten sector"
         );
@@ -360,12 +398,93 @@ mod tests {
         assert_eq!(runs.len(), 2);
         assert_eq!(runs[0].sector, 0);
         assert_eq!(runs[1].sector, 5);
-        assert_eq!(runs[1].data.len(), 2 * SECTOR_SIZE);
+        assert_eq!(runs[1].bytes(), 2 * SECTOR_SIZE);
     }
 
     #[test]
     fn consolidate_empty() {
         assert!(consolidate(&[]).is_empty());
+    }
+
+    #[test]
+    fn consolidate_whole_run_rewrite_keeps_one_run() {
+        // Extent 1 rewrites everything extent 0 covered and extends it.
+        let runs = consolidate(&[ext(0, 4, 2), ext(1, 4, 3)]);
+        assert_eq!(runs.len(), 1);
+        assert_eq!(runs[0].sector, 4);
+        assert_eq!(runs[0].bytes(), 3 * SECTOR_SIZE);
+        let media = apply_and_read(&runs, 4, 3);
+        assert_eq!(media, vec![1u8; 3 * SECTOR_SIZE]);
+    }
+
+    #[test]
+    fn consolidate_tail_rewrite_slices_the_boundary_segment() {
+        // Extent 0 covers sectors 0..4; extent 1 rewrites 2..5. The cut
+        // falls inside extent 0's single segment, which must be re-viewed
+        // (sliced), not copied.
+        let runs = consolidate(&[ext(0, 0, 4), ext(1, 2, 3)]);
+        assert_eq!(runs.len(), 1);
+        assert_eq!(runs[0].sector, 0);
+        assert_eq!(runs[0].bytes(), 5 * SECTOR_SIZE);
+        let media = apply_and_read(&runs, 0, 5);
+        assert_eq!(&media[..2 * SECTOR_SIZE], &vec![0u8; 2 * SECTOR_SIZE][..]);
+        assert_eq!(&media[2 * SECTOR_SIZE..], &vec![1u8; 3 * SECTOR_SIZE][..]);
+    }
+
+    #[test]
+    fn consolidate_middle_overlap_resolves_newest_by_media_order() {
+        // Extent 1 rewrites a sector in the *middle* of extent 0's run;
+        // truncating would lose extent 0's tail, so it becomes a separate
+        // run written after — media order keeps newest-wins.
+        let runs = consolidate(&[ext(0, 0, 4), ext(1, 1, 1)]);
+        assert_eq!(runs.len(), 2);
+        let media = apply_and_read(&runs, 0, 4);
+        assert_eq!(&media[..SECTOR_SIZE], &vec![0u8; SECTOR_SIZE][..]);
+        assert_eq!(
+            &media[SECTOR_SIZE..2 * SECTOR_SIZE],
+            &vec![1u8; SECTOR_SIZE][..]
+        );
+        assert_eq!(&media[2 * SECTOR_SIZE..], &vec![0u8; 2 * SECTOR_SIZE][..]);
+    }
+
+    #[test]
+    fn consolidated_runs_share_extent_allocations() {
+        // The zero-copy invariant inside the drain: run segments are views
+        // of the very allocations the extents carry.
+        let e = ext(0, 0, 2);
+        let admitted_ptr = e.data.as_ptr();
+        let runs = consolidate(&[e, ext(1, 2, 1)]);
+        assert_eq!(runs.len(), 1);
+        assert_eq!(runs[0].segments[0].as_ptr(), admitted_ptr);
+    }
+
+    #[test]
+    fn pointer_identity_from_admission_through_buffer_to_run() {
+        // The acceptance test for the zero-copy path: bytes admitted into
+        // the DependableBuffer surface in the consolidated run at the SAME
+        // address — no copy happened between vdisk admission and the media
+        // write the run feeds.
+        let mut sim = rapilog_simcore::Sim::new(0);
+        let buf = DependableBuffer::new(1 << 20);
+        let b2 = buf.clone();
+        sim.spawn(async move {
+            let data = SectorBuf::from_vec(vec![0xED; 2 * SECTOR_SIZE]);
+            let admitted_ptr = data.as_ptr();
+            b2.push(7, data).await.unwrap();
+            b2.push(9, SectorBuf::from_vec(vec![0xEE; SECTOR_SIZE]))
+                .await
+                .unwrap();
+            let batch = b2.pop_batch(usize::MAX);
+            let runs = consolidate(&batch);
+            assert_eq!(runs.len(), 1, "contiguous extents consolidate");
+            assert_eq!(
+                runs[0].segments[0].as_ptr(),
+                admitted_ptr,
+                "run feeds the admitted allocation itself"
+            );
+            assert!(runs[0].segments[0].same_allocation(&batch[0].data));
+        });
+        sim.run();
     }
 }
 

@@ -20,6 +20,7 @@
 
 use std::rc::Rc;
 
+use rapilog_simcore::bytes::SectorBuf;
 use rapilog_simcore::trace::{Layer, Payload, Tracer};
 use rapilog_simcore::{SimCtx, SimDuration};
 use rapilog_simdisk::{BlockDevice, Geometry, IoError, IoResult, LocalBoxFuture, SECTOR_SIZE};
@@ -116,6 +117,102 @@ impl RapiLogDevice {
         }
         Ok(count)
     }
+
+    /// The admission path shared by the borrowed-slice and owned-buffer
+    /// write entry points. `data` is *viewed* all the way into the buffer:
+    /// chunking for a small buffer is O(1) sub-slicing, and no byte is
+    /// copied between here and the media store.
+    async fn write_inner(&self, sector: u64, data: SectorBuf) -> IoResult<()> {
+        self.check(sector, data.len())?;
+        let Some(buffer) = &self.buffer else {
+            // Write-through: honest synchronous durability.
+            let payload = Payload::Extent {
+                seq: 0,
+                sector,
+                bytes: data.len() as u64,
+            };
+            self.tracer
+                .begin(self.ctx.now(), Layer::Buffer, "write_through", payload);
+            let res = self.backing.write_buf(sector, data, true).await;
+            self.tracer
+                .end(self.ctx.now(), Layer::Buffer, "write_through", payload);
+            return res;
+        };
+        self.tracer.begin(
+            self.ctx.now(),
+            Layer::Buffer,
+            "ack",
+            Payload::Bytes {
+                bytes: data.len() as u64,
+            },
+        );
+        self.ctx.sleep(self.ack_cost(data.len())).await;
+        self.tracer.end(
+            self.ctx.now(),
+            Layer::Buffer,
+            "ack",
+            Payload::Bytes {
+                bytes: data.len() as u64,
+            },
+        );
+        // A write larger than the buffer is split into capacity-sized
+        // extents; each chunk waits for drain space (backpressure), so a
+        // tiny buffer degrades to streaming at disk speed instead of
+        // refusing large transfers.
+        let chunk_sectors = (buffer.capacity() as usize / SECTOR_SIZE).clamp(1, 128);
+        let mut offset = 0usize;
+        let mut first = sector;
+        let mut last_seq = None;
+        while offset < data.len() {
+            let take = (data.len() - offset).min(chunk_sectors * SECTOR_SIZE);
+            match buffer.push(first, data.slice(offset..offset + take)).await {
+                Ok(seq) => {
+                    last_seq = Some(seq);
+                    self.tracer.instant(
+                        self.ctx.now(),
+                        Layer::Buffer,
+                        "admit",
+                        Payload::Extent {
+                            seq,
+                            sector: first,
+                            bytes: take as u64,
+                        },
+                    );
+                }
+                // Frozen buffer means the power-fail warning has fired:
+                // from the guest's perspective the machine is dying.
+                Err(PushError::Frozen) => return Err(IoError::PowerLoss),
+            }
+            offset += take;
+            first += (take / SECTOR_SIZE) as u64;
+        }
+        // Degraded mode: the log disk is misbehaving, so the early ack
+        // would be a promise the drain might take arbitrarily long to
+        // keep. Hold the acknowledgement until the drain has pushed this
+        // write (same ordered pipeline, so ordering is free) all the way
+        // to media.
+        if self.mode.is_degraded() {
+            if let Some(seq) = last_seq {
+                self.tracer.begin(
+                    self.ctx.now(),
+                    Layer::Buffer,
+                    "degraded_ack",
+                    Payload::Mark { value: seq },
+                );
+                let committed = buffer.wait_completed(seq).await;
+                self.tracer.end(
+                    self.ctx.now(),
+                    Layer::Buffer,
+                    "degraded_ack",
+                    Payload::Mark { value: seq },
+                );
+                if !committed {
+                    return Err(IoError::PowerLoss);
+                }
+            }
+        }
+        Ok(())
+    }
 }
 
 impl BlockDevice for RapiLogDevice {
@@ -151,100 +248,18 @@ impl BlockDevice for RapiLogDevice {
         data: &'a [u8],
         _fua: bool,
     ) -> LocalBoxFuture<'a, IoResult<()>> {
-        Box::pin(async move {
-            self.check(sector, data.len())?;
-            let Some(buffer) = &self.buffer else {
-                // Write-through: honest synchronous durability.
-                let payload = Payload::Extent {
-                    seq: 0,
-                    sector,
-                    bytes: data.len() as u64,
-                };
-                self.tracer
-                    .begin(self.ctx.now(), Layer::Buffer, "write_through", payload);
-                let res = self.backing.write(sector, data, true).await;
-                self.tracer
-                    .end(self.ctx.now(), Layer::Buffer, "write_through", payload);
-                return res;
-            };
-            self.tracer.begin(
-                self.ctx.now(),
-                Layer::Buffer,
-                "ack",
-                Payload::Bytes {
-                    bytes: data.len() as u64,
-                },
-            );
-            self.ctx.sleep(self.ack_cost(data.len())).await;
-            self.tracer.end(
-                self.ctx.now(),
-                Layer::Buffer,
-                "ack",
-                Payload::Bytes {
-                    bytes: data.len() as u64,
-                },
-            );
-            // A write larger than the buffer is split into capacity-sized
-            // extents; each chunk waits for drain space (backpressure), so
-            // a tiny buffer degrades to streaming at disk speed instead of
-            // refusing large transfers.
-            let chunk_sectors = (buffer.capacity() as usize / SECTOR_SIZE).clamp(1, 128);
-            let mut offset = 0usize;
-            let mut first = sector;
-            let mut last_seq = None;
-            while offset < data.len() {
-                let take = (data.len() - offset).min(chunk_sectors * SECTOR_SIZE);
-                match buffer
-                    .push(first, data[offset..offset + take].to_vec())
-                    .await
-                {
-                    Ok(seq) => {
-                        last_seq = Some(seq);
-                        self.tracer.instant(
-                            self.ctx.now(),
-                            Layer::Buffer,
-                            "admit",
-                            Payload::Extent {
-                                seq,
-                                sector: first,
-                                bytes: take as u64,
-                            },
-                        );
-                    }
-                    // Frozen buffer means the power-fail warning has fired:
-                    // from the guest's perspective the machine is dying.
-                    Err(PushError::Frozen) => return Err(IoError::PowerLoss),
-                }
-                offset += take;
-                first += (take / SECTOR_SIZE) as u64;
-            }
-            // Degraded mode: the log disk is misbehaving, so the early ack
-            // would be a promise the drain might take arbitrarily long to
-            // keep. Hold the acknowledgement until the drain has pushed
-            // this write (same ordered pipeline, so ordering is free) all
-            // the way to media.
-            if self.mode.is_degraded() {
-                if let Some(seq) = last_seq {
-                    self.tracer.begin(
-                        self.ctx.now(),
-                        Layer::Buffer,
-                        "degraded_ack",
-                        Payload::Mark { value: seq },
-                    );
-                    let committed = buffer.wait_completed(seq).await;
-                    self.tracer.end(
-                        self.ctx.now(),
-                        Layer::Buffer,
-                        "degraded_ack",
-                        Payload::Mark { value: seq },
-                    );
-                    if !committed {
-                        return Err(IoError::PowerLoss);
-                    }
-                }
-            }
-            Ok(())
-        })
+        // Borrowed-slice entry point: the one copy into an owned buffer
+        // happens here, at admission; everything downstream takes views.
+        Box::pin(async move { self.write_inner(sector, SectorBuf::copy_from(data)).await })
+    }
+
+    fn write_buf(
+        &self,
+        sector: u64,
+        data: SectorBuf,
+        _fua: bool,
+    ) -> LocalBoxFuture<'_, IoResult<()>> {
+        Box::pin(async move { self.write_inner(sector, data).await })
     }
 
     fn flush(&self) -> LocalBoxFuture<'_, IoResult<()>> {

@@ -100,7 +100,10 @@ fn buffer_matches_reference_model() {
                     Op::Push { sector, sectors } => {
                         tag = tag.wrapping_add(1);
                         let data = vec![tag; sectors * SECTOR_SIZE];
-                        let seq = b2.push(sector, data.clone()).await.expect("not frozen");
+                        let seq = b2
+                            .push(sector, data.clone().into())
+                            .await
+                            .expect("not frozen");
                         model.extents.insert(seq, (sector, data));
                         seqs.push(seq);
                     }
@@ -132,7 +135,7 @@ fn buffer_matches_reference_model() {
                     return;
                 }
                 for sector in 0..16u64 {
-                    let real = b2.read_overlay(sector);
+                    let real = b2.read_overlay(sector).map(|b| b.as_slice().to_vec());
                     let want = model.overlay(sector);
                     if real != want {
                         *f2.borrow_mut() = Some(format!(

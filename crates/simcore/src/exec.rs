@@ -73,6 +73,9 @@ impl Wake for WakeHandle {
 struct Task {
     future: LocalFuture,
     domain: DomainId,
+    /// Created once at spawn and reused for every poll; polling a task must
+    /// not allocate.
+    waker: Waker,
 }
 
 struct TimerEntry {
@@ -195,6 +198,9 @@ impl Sim {
     /// `limit` stay registered so the run can be resumed.
     pub fn run_until(&mut self, limit: SimTime) -> RunReport {
         let start_polls = self.polls;
+        // Scratch for the wakers fired at each instant, reused across the
+        // whole run so advancing the clock does not allocate.
+        let mut fired: Vec<Waker> = Vec::new();
         loop {
             // Drain every runnable task at the current instant.
             loop {
@@ -209,28 +215,25 @@ impl Sim {
                 }
             }
             // Advance to the next timer, if any and within the limit.
-            let fired = {
+            {
                 let mut inner = self.inner.borrow_mut();
-                match inner.timers.peek() {
-                    Some(Reverse(e)) if e.deadline <= limit => {
+                if let Some(Reverse(e)) = inner.timers.peek() {
+                    if e.deadline <= limit {
                         let t = e.deadline;
                         inner.now = t;
-                        let mut fired = Vec::new();
                         while let Some(Reverse(e)) = inner.timers.peek() {
                             if e.deadline != t {
                                 break;
                             }
                             fired.push(inner.timers.pop().expect("peeked timer vanished").0.waker);
                         }
-                        fired
                     }
-                    _ => Vec::new(),
                 }
-            };
+            }
             if fired.is_empty() {
                 break;
             }
-            for w in fired {
+            for w in fired.drain(..) {
                 w.wake();
             }
         }
@@ -268,9 +271,7 @@ impl Sim {
             // Stale wake for a completed or killed task.
             return;
         };
-        let ready = Arc::clone(&self.inner.borrow().ready);
-        let waker = Waker::from(Arc::new(WakeHandle { tid, ready }));
-        let mut cx = Context::from_waker(&waker);
+        let mut cx = Context::from_waker(&task.waker);
         self.polls += 1;
         if task.future.as_mut().poll(&mut cx).is_pending() {
             let mut inner = self.inner.borrow_mut();
@@ -353,11 +354,16 @@ impl SimCtx {
             let mut inner = rc.borrow_mut();
             let tid = inner.next_task_id;
             inner.next_task_id += 1;
+            let waker = Waker::from(Arc::new(WakeHandle {
+                tid,
+                ready: Arc::clone(&inner.ready),
+            }));
             inner.tasks.insert(
                 tid,
                 Task {
                     future: Box::pin(wrapped),
                     domain,
+                    waker,
                 },
             );
             inner.ready.lock().expect("ready queue poisoned").push(tid);

@@ -47,6 +47,7 @@
 //! sim.run();
 //! ```
 
+pub mod bytes;
 pub mod cancel;
 pub mod chan;
 pub mod exec;
@@ -56,6 +57,7 @@ pub mod sync;
 pub mod time;
 pub mod trace;
 
+pub use bytes::{SectorBuf, SectorPool};
 pub use cancel::DomainId;
 pub use exec::{JoinHandle, Sim, SimCtx};
 pub use rng::SimRng;

@@ -23,6 +23,7 @@ use std::cell::{Cell, RefCell};
 use std::collections::{BTreeMap, BTreeSet};
 use std::rc::Rc;
 
+use rapilog_simcore::bytes::SectorBuf;
 use rapilog_simcore::rng::SimRng;
 use rapilog_simcore::sync::{Notify, Semaphore};
 use rapilog_simcore::trace::{Layer, Payload, Tracer};
@@ -31,7 +32,7 @@ use rapilog_simcore::{SimCtx, SimDuration, SimTime};
 use crate::spec::DiskSpec;
 use crate::store::SectorStore;
 use crate::timing::{ServiceParts, TimingModel};
-use crate::{BlockDevice, Geometry, IoError, IoResult, LocalBoxFuture, SECTOR_SIZE};
+use crate::{BlockDevice, Geometry, IoError, IoResult, IoRun, LocalBoxFuture, SECTOR_SIZE};
 
 /// Largest contiguous run the writeback task commits in one media op.
 const MAX_WRITEBACK_SECTORS: u64 = 4096; // 2 MiB
@@ -80,9 +81,31 @@ struct Inflight {
     sector: u64,
     nsectors: u64,
     is_write: bool,
-    data: Vec<u8>,
+    /// Scatter-gather view of the bytes being transferred. Holding
+    /// `SectorBuf` views instead of a copied `Vec` is what makes the
+    /// in-flight window zero-copy: the drive "DMAs" straight from the
+    /// caller's buffers, and only a power cut or media defect forces the
+    /// committed prefix onto the store.
+    segments: Vec<SectorBuf>,
     start: SimTime,
     duration: SimDuration,
+}
+
+/// Commits the first `nsectors` sectors of `segments` (laid out from
+/// `first`) onto the media — the torn-prefix rule for power cuts and media
+/// defects mid-transfer.
+fn commit_prefix(store: &mut SectorStore, first: u64, segments: &[SectorBuf], nsectors: u64) {
+    let mut remaining = nsectors as usize * SECTOR_SIZE;
+    let mut cursor = first;
+    for seg in segments {
+        if remaining == 0 {
+            break;
+        }
+        let take = seg.len().min(remaining);
+        store.write_run(cursor, &seg.as_slice()[..take]);
+        cursor += (take / SECTOR_SIZE) as u64;
+        remaining -= take;
+    }
 }
 
 struct St {
@@ -412,8 +435,7 @@ impl Disk {
                         inf.nsectors
                     };
                     if committed > 0 {
-                        st.store
-                            .write_run(inf.sector, &inf.data[..(committed as usize * SECTOR_SIZE)]);
+                        commit_prefix(&mut st.store, inf.sector, &inf.segments, committed);
                     }
                 }
             }
@@ -504,7 +526,7 @@ impl Disk {
                 sector,
                 nsectors: count,
                 is_write: false,
-                data: Vec::new(),
+                segments: Vec::new(),
                 start: self.inner.ctx.now(),
                 duration: dur,
             });
@@ -566,9 +588,62 @@ impl Disk {
     /// has no volatile cache, the data is on media when this returns;
     /// otherwise it is absorbed by the cache and written back later.
     pub async fn write(&self, sector: u64, data: &[u8], fua: bool) -> IoResult<()> {
-        let count = self.check_access(sector, data.len())?;
-        if self.inner.offline.get() {
+        self.check_access(sector, data.len())?;
+        if let Some(res) = self.cached_write(sector, data, fua).await {
+            return res;
+        }
+        // One copy into a reference-counted buffer, standing in for the DMA
+        // setup a borrowed slice cannot avoid; owned-buffer callers use
+        // [`Disk::write_segments`] and skip it.
+        self.media_path(sector, vec![SectorBuf::copy_from(data)])
+            .await
+    }
+
+    /// Vectored write: lays `segments` down back to back from `sector`, as
+    /// one device command. This is the zero-copy entry point — the segments
+    /// are viewed, not copied, until they land on the media store.
+    pub async fn write_segments(
+        &self,
+        sector: u64,
+        segments: Vec<SectorBuf>,
+        fua: bool,
+    ) -> IoResult<()> {
+        let total: usize = segments.iter().map(SectorBuf::len).sum();
+        self.check_access(sector, total)?;
+        for seg in &segments {
+            if seg.is_empty() || !seg.len().is_multiple_of(SECTOR_SIZE) {
+                return Err(IoError::Misaligned { len: seg.len() });
+            }
+        }
+        if segments.len() == 1 {
+            if let Some(res) = self.cached_write(sector, segments[0].as_slice(), fua).await {
+                return res;
+            }
+        } else if self.inner.offline.get() {
             return Err(self.inner.reject_offline());
+        } else {
+            self.inner.stats.borrow_mut().writes += 1;
+        }
+        self.media_path(sector, segments).await
+    }
+
+    /// Writes a batch of scatter-gather runs in order (later runs overwrite
+    /// earlier ones where they overlap). Each run is one media operation.
+    pub async fn write_runs(&self, runs: &[IoRun], fua: bool) -> IoResult<()> {
+        for run in runs {
+            self.write_segments(run.sector, run.segments.clone(), fua)
+                .await?;
+        }
+        Ok(())
+    }
+
+    /// Cache-absorption leg shared by the slice and vectored write paths.
+    /// Returns `Some(result)` when the write was fully handled here (cache
+    /// hit or power loss), `None` when it must proceed to the media.
+    async fn cached_write(&self, sector: u64, data: &[u8], fua: bool) -> Option<IoResult<()>> {
+        let count = (data.len() / SECTOR_SIZE) as u64;
+        if self.inner.offline.get() {
+            return Some(Err(self.inner.reject_offline()));
         }
         {
             let mut stats = self.inner.stats.borrow_mut();
@@ -579,7 +654,7 @@ impl Disk {
             // Wait for cache space (writeback makes progress underneath).
             loop {
                 if self.inner.offline.get() {
-                    return Err(self.inner.reject_offline());
+                    return Some(Err(self.inner.reject_offline()));
                 }
                 let used = self.inner.st.borrow().cache.len() as u64;
                 if used + count <= cache.capacity_sectors {
@@ -591,7 +666,7 @@ impl Disk {
             let epoch = self.inner.power_epoch.get();
             self.inner.ctx.sleep(cache.write_latency).await;
             if self.inner.power_epoch.get() != epoch {
-                return Err(self.inner.reject_offline());
+                return Some(Err(self.inner.reject_offline()));
             }
             let mut st = self.inner.st.borrow_mut();
             for (i, chunk) in data.chunks_exact(SECTOR_SIZE).enumerate() {
@@ -609,19 +684,28 @@ impl Disk {
             }
             self.inner.stats.borrow_mut().cache_write_hits += 1;
             self.inner.dirty.notify_one();
-            return Ok(());
+            return Some(Ok(()));
         }
-        // FUA (or cacheless) path: straight to media. Dirty cache entries
-        // for these sectors are superseded by program order — drop them so
-        // a later writeback cannot reorder stale data over this write.
+        None
+    }
+
+    /// FUA / cacheless leg: drops superseded cache entries, then performs
+    /// the media write.
+    async fn media_path(&self, sector: u64, segments: Vec<SectorBuf>) -> IoResult<()> {
+        let count: u64 = segments
+            .iter()
+            .map(|s| (s.len() / SECTOR_SIZE) as u64)
+            .sum();
+        // Dirty cache entries for these sectors are superseded by program
+        // order — drop them so a later writeback cannot reorder stale data
+        // over this write.
         {
             let mut st = self.inner.st.borrow_mut();
             for i in 0..count {
                 st.cache.remove(&(sector + i));
             }
         }
-        self.media_write(sector, data).await?;
-        Ok(())
+        self.media_write_segments(sector, segments).await
     }
 
     /// Resolves once every acknowledged write is on stable media.
@@ -677,8 +761,11 @@ impl Disk {
         Ok(())
     }
 
-    async fn media_write(&self, sector: u64, data: &[u8]) -> IoResult<()> {
-        let count = (data.len() / SECTOR_SIZE) as u64;
+    async fn media_write_segments(&self, sector: u64, segments: Vec<SectorBuf>) -> IoResult<()> {
+        let count: u64 = segments
+            .iter()
+            .map(|s| (s.len() / SECTOR_SIZE) as u64)
+            .sum();
         let _permit = self.inner.media_gate.acquire(1).await;
         if self.inner.offline.get() {
             return Err(self.inner.reject_offline());
@@ -694,7 +781,7 @@ impl Disk {
                 sector,
                 nsectors: count,
                 is_write: true,
-                data: data.to_vec(),
+                segments: segments.clone(),
                 start: self.inner.ctx.now(),
                 duration: dur,
             });
@@ -737,10 +824,7 @@ impl Disk {
             // defect — the head wrote them before hitting the bad one. A
             // transient abort commits nothing.
             if let IoError::MediaError { sector: bad } = err {
-                let prefix = (bad - sector) as usize * SECTOR_SIZE;
-                if prefix > 0 {
-                    st.store.write_run(sector, &data[..prefix]);
-                }
+                commit_prefix(&mut st.store, sector, &segments, bad - sector);
             }
             drop(st);
             let mut stats = self.inner.stats.borrow_mut();
@@ -751,7 +835,9 @@ impl Disk {
         }
         let mut st = self.inner.st.borrow_mut();
         st.inflight = None;
-        st.store.write_run(sector, data);
+        // The one real copy on the acknowledged-byte path: segments land on
+        // the media store, like DMA completing into the platter.
+        st.store.write_segments(sector, &segments);
         // Silent corruption: the op reports success, but one sector's
         // contents landed wrong. Only a later read-back can notice.
         if let Some(cs) = plan.corrupt {
@@ -833,7 +919,9 @@ async fn writeback_loop(inner: Rc<DiskInner>) {
             let disk = Disk {
                 inner: Rc::clone(&inner),
             };
-            let res = disk.media_write(first, &data).await;
+            let res = disk
+                .media_write_segments(first, vec![SectorBuf::from_vec(data)])
+                .await;
             {
                 let mut st = inner.st.borrow_mut();
                 st.writeback_active = false;
@@ -888,6 +976,15 @@ impl BlockDevice for Disk {
 
     fn flush(&self) -> LocalBoxFuture<'_, IoResult<()>> {
         Box::pin(self.flush())
+    }
+
+    fn write_buf(
+        &self,
+        sector: u64,
+        data: SectorBuf,
+        fua: bool,
+    ) -> LocalBoxFuture<'_, IoResult<()>> {
+        Box::pin(async move { self.write_segments(sector, vec![data], fua).await })
     }
 }
 
@@ -1167,6 +1264,86 @@ mod tests {
         assert_eq!(stats.media_ops, 4);
         // Busy time cannot exceed elapsed wall (virtual) time: serialised.
         assert!(stats.busy.as_nanos() <= report.now.as_nanos());
+    }
+
+    #[test]
+    fn vectored_write_lays_segments_contiguously_in_one_media_op() {
+        run_on_disk(specs::instant(1 << 20), |_ctx, disk| async move {
+            let segs = vec![
+                SectorBuf::from_vec(pattern(2 * SECTOR_SIZE, 0x10)),
+                SectorBuf::from_vec(pattern(SECTOR_SIZE, 0x20)),
+                SectorBuf::from_vec(pattern(3 * SECTOR_SIZE, 0x30)),
+            ];
+            let mut expect = Vec::new();
+            for s in &segs {
+                expect.extend_from_slice(s.as_slice());
+            }
+            disk.write_segments(20, segs, true).await.unwrap();
+            let s = disk.stats();
+            assert_eq!(s.media_ops, 1, "one command for the whole run");
+            assert_eq!(s.sectors_written, 6);
+            let mut buf = vec![0u8; 6 * SECTOR_SIZE];
+            disk.read(20, &mut buf).await.unwrap();
+            assert_eq!(buf, expect);
+        });
+    }
+
+    #[test]
+    fn vectored_write_rejects_misaligned_segments() {
+        run_on_disk(specs::instant(1 << 20), |_ctx, disk| async move {
+            let segs = vec![
+                SectorBuf::from_vec(vec![0u8; SECTOR_SIZE]),
+                SectorBuf::from_vec(vec![0u8; 100]),
+                // Pad the total to a sector multiple so only the per-segment
+                // check can catch the bad one.
+                SectorBuf::from_vec(vec![0u8; SECTOR_SIZE - 100]),
+            ];
+            assert_eq!(
+                disk.write_segments(0, segs, true).await,
+                Err(IoError::Misaligned { len: 100 })
+            );
+        });
+    }
+
+    #[test]
+    fn write_runs_applies_runs_in_order_newest_wins() {
+        run_on_disk(specs::instant(1 << 20), |_ctx, disk| async move {
+            let runs = vec![
+                IoRun {
+                    sector: 5,
+                    segments: vec![SectorBuf::from_vec(pattern(4 * SECTOR_SIZE, 0x01))],
+                },
+                IoRun {
+                    sector: 6,
+                    segments: vec![SectorBuf::from_vec(pattern(SECTOR_SIZE, 0x02))],
+                },
+            ];
+            disk.write_runs(&runs, true).await.unwrap();
+            let mut buf = vec![0u8; SECTOR_SIZE];
+            disk.peek_media(6, &mut buf);
+            assert_eq!(buf, pattern(SECTOR_SIZE, 0x02), "later run overwrote");
+            disk.peek_media(5, &mut buf);
+            assert_eq!(&buf[..], &pattern(4 * SECTOR_SIZE, 0x01)[..SECTOR_SIZE]);
+        });
+    }
+
+    #[test]
+    fn vectored_write_over_defect_commits_prefix_across_segments() {
+        run_on_disk(specs::instant(1 << 20), |_ctx, disk| async move {
+            disk.mark_bad(12);
+            let a = pattern(2 * SECTOR_SIZE, 0x40); // sectors 10,11
+            let b = pattern(2 * SECTOR_SIZE, 0x50); // sectors 12,13
+            let segs = vec![SectorBuf::from_vec(a.clone()), SectorBuf::from_vec(b)];
+            assert_eq!(
+                disk.write_segments(10, segs, true).await,
+                Err(IoError::MediaError { sector: 12 })
+            );
+            let mut buf = vec![0u8; SECTOR_SIZE];
+            disk.peek_media(11, &mut buf);
+            assert_eq!(&buf[..], &a[SECTOR_SIZE..], "prefix committed");
+            disk.peek_media(12, &mut buf);
+            assert_eq!(buf, vec![0u8; SECTOR_SIZE], "defective sector untouched");
+        });
     }
 }
 

@@ -48,6 +48,7 @@ pub mod store;
 pub mod timing;
 
 pub use disk::{Disk, DiskStats};
+pub use rapilog_simcore::bytes::{SectorBuf, SectorPool};
 pub use spec::{specs, CacheSpec, DiskSpec, FaultProfile, TimingSpec};
 pub use store::SectorStore;
 pub use timing::ServiceParts;
@@ -157,4 +158,47 @@ pub trait BlockDevice {
     /// Barrier: resolves once every previously acknowledged write is on
     /// stable media.
     fn flush(&self) -> LocalBoxFuture<'_, IoResult<()>>;
+
+    /// Writes an owned, reference-counted buffer starting at `sector`.
+    ///
+    /// This is the zero-copy entry point of the log data path: layers that
+    /// keep the bytes alive (the RapiLog buffer, the virtio transport, the
+    /// media model's in-flight window) take an O(1) view of `data` instead
+    /// of copying it. The default implementation forwards to
+    /// [`write`](BlockDevice::write), so existing devices keep working and
+    /// pay at most what they paid before.
+    fn write_buf(
+        &self,
+        sector: u64,
+        data: SectorBuf,
+        fua: bool,
+    ) -> LocalBoxFuture<'_, IoResult<()>> {
+        Box::pin(async move { self.write(sector, data.as_slice(), fua).await })
+    }
+}
+
+/// One contiguous scatter-gather write: `segments` laid out back to back
+/// starting at `sector`. Produced by the RapiLog drain's consolidation pass
+/// and consumed by [`Disk::write_runs`](crate::Disk::write_runs), which
+/// copies the segments onto the media in a single device operation — the one
+/// real copy on the acknowledged-byte path.
+#[derive(Debug, Clone)]
+pub struct IoRun {
+    /// First sector of the run.
+    pub sector: u64,
+    /// Byte segments, each a multiple of the sector size, laid out
+    /// contiguously from `sector`.
+    pub segments: Vec<SectorBuf>,
+}
+
+impl IoRun {
+    /// Total bytes across all segments.
+    pub fn bytes(&self) -> usize {
+        self.segments.iter().map(SectorBuf::len).sum()
+    }
+
+    /// Total sectors covered by the run.
+    pub fn sectors(&self) -> u64 {
+        (self.bytes() / SECTOR_SIZE) as u64
+    }
 }

@@ -7,6 +7,8 @@
 
 use std::collections::HashMap;
 
+use rapilog_simcore::bytes::SectorBuf;
+
 use crate::SECTOR_SIZE;
 
 /// Sparse map from sector number to sector contents.
@@ -78,6 +80,34 @@ impl SectorStore {
         );
         for (i, chunk) in buf.chunks_exact_mut(SECTOR_SIZE).enumerate() {
             self.read_sector(first_sector + i as u64, chunk);
+        }
+    }
+
+    /// Vectored write: lays `segments` down back to back starting at
+    /// `first_sector`. This is the media boundary of the zero-copy log data
+    /// path — the one place where acknowledged bytes are actually copied,
+    /// like a DMA engine pulling scatter-gather descriptors.
+    ///
+    /// Returns the number of sectors written.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any segment is not a positive multiple of the sector size.
+    pub fn write_segments(&mut self, first_sector: u64, segments: &[SectorBuf]) -> u64 {
+        let mut cursor = first_sector;
+        for seg in segments {
+            self.write_run(cursor, seg.as_slice());
+            cursor += (seg.len() / SECTOR_SIZE) as u64;
+        }
+        cursor - first_sector
+    }
+
+    /// Vectored write of multiple scatter-gather runs, applied in order
+    /// (later runs overwrite earlier ones where they overlap, which is how
+    /// the drain preserves newest-wins semantics without re-sorting).
+    pub fn write_runs(&mut self, runs: &[crate::IoRun]) {
+        for run in runs {
+            self.write_segments(run.sector, &run.segments);
         }
     }
 

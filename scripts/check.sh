@@ -19,4 +19,7 @@ cargo fmt --all -- --check
 echo "==> crash-point sweep (200 trials + broken-drain control)"
 ./target/release/crashpoint_sweep
 
+echo "==> hot-path bench + allocation budget (check mode)"
+BENCH_CHECK=1 cargo bench -q -p rapilog-bench --bench hotpaths
+
 echo "==> all checks passed"
