@@ -24,6 +24,7 @@
 //! assertions still run at full strength.
 
 use std::hint::black_box;
+use std::rc::Rc;
 use std::time::Instant;
 
 use rapilog_bench::alloc::{snapshot, CountingAlloc};
@@ -33,6 +34,7 @@ use rapilog_dbengine::wal::Record;
 use rapilog_faultsim::{MachineConfig, Setup};
 use rapilog_simcore::rng::SimRng;
 use rapilog_simcore::stats::Histogram;
+use rapilog_simcore::sync::Notify;
 use rapilog_simcore::trace::{Layer, Payload, Tracer};
 use rapilog_simcore::{Sim, SimDuration, SimTime};
 use rapilog_simdisk::specs;
@@ -90,6 +92,14 @@ impl Runner {
         let ns_per_op = elapsed.as_nanos() as f64 / iters as f64;
         println!("{name:<28} {ns_per_op:>12.1} ns/op   ({iters} iters, {elapsed:?} total)");
         self.results.push((name.to_string(), ns_per_op, iters));
+    }
+
+    /// Records a case measured externally (one timed region covering `ops`
+    /// operations) in the same table and JSON format as [`Runner::bench`].
+    fn report(&mut self, name: &str, elapsed: std::time::Duration, ops: u64) {
+        let ns_per_op = elapsed.as_nanos() as f64 / ops as f64;
+        println!("{name:<28} {ns_per_op:>12.1} ns/op   ({ops} ops, {elapsed:?} total)");
+        self.results.push((name.to_string(), ns_per_op, ops));
     }
 }
 
@@ -152,6 +162,85 @@ fn bench_executor(r: &mut Runner) {
     });
 }
 
+/// Executor-kernel rows: isolates the scheduling core's three primitive
+/// costs — spawning a task into the slab arena, waking a task through the
+/// ready ring, and firing a timer out of the wheel — plus an overall
+/// poll-throughput (events/sec) figure for the timer-heavy run.
+fn bench_exec_kernel(r: &mut Runner) {
+    // ns per spawn: enqueue cost only (slab insert + ready-ring push);
+    // the tasks are trivial so the trailing run() is not measured.
+    let spawns = r.iters(300_000);
+    let mut sim = Sim::new(2);
+    let start = Instant::now();
+    for _ in 0..spawns {
+        sim.spawn(async {});
+    }
+    r.report("exec/spawn", start.elapsed(), spawns);
+    sim.run();
+
+    // ns per wake: two tasks ping-pong through a pair of Notify cells, so
+    // every round trip is two wake()s plus the two polls they schedule.
+    let rounds = r.iters(200_000);
+    let mut sim = Sim::new(3);
+    let ctx = sim.ctx();
+    let ping = Rc::new(Notify::new());
+    let pong = Rc::new(Notify::new());
+    {
+        let (ping, pong) = (Rc::clone(&ping), Rc::clone(&pong));
+        sim.spawn(async move {
+            for _ in 0..rounds {
+                ping.notified().await;
+                pong.notify_one();
+            }
+        });
+    }
+    {
+        let (ping, pong) = (Rc::clone(&ping), Rc::clone(&pong));
+        let ctx = ctx.clone();
+        sim.spawn(async move {
+            // One sim-time tick so the partner registers first.
+            ctx.sleep(SimDuration::from_nanos(1)).await;
+            for _ in 0..rounds {
+                ping.notify_one();
+                pong.notified().await;
+            }
+        });
+    }
+    let start = Instant::now();
+    sim.run();
+    r.report("exec/wake", start.elapsed(), rounds * 2);
+
+    // ns per timer fire: 64 tasks each sleeping through a ladder of
+    // distinct deadlines — wheel insert, cascade, and batch-fire per await.
+    let per_task = r.iters(4_000);
+    let tasks = 64u64;
+    let mut sim = Sim::new(4);
+    let ctx = sim.ctx();
+    for t in 0..tasks {
+        let ctx = ctx.clone();
+        sim.spawn(async move {
+            for i in 0..per_task {
+                ctx.sleep(SimDuration::from_nanos(1 + (t * 31 + i * 17) % 4093))
+                    .await;
+            }
+        });
+    }
+    let start = Instant::now();
+    let report = sim.run();
+    let elapsed = start.elapsed();
+    r.report("exec/timer_fire", elapsed, tasks * per_task);
+    let events_per_sec = report.polls as f64 / elapsed.as_secs_f64();
+    println!(
+        "exec/poll_throughput        {events_per_sec:>12.0} events/sec ({} polls)",
+        report.polls
+    );
+    r.results.push((
+        "exec/poll_throughput_events_per_sec".to_string(),
+        events_per_sec,
+        report.polls,
+    ));
+}
+
 fn bench_tpcc_generate(r: &mut Runner) {
     let mut rng = SimRng::seed_from_u64(7);
     let scale = TpccScale::small();
@@ -202,7 +291,15 @@ fn bench_tracer(r: &mut Runner) {
 /// Runs the commit storm through the full RapiLog machine and measures
 /// allocator traffic per committed transaction. This is the end-to-end
 /// guard on the zero-copy log data path.
-fn bench_storm_allocations(check: bool) -> Json {
+///
+/// Two flavours share the budget: the plain storm, and a **timer-heavy**
+/// storm (`timer_heavy = true`) with 8× the clients on 1/10th the think
+/// time, so each committed transaction drags an order of magnitude more
+/// sleep registrations, wheel cascades, and waker traffic through the
+/// executor. Under the pre-wheel core every re-poll of `Sleep` cloned a
+/// fresh waker into the heap, so this case is the tripwire for timer-path
+/// allocation regressions specifically.
+fn bench_storm_allocations(check: bool, timer_heavy: bool) -> Json {
     let mut machine = MachineConfig::new(
         Setup::RapiLog,
         specs::instant(256 << 20),
@@ -214,15 +311,20 @@ fn bench_storm_allocations(check: bool) -> Json {
     } else {
         SimDuration::from_secs(5)
     };
+    let (clients, think) = if timer_heavy {
+        (32, SimDuration::from_micros(20))
+    } else {
+        (4, SimDuration::from_micros(200))
+    };
     let cfg = PerfConfig {
         seed: 11,
         machine,
-        workload: WorkloadSpec::Storm { clients: 4 },
+        workload: WorkloadSpec::Storm { clients },
         run: RunConfig {
-            clients: 4,
+            clients: clients as usize,
             warmup: SimDuration::from_millis(500),
             measure,
-            think_time: Some(SimDuration::from_micros(200)),
+            think_time: Some(think),
         },
         trace: false,
     };
@@ -236,18 +338,24 @@ fn bench_storm_allocations(check: bool) -> Json {
     assert!(committed > 1000, "storm run too small: {committed} commits");
     let per_commit = delta.calls as f64 / committed as f64;
     let bytes_per_commit = delta.bytes as f64 / committed as f64;
+    let label = if timer_heavy {
+        "storm_timer/allocs_commit"
+    } else {
+        "storm/allocs_per_commit"
+    };
     println!(
-        "storm/allocs_per_commit     {per_commit:>12.1} allocs  \
+        "{label:<28} {per_commit:>12.1} allocs  \
          ({committed} commits, {:.0} B/commit, budget {STORM_ALLOCS_PER_COMMIT_BUDGET})",
         bytes_per_commit
     );
     assert!(
         per_commit <= STORM_ALLOCS_PER_COMMIT_BUDGET,
-        "allocation budget blown: {per_commit:.1} allocs per committed storm \
-         transaction (budget {STORM_ALLOCS_PER_COMMIT_BUDGET}) — \
-         a copy has crept back into the log data path"
+        "allocation budget blown ({label}): {per_commit:.1} allocs per committed \
+         storm transaction (budget {STORM_ALLOCS_PER_COMMIT_BUDGET}) — \
+         a copy has crept back into the log data path or the timer path"
     );
     Json::obj([
+        ("timer_heavy", Json::Bool(timer_heavy)),
         ("committed", Json::int(committed)),
         ("alloc_calls", Json::int(delta.calls)),
         ("alloc_bytes", Json::int(delta.bytes)),
@@ -264,9 +372,11 @@ fn main() {
     bench_histogram(&mut r);
     bench_wal_codec(&mut r);
     bench_executor(&mut r);
+    bench_exec_kernel(&mut r);
     bench_tpcc_generate(&mut r);
     bench_tracer(&mut r);
-    let storm = bench_storm_allocations(r.check);
+    let storm = bench_storm_allocations(r.check, false);
+    let storm_timer = bench_storm_allocations(r.check, true);
     let doc = Json::obj([
         ("bench", Json::str("hotpaths")),
         ("check_mode", Json::Bool(r.check)),
@@ -290,6 +400,7 @@ fn main() {
             ),
         ),
         ("storm", storm),
+        ("storm_timer", storm_timer),
     ]);
     rapilog_bench::json::write_doc("BENCH_hotpaths.json", &doc).expect("write BENCH_hotpaths.json");
     println!("hotpaths: all assertions passed (BENCH_hotpaths.json written)");

@@ -7,9 +7,10 @@
 //! recovery.
 
 use std::cell::RefCell;
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 use std::rc::Rc;
 
+use rapilog_simcore::hash::FastMap;
 use rapilog_simcore::sync::Event;
 use rapilog_simdisk::BlockDevice;
 
@@ -41,9 +42,9 @@ pub struct PoolStats {
 }
 
 struct PoolSt {
-    frames: HashMap<PageId, FrameRef>,
+    frames: FastMap<PageId, FrameRef>,
     lru: VecDeque<PageId>,
-    loading: HashMap<PageId, Event>,
+    loading: FastMap<PageId, Event>,
     stats: PoolStats,
 }
 
@@ -71,9 +72,9 @@ impl BufferPool {
                 wal,
                 capacity,
                 st: RefCell::new(PoolSt {
-                    frames: HashMap::new(),
+                    frames: FastMap::default(),
                     lru: VecDeque::new(),
-                    loading: HashMap::new(),
+                    loading: FastMap::default(),
                     stats: PoolStats::default(),
                 }),
             }),

@@ -7,9 +7,10 @@
 //! the whole engine vanishes mid-flight, like a real kernel panic.
 
 use std::cell::{Cell, RefCell};
-use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::rc::Rc;
 
+use rapilog_simcore::hash::{FastMap, FastSet};
 use rapilog_simcore::sync::Event;
 use rapilog_simcore::{DomainId, SimCtx, SimDuration};
 use rapilog_simdisk::BlockDevice;
@@ -127,10 +128,10 @@ pub(crate) struct FreeSpace {
 
 pub(crate) struct DbSt {
     next_txn: u64,
-    active: HashMap<TxnId, TxnState>,
+    active: FastMap<TxnId, TxnState>,
     pub(crate) index: BTreeMap<(TableId, Key), SlotAddr>,
     pub(crate) free: Vec<FreeSpace>,
-    fpw_done: HashSet<PageId>,
+    fpw_done: FastSet<PageId>,
 }
 
 /// A running database instance. Clone freely; clones share the instance.
@@ -314,10 +315,10 @@ impl Database {
                 log_dev,
                 st: RefCell::new(DbSt {
                     next_txn: 1,
-                    active: HashMap::new(),
+                    active: FastMap::default(),
                     index: BTreeMap::new(),
                     free,
-                    fpw_done: HashSet::new(),
+                    fpw_done: FastSet::default(),
                 }),
                 stopped: Cell::new(false),
                 shutdown: Event::new(),

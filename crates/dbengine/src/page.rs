@@ -150,11 +150,19 @@ impl Page {
         self.bytes[off..off + SLOT_OVERHEAD + ss].fill(0);
     }
 
-    /// Iterates occupied slots as `(slot, key, row)`.
-    pub fn occupied(&self) -> Vec<(u16, Key, Vec<u8>)> {
+    /// Lists occupied slots as `(slot, key)` — no row-byte copies, since
+    /// the index-rebuild scan that calls this only needs the keys.
+    pub fn occupied(&self) -> Vec<(u16, Key)> {
         let n = slots_per_page(self.slot_size() as usize) as u16;
         (0..n)
-            .filter_map(|i| self.read_slot(i).map(|(k, v)| (i, k, v)))
+            .filter_map(|i| {
+                let off = self.slot_offset(i);
+                if self.bytes[off] == 0 {
+                    return None;
+                }
+                let key = u64::from_le_bytes(self.bytes[off + 1..off + 9].try_into().expect("key"));
+                Some((i, key))
+            })
             .collect()
     }
 

@@ -18,9 +18,10 @@
 //! recovery-time figures in EXPERIMENTS.md come straight from
 //! [`RecoveryReport`].
 
-use std::collections::{BTreeMap, HashMap, HashSet};
+use std::collections::BTreeMap;
 use std::rc::Rc;
 
+use rapilog_simcore::hash::{FastMap, FastSet};
 use rapilog_simcore::{DomainId, SimCtx, SimDuration};
 use rapilog_simdisk::{BlockDevice, SECTOR_SIZE};
 
@@ -70,57 +71,22 @@ async fn read_record_at(wal: &Wal, lsn: Lsn) -> DbResult<Record> {
         .ok_or_else(|| DbError::Corrupt(format!("undecodable record at {lsn}")))
 }
 
-/// A deferred mutation of a single page, built from a log record.
-type PageAction = Box<dyn FnOnce(&mut crate::page::Page)>;
-
 async fn apply_page_record(
     pool: &BufferPool,
     tables: &[TableMeta],
     lsn: Lsn,
     rec: &Record,
 ) -> DbResult<bool> {
-    let (page, action): (PageId, PageAction) = match rec {
-        Record::FullPage { page, image } => {
-            let image = image.clone();
-            (*page, Box::new(move |p| p.restore_image(&image)))
-        }
-        Record::Insert {
-            page,
-            slot,
-            key,
-            after,
-            ..
-        }
-        | Record::Update {
-            page,
-            slot,
-            key,
-            after,
-            ..
-        } => {
-            let (slot, key, after) = (*slot, *key, after.clone());
-            (*page, Box::new(move |p| p.write_slot(slot, key, &after)))
-        }
-        Record::Delete { page, slot, .. } => {
-            let slot = *slot;
-            (*page, Box::new(move |p| p.clear_slot(slot)))
-        }
-        Record::Clr {
-            page,
-            slot,
-            key,
-            action,
-            ..
-        } => {
-            let (slot, key, action) = (*slot, *key, action.clone());
-            (
-                *page,
-                Box::new(move |p| match action {
-                    ClrAction::Restore(bytes) => p.write_slot(slot, key, &bytes),
-                    ClrAction::Clear => p.clear_slot(slot),
-                }),
-            )
-        }
+    // Applied in place, borrowing images and row bytes straight from the
+    // record: redo visits every scanned record, so a per-record boxed
+    // closure (and an 8 KiB image clone per full-page record) is pure
+    // overhead — most applications are skipped by the LSN check anyway.
+    let page = match rec {
+        Record::FullPage { page, .. }
+        | Record::Insert { page, .. }
+        | Record::Update { page, .. }
+        | Record::Delete { page, .. }
+        | Record::Clr { page, .. } => *page,
         _ => return Ok(false),
     };
     let meta = meta_for_page(tables, page)?;
@@ -129,7 +95,23 @@ async fn apply_page_record(
     if stale {
         {
             let mut f = frame.borrow_mut();
-            action(&mut f.page);
+            match rec {
+                Record::FullPage { image, .. } => f.page.restore_image(image),
+                Record::Insert {
+                    slot, key, after, ..
+                }
+                | Record::Update {
+                    slot, key, after, ..
+                } => f.page.write_slot(*slot, *key, after),
+                Record::Delete { slot, .. } => f.page.clear_slot(*slot),
+                Record::Clr {
+                    slot, key, action, ..
+                } => match action {
+                    ClrAction::Restore(bytes) => f.page.write_slot(*slot, *key, bytes),
+                    ClrAction::Clear => f.page.clear_slot(*slot),
+                },
+                _ => unreachable!("page id extracted above"),
+            }
             f.page.set_lsn(lsn);
         }
         BufferPool::mark_dirty(&frame);
@@ -163,43 +145,53 @@ impl Database {
         let region_bytes = region_sectors * SECTOR_SIZE as u64;
 
         // --- 1. Scan -----------------------------------------------------
+        // The buffer is consumed through `off` rather than drained per
+        // record: a drain memmoves the whole remainder, which turns a scan
+        // of n small records into O(n·CHUNK) byte shuffling. Consumed bytes
+        // are reclaimed in one amortised drain per chunk instead.
         let mut records: Vec<(Lsn, Record)> = Vec::new();
         let mut buf: Vec<u8> = Vec::new();
+        let mut off = 0usize;
         let mut pos = sb.checkpoint;
         const CHUNK: usize = 256 * 1024;
         loop {
             if pos.0 - sb.checkpoint.0 >= region_bytes {
                 break; // wrapped the whole region: cannot happen in a sane log
             }
+            if off >= CHUNK {
+                buf.drain(..off);
+                off = 0;
+            }
             // Ensure a frame header, then the whole frame, is buffered.
-            while buf.len() < RECORD_HEADER {
+            while buf.len() - off < RECORD_HEADER {
                 let more = read_stream(
                     &*log_dev,
                     region_sectors,
-                    Lsn(pos.0 + buf.len() as u64),
+                    Lsn(pos.0 + (buf.len() - off) as u64),
                     CHUNK,
                 )
                 .await?;
                 buf.extend_from_slice(&more);
             }
-            let total = u32::from_le_bytes([buf[0], buf[1], buf[2], buf[3]]) as usize;
+            let total =
+                u32::from_le_bytes([buf[off], buf[off + 1], buf[off + 2], buf[off + 3]]) as usize;
             if !(RECORD_HEADER..16 * 1024 * 1024).contains(&total) {
                 break; // torn tail / end of log
             }
-            while buf.len() < total {
+            while buf.len() - off < total {
                 let more = read_stream(
                     &*log_dev,
                     region_sectors,
-                    Lsn(pos.0 + buf.len() as u64),
+                    Lsn(pos.0 + (buf.len() - off) as u64),
                     CHUNK,
                 )
                 .await?;
                 buf.extend_from_slice(&more);
             }
-            match Record::decode(&buf[..total], pos) {
+            match Record::decode(&buf[off..off + total], pos) {
                 Some((rec, n)) => {
                     records.push((pos, rec));
-                    buf.drain(..n);
+                    off += n;
                     pos = pos.advance(n as u64);
                 }
                 None => break, // CRC/LSN failure: torn tail
@@ -209,7 +201,7 @@ impl Database {
 
         // --- 2. Analysis --------------------------------------------------
         let mut committed: Vec<TxnId> = Vec::new();
-        let mut ended: HashSet<TxnId> = HashSet::new();
+        let mut ended: FastSet<TxnId> = FastSet::default();
         let mut last_lsn: BTreeMap<TxnId, Lsn> = BTreeMap::new();
         for (lsn, rec) in &records {
             match rec {
@@ -273,14 +265,21 @@ impl Database {
 
         // --- 4. Undo -------------------------------------------------------
         let losers: Vec<(TxnId, Lsn)> = last_lsn.into_iter().collect();
-        let scanned: HashMap<Lsn, Record> = records.iter().cloned().collect();
+        // Index into the scan by reference: cloning every record here used
+        // to duplicate the whole redo range (full-page images included)
+        // just to serve a handful of undo-chain lookups.
+        let scanned: FastMap<Lsn, &Record> = records.iter().map(|(lsn, rec)| (*lsn, rec)).collect();
         for (txn, mut at) in losers.clone() {
             while at != Lsn::ZERO {
-                let rec = match scanned.get(&at) {
-                    Some(r) => r.clone(),
-                    None => read_record_at(&wal, at).await?,
+                let fetched;
+                let rec: &Record = match scanned.get(&at) {
+                    Some(r) => r,
+                    None => {
+                        fetched = read_record_at(&wal, at).await?;
+                        &fetched
+                    }
                 };
-                let (clr, next) = match &rec {
+                let (clr, next) = match rec {
                     Record::Update {
                         prev,
                         page,
@@ -378,7 +377,7 @@ impl Database {
         let tables = self.inner.tables.clone();
         for meta in &tables {
             let mut max_flat: Option<u64> = None;
-            let mut occupied: HashSet<u64> = HashSet::new();
+            let mut occupied: FastSet<u64> = FastSet::default();
             for p in 0..meta.n_pages {
                 let pid = PageId(meta.base_page + p);
                 let frame = self
@@ -387,14 +386,12 @@ impl Database {
                     .fetch(pid, meta.id, meta.slot_size, false)
                     .await?;
                 let rows = frame.borrow().page.occupied();
-                for (slot, key, _row) in rows {
+                let mut st = self.inner.st.borrow_mut();
+                for (slot, key) in rows {
                     let flat = p * meta.spp as u64 + slot as u64;
                     occupied.insert(flat);
                     max_flat = Some(max_flat.map_or(flat, |m: u64| m.max(flat)));
-                    self.inner
-                        .st
-                        .borrow_mut()
-                        .index
+                    st.index
                         .insert((meta.id, key), crate::engine::SlotAddr { page: pid, slot });
                 }
             }

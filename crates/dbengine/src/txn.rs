@@ -13,11 +13,11 @@
 //! which the caller must abort and retry.
 
 use std::cell::RefCell;
-use std::collections::HashMap;
 use std::future::poll_fn;
 use std::rc::Rc;
 use std::task::{Poll, Waker};
 
+use rapilog_simcore::hash::FastMap;
 use rapilog_simcore::{SimCtx, SimDuration};
 
 use crate::error::{DbError, DbResult};
@@ -32,7 +32,7 @@ struct LockEntry {
 /// The lock table.
 #[derive(Clone)]
 pub struct LockTable {
-    st: Rc<RefCell<HashMap<(TableId, Key), LockEntry>>>,
+    st: Rc<RefCell<FastMap<(TableId, Key), LockEntry>>>,
     timeout: SimDuration,
 }
 
@@ -40,7 +40,7 @@ impl LockTable {
     /// Creates a lock table with the given deadlock-breaking wait timeout.
     pub fn new(timeout: SimDuration) -> LockTable {
         LockTable {
-            st: Rc::new(RefCell::new(HashMap::new())),
+            st: Rc::new(RefCell::new(FastMap::default())),
             timeout,
         }
     }

@@ -1,8 +1,45 @@
 //! Small utilities: CRC-32 and byte-codec helpers.
 //!
 //! The CRC is used by both the WAL record format and the page format;
-//! implementing it here (≈20 lines, table-driven) avoids pulling in a
-//! dependency for something that is part of the on-disk format under study.
+//! implementing it here (slice-by-8, compile-time tables) avoids pulling
+//! in a dependency for something that is part of the on-disk format under
+//! study. Every WAL record is checksummed on append *and* on every
+//! recovery scan, so this sits squarely on the commit and recovery hot
+//! paths — the table-driven form processes eight bytes per step instead
+//! of one bit.
+
+/// Eight lookup tables for slice-by-8: `CRC_TABLES[0]` is the classic
+/// byte-at-a-time table; `CRC_TABLES[j][b]` is the CRC of byte `b`
+/// followed by `j` zero bytes, letting eight input bytes fold in
+/// parallel.
+static CRC_TABLES: [[u32; 256]; 8] = crc_tables();
+
+const fn crc_tables() -> [[u32; 256]; 8] {
+    let mut t = [[0u32; 256]; 8];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            let mask = (c & 1).wrapping_neg();
+            c = (c >> 1) ^ (0xEDB8_8320 & mask);
+            k += 1;
+        }
+        t[0][i] = c;
+        i += 1;
+    }
+    let mut j = 1;
+    while j < 8 {
+        let mut i = 0;
+        while i < 256 {
+            let prev = t[j - 1][i];
+            t[j][i] = (prev >> 8) ^ t[0][(prev & 0xFF) as usize];
+            i += 1;
+        }
+        j += 1;
+    }
+    t
+}
 
 /// CRC-32 (IEEE 802.3 polynomial, reflected), as used by zlib.
 pub fn crc32(data: &[u8]) -> u32 {
@@ -12,12 +49,21 @@ pub fn crc32(data: &[u8]) -> u32 {
 /// Incremental form: feed `state` from a previous call (start with
 /// `0xFFFF_FFFF`, finish by XORing with `0xFFFF_FFFF`).
 pub fn crc32_update(mut state: u32, data: &[u8]) -> u32 {
-    for &b in data {
-        state ^= b as u32;
-        for _ in 0..8 {
-            let mask = (state & 1).wrapping_neg();
-            state = (state >> 1) ^ (0xEDB8_8320 & mask);
-        }
+    let mut chunks = data.chunks_exact(8);
+    for chunk in &mut chunks {
+        let lo = u32::from_le_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]) ^ state;
+        let hi = u32::from_le_bytes([chunk[4], chunk[5], chunk[6], chunk[7]]);
+        state = CRC_TABLES[7][(lo & 0xFF) as usize]
+            ^ CRC_TABLES[6][((lo >> 8) & 0xFF) as usize]
+            ^ CRC_TABLES[5][((lo >> 16) & 0xFF) as usize]
+            ^ CRC_TABLES[4][(lo >> 24) as usize]
+            ^ CRC_TABLES[3][(hi & 0xFF) as usize]
+            ^ CRC_TABLES[2][((hi >> 8) & 0xFF) as usize]
+            ^ CRC_TABLES[1][((hi >> 16) & 0xFF) as usize]
+            ^ CRC_TABLES[0][(hi >> 24) as usize];
+    }
+    for &b in chunks.remainder() {
+        state = (state >> 8) ^ CRC_TABLES[0][((state ^ b as u32) & 0xFF) as usize];
     }
     state
 }

@@ -26,4 +26,6 @@ pub use explorer::{
     explore_crash_points, replay_crash_point, Counterexample, ExplorationReport, ExplorerConfig,
 };
 pub use machine::{Machine, MachineConfig, Setup};
-pub use scenario::{run_trial, FaultKind, FaultStats, TrialConfig, TrialResult};
+pub use scenario::{
+    run_trial, run_trial_on, run_trial_traced, FaultKind, FaultStats, TrialConfig, TrialResult,
+};

@@ -18,8 +18,8 @@ use std::cell::RefCell;
 use std::rc::Rc;
 
 use rapilog_dbengine::recovery::RecoveryReport;
-use rapilog_simcore::trace::{LatencyAttribution, Layer, Payload};
-use rapilog_simcore::{Sim, SimDuration, SimTime};
+use rapilog_simcore::trace::{LatencyAttribution, Layer, Payload, TraceSnapshot};
+use rapilog_simcore::{RunReport, SchedulerKind, Sim, SimDuration, SimTime};
 use rapilog_workload::micro;
 use rapilog_workload::session::{job, outcome_from, JobOutcome};
 
@@ -166,9 +166,28 @@ pub struct TrialResult {
     pub attribution: LatencyAttribution,
 }
 
-/// Runs one complete trial in its own deterministic simulation.
+/// Runs one complete trial in its own deterministic simulation on the
+/// default (timer-wheel) scheduler.
 pub fn run_trial(seed: u64, cfg: TrialConfig) -> TrialResult {
-    let mut sim = Sim::new(seed);
+    run_trial_on(seed, cfg, SchedulerKind::TimerWheel)
+}
+
+/// Runs one complete trial on the given executor core. Both cores must
+/// produce bit-identical trials; the reference core exists so differential
+/// tests can prove it.
+pub fn run_trial_on(seed: u64, cfg: TrialConfig, sched: SchedulerKind) -> TrialResult {
+    run_trial_traced(seed, cfg, sched).0
+}
+
+/// Runs one complete trial and also returns the executor's [`RunReport`]
+/// and the full trace ring, so differential tests can compare the two
+/// scheduler cores event-for-event, not just on the audited outcome.
+pub fn run_trial_traced(
+    seed: u64,
+    cfg: TrialConfig,
+    sched: SchedulerKind,
+) -> (TrialResult, RunReport, TraceSnapshot) {
+    let mut sim = Sim::new_with_scheduler(seed, sched);
     let ctx = sim.ctx();
     ctx.tracer().set_enabled(true);
     let result: Rc<RefCell<Option<TrialResult>>> = Rc::new(RefCell::new(None));
@@ -322,7 +341,7 @@ pub fn run_trial(seed: u64, cfg: TrialConfig) -> TrialResult {
         let fault_stats = FaultStats::collect(&machine);
         let total_acked = journals.iter().map(|j| j.acked).sum();
         db.stop();
-        let attribution = LatencyAttribution::from_snapshot(&c2.tracer().snapshot(), total_acked);
+        let attribution = c2.tracer().latency_attribution(total_acked);
         *out.borrow_mut() = Some(TrialResult {
             ok: violations.is_empty(),
             violations,
@@ -335,9 +354,14 @@ pub fn run_trial(seed: u64, cfg: TrialConfig) -> TrialResult {
             attribution,
         });
     });
-    sim.run_until(SimTime::from_secs(600));
+    let report = sim.run_until(SimTime::from_secs(600));
+    let trace = ctx.tracer().snapshot();
     let r = result.borrow_mut().take();
-    r.expect("trial did not complete — deadlock or runaway scenario")
+    (
+        r.expect("trial did not complete — deadlock or runaway scenario"),
+        report,
+        trace,
+    )
 }
 
 #[cfg(test)]

@@ -21,10 +21,11 @@
 //! read-your-writes intact until [`complete`](DependableBuffer::complete).
 
 use std::cell::RefCell;
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 use std::rc::Rc;
 
 use rapilog_simcore::bytes::SectorBuf;
+use rapilog_simcore::hash::FastMap;
 use rapilog_simcore::sync::Notify;
 use rapilog_simdisk::SECTOR_SIZE;
 
@@ -74,7 +75,7 @@ struct BufSt {
     /// Per-sector newest acked-but-possibly-undrained bytes, tagged with
     /// the extent seq that wrote them. Each entry is a sector-sized view
     /// into the owning extent's allocation.
-    overlay: HashMap<u64, (u64, SectorBuf)>,
+    overlay: FastMap<u64, (u64, SectorBuf)>,
     frozen: bool,
     stats: BufferStats,
 }
@@ -115,7 +116,7 @@ impl DependableBuffer {
                 occupancy: 0,
                 capacity,
                 next_seq: 0,
-                overlay: HashMap::new(),
+                overlay: FastMap::default(),
                 frozen: false,
                 stats: BufferStats::default(),
             })),

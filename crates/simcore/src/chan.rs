@@ -20,6 +20,8 @@ use std::future::poll_fn;
 use std::rc::Rc;
 use std::task::{Poll, Waker};
 
+use crate::sched::push_waker_deduped;
+
 struct ChanState<T> {
     queue: VecDeque<T>,
     capacity: Option<usize>,
@@ -144,7 +146,7 @@ impl<T> Sender<T> {
                 s.wake_receivers();
                 return Poll::Ready(Ok(()));
             }
-            s.send_wakers.push(cx.waker().clone());
+            push_waker_deduped(&mut s.send_wakers, cx.waker());
             Poll::Pending
         })
         .await
@@ -209,7 +211,7 @@ impl<T> Receiver<T> {
             if s.senders == 0 {
                 return Poll::Ready(None);
             }
-            s.recv_wakers.push(cx.waker().clone());
+            push_waker_deduped(&mut s.recv_wakers, cx.waker());
             Poll::Pending
         })
         .await
@@ -449,6 +451,38 @@ mod tests {
         });
         sim.run();
         assert_eq!(done.get(), 2);
+    }
+
+    /// Re-polling a blocked `recv` (as `timeout`/select races do on every
+    /// poll of the racing task) must not grow the waiter list: duplicates
+    /// are rejected by `Waker::will_wake`.
+    #[test]
+    fn repolled_recv_does_not_grow_the_waiter_list() {
+        let mut sim = Sim::new(0);
+        let ctx = sim.ctx();
+        let (tx, rx) = unbounded::<u32>();
+        let state = Rc::clone(&rx.state);
+        sim.spawn({
+            let ctx = ctx.clone();
+            async move {
+                // Each loop iteration re-polls the pending recv once more.
+                for _ in 0..16 {
+                    let got = ctx.timeout(SimDuration::from_millis(1), rx.recv()).await;
+                    assert_eq!(got, None, "nothing sent yet");
+                }
+                drop(tx);
+                assert_eq!(rx.recv().await, None);
+            }
+        });
+        // Let a few timeout rounds elapse, each of which re-polls recv.
+        sim.run_until(crate::SimTime::from_millis(5));
+        assert_eq!(
+            state.borrow().recv_wakers.len(),
+            1,
+            "one waiting task, one waker, regardless of re-polls"
+        );
+        sim.run();
+        assert!(state.borrow().recv_wakers.is_empty());
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! The deterministic virtual-time executor.
 //!
-//! [`Sim`] owns the task table, the timer wheel and the virtual clock.
+//! [`Sim`] owns the task arena, the timer queue and the virtual clock.
 //! [`SimCtx`] is the cloneable handle that running tasks use to spawn, sleep,
 //! read the clock, draw random numbers and record metrics.
 //!
@@ -12,102 +12,36 @@
 //! fires every timer registered for that instant (in registration order).
 //! This makes runs bit-for-bit reproducible for a given seed and spawn order.
 //!
+//! The data structures behind that contract live in [`crate::sched`]: the
+//! default [`SchedulerKind::TimerWheel`] core (hierarchical timer wheel, slab
+//! task arena, lock-light ready ring) and the
+//! [`SchedulerKind::Reference`] core kept for differential testing. Pick one
+//! with [`Sim::new_with_scheduler`]; both produce bit-identical simulations.
+//!
 //! # Panics
 //!
 //! A panic inside a task propagates out of [`Sim::run`]: simulations are
 //! expected to fail loudly rather than limp on with corrupted state.
 
 use std::cell::RefCell;
-use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap, HashSet, VecDeque};
+use std::collections::HashSet;
 use std::future::Future;
 use std::pin::Pin;
 use std::rc::{Rc, Weak};
-use std::sync::{Arc, Mutex};
-use std::task::{Context, Poll, Wake, Waker};
+use std::task::{Context, Poll, Waker};
 
 use crate::cancel::DomainId;
 use crate::rng::SimRng;
+use crate::sched::{SchedCore, TaskBody, TaskKey, TimerKey};
 use crate::stats::Metrics;
 use crate::time::{SimDuration, SimTime};
 use crate::trace::Tracer;
 
-type TaskId = u64;
-type LocalFuture = Pin<Box<dyn Future<Output = ()>>>;
-
-/// FIFO ready queue shared with wakers (which must be `Send + Sync`).
-#[derive(Default)]
-struct ReadyQueue {
-    queue: VecDeque<TaskId>,
-    enqueued: HashSet<TaskId>,
-}
-
-impl ReadyQueue {
-    fn push(&mut self, tid: TaskId) {
-        if self.enqueued.insert(tid) {
-            self.queue.push_back(tid);
-        }
-    }
-
-    fn pop(&mut self) -> Option<TaskId> {
-        let tid = self.queue.pop_front()?;
-        self.enqueued.remove(&tid);
-        Some(tid)
-    }
-}
-
-struct WakeHandle {
-    tid: TaskId,
-    ready: Arc<Mutex<ReadyQueue>>,
-}
-
-impl Wake for WakeHandle {
-    fn wake(self: Arc<Self>) {
-        self.ready
-            .lock()
-            .expect("ready queue poisoned")
-            .push(self.tid);
-    }
-}
-
-struct Task {
-    future: LocalFuture,
-    domain: DomainId,
-    /// Created once at spawn and reused for every poll; polling a task must
-    /// not allocate.
-    waker: Waker,
-}
-
-struct TimerEntry {
-    deadline: SimTime,
-    seq: u64,
-    waker: Waker,
-}
-
-impl PartialEq for TimerEntry {
-    fn eq(&self, other: &Self) -> bool {
-        self.deadline == other.deadline && self.seq == other.seq
-    }
-}
-impl Eq for TimerEntry {}
-impl PartialOrd for TimerEntry {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for TimerEntry {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (self.deadline, self.seq).cmp(&(other.deadline, other.seq))
-    }
-}
+pub use crate::sched::SchedulerKind;
 
 struct Inner {
     now: SimTime,
-    tasks: HashMap<TaskId, Task>,
-    next_task_id: TaskId,
-    timers: BinaryHeap<Reverse<TimerEntry>>,
-    next_timer_seq: u64,
-    ready: Arc<Mutex<ReadyQueue>>,
+    sched: SchedCore,
     next_domain_id: u64,
     dead_domains: HashSet<DomainId>,
     rng: SimRng,
@@ -150,16 +84,19 @@ pub struct Sim {
 }
 
 impl Sim {
-    /// Creates a simulation whose randomness derives from `seed`.
+    /// Creates a simulation whose randomness derives from `seed`, on the
+    /// default timer-wheel scheduling core.
     pub fn new(seed: u64) -> Self {
-        let ready = Arc::new(Mutex::new(ReadyQueue::default()));
+        Self::new_with_scheduler(seed, SchedulerKind::TimerWheel)
+    }
+
+    /// Creates a simulation on an explicit scheduling core. Both cores are
+    /// observably identical (see [`crate::sched`]); the non-default
+    /// [`SchedulerKind::Reference`] core exists for differential tests.
+    pub fn new_with_scheduler(seed: u64, kind: SchedulerKind) -> Self {
         let inner = Inner {
             now: SimTime::ZERO,
-            tasks: HashMap::new(),
-            next_task_id: 1,
-            timers: BinaryHeap::new(),
-            next_timer_seq: 0,
-            ready,
+            sched: SchedCore::new(kind),
             next_domain_id: 1,
             dead_domains: HashSet::new(),
             rng: SimRng::seed_from_u64(seed),
@@ -170,6 +107,11 @@ impl Sim {
             inner: Rc::new(RefCell::new(inner)),
             polls: 0,
         }
+    }
+
+    /// Which scheduling core this simulation runs on.
+    pub fn scheduler_kind(&self) -> SchedulerKind {
+        self.inner.borrow().sched.kind()
     }
 
     /// Returns a context handle usable from inside (and outside) tasks.
@@ -204,35 +146,29 @@ impl Sim {
         loop {
             // Drain every runnable task at the current instant.
             loop {
-                let tid = {
-                    let inner = self.inner.borrow();
-                    let mut q = inner.ready.lock().expect("ready queue poisoned");
-                    q.pop()
-                };
-                match tid {
-                    Some(tid) => self.poll_task(tid),
+                let key = self.inner.borrow_mut().sched.pop_ready();
+                match key {
+                    Some(key) => self.poll_task(key),
                     None => break,
                 }
             }
-            // Advance to the next timer, if any and within the limit.
-            {
+            // Advance to the next timer instant, if any and within the
+            // limit; the whole due slot fires in one batch.
+            let advanced = {
                 let mut inner = self.inner.borrow_mut();
-                if let Some(Reverse(e)) = inner.timers.peek() {
-                    if e.deadline <= limit {
-                        let t = e.deadline;
-                        inner.now = t;
-                        while let Some(Reverse(e)) = inner.timers.peek() {
-                            if e.deadline != t {
-                                break;
-                            }
-                            fired.push(inner.timers.pop().expect("peeked timer vanished").0.waker);
-                        }
-                    }
+                let advanced = inner.sched.advance_timers(limit.as_nanos(), &mut fired);
+                if let Some(t) = advanced {
+                    inner.now = SimTime::from_nanos(t);
                 }
-            }
-            if fired.is_empty() {
+                advanced
+            };
+            if advanced.is_none() {
+                debug_assert!(fired.is_empty());
                 break;
             }
+            // Wake outside the borrow: wakers only touch the shared ready
+            // ring, but user-visible wake side effects must not observe a
+            // held executor borrow.
             for w in fired.drain(..) {
                 w.wake();
             }
@@ -243,7 +179,7 @@ impl Sim {
         }
         RunReport {
             now: inner.now,
-            pending_tasks: inner.tasks.len(),
+            pending_tasks: inner.sched.live_tasks(),
             polls: self.polls - start_polls,
         }
     }
@@ -263,23 +199,31 @@ impl Sim {
         Rc::clone(&self.inner.borrow().tracer)
     }
 
-    fn poll_task(&mut self, tid: TaskId) {
-        // Take the task out of the table so the poll can re-borrow `inner`
+    fn poll_task(&mut self, key: TaskKey) {
+        // Take the body out of the arena so the poll can re-borrow `inner`
         // (to spawn, register timers, ...).
-        let task = self.inner.borrow_mut().tasks.remove(&tid);
-        let Some(mut task) = task else {
+        let body = self.inner.borrow_mut().sched.take_body(key);
+        let Some(mut body) = body else {
             // Stale wake for a completed or killed task.
             return;
         };
-        let mut cx = Context::from_waker(&task.waker);
+        let mut cx = Context::from_waker(&body.waker);
         self.polls += 1;
-        if task.future.as_mut().poll(&mut cx).is_pending() {
-            let mut inner = self.inner.borrow_mut();
+        if body.future.as_mut().poll(&mut cx).is_pending() {
             // A task may have killed its own domain while running; in that
             // case it must not be resurrected.
-            if !inner.dead_domains.contains(&task.domain) {
-                inner.tasks.insert(tid, task);
+            let doomed = self.inner.borrow().dead_domains.contains(&body.domain);
+            if doomed {
+                // Drop the future outside the borrow: destructors may wake
+                // other tasks or touch channels.
+                drop(body);
+                self.inner.borrow_mut().sched.finish(key);
+            } else {
+                self.inner.borrow_mut().sched.reinsert(key, body);
             }
+        } else {
+            drop(body);
+            self.inner.borrow_mut().sched.finish(key);
         }
     }
 }
@@ -350,24 +294,7 @@ impl SimCtx {
             // `_guard` drops here, marking the state finished and waking any
             // joiner.
         };
-        {
-            let mut inner = rc.borrow_mut();
-            let tid = inner.next_task_id;
-            inner.next_task_id += 1;
-            let waker = Waker::from(Arc::new(WakeHandle {
-                tid,
-                ready: Arc::clone(&inner.ready),
-            }));
-            inner.tasks.insert(
-                tid,
-                Task {
-                    future: Box::pin(wrapped),
-                    domain,
-                    waker,
-                },
-            );
-            inner.ready.lock().expect("ready queue poisoned").push(tid);
-        }
+        rc.borrow_mut().sched.spawn(domain, Box::pin(wrapped));
         handle
     }
 
@@ -381,8 +308,8 @@ impl SimCtx {
     }
 
     /// Kills `domain`: every task spawned in it is dropped at the current
-    /// instant, and future spawns into it are ignored. Returns the number of
-    /// tasks destroyed.
+    /// instant (in spawn order), and future spawns into it are ignored.
+    /// Returns the number of tasks destroyed.
     ///
     /// # Panics
     ///
@@ -390,18 +317,10 @@ impl SimCtx {
     pub fn kill_domain(&self, domain: DomainId) -> usize {
         assert!(domain != DomainId::ROOT, "cannot kill the root domain");
         let rc = self.upgrade();
-        let doomed: Vec<Task> = {
+        let doomed: Vec<TaskBody> = {
             let mut inner = rc.borrow_mut();
             inner.dead_domains.insert(domain);
-            let ids: Vec<TaskId> = inner
-                .tasks
-                .iter()
-                .filter(|(_, t)| t.domain == domain)
-                .map(|(id, _)| *id)
-                .collect();
-            ids.into_iter()
-                .filter_map(|id| inner.tasks.remove(&id))
-                .collect()
+            inner.sched.drain_domain(domain)
         };
         // Drop the futures outside the borrow: destructors may wake other
         // tasks or touch channels, which re-borrows `inner`.
@@ -426,7 +345,7 @@ impl SimCtx {
         Sleep {
             ctx: self.clone(),
             deadline,
-            registered: false,
+            timer: None,
         }
     }
 
@@ -491,16 +410,31 @@ impl SimCtx {
         Rc::clone(&self.upgrade().borrow().tracer)
     }
 
-    fn register_timer(&self, deadline: SimTime, waker: Waker) {
+    /// One-borrow fast path for `Sleep::poll`: checks the clock and either
+    /// registers a new timer or refreshes the existing slot's waker in
+    /// place, so re-polls never clone a waker or grow the timer queue.
+    fn poll_sleep(
+        &self,
+        deadline: SimTime,
+        timer: &mut Option<TimerKey>,
+        cx: &mut Context<'_>,
+    ) -> Poll<()> {
         let rc = self.upgrade();
         let mut inner = rc.borrow_mut();
-        let seq = inner.next_timer_seq;
-        inner.next_timer_seq += 1;
-        inner.timers.push(Reverse(TimerEntry {
-            deadline,
-            seq,
-            waker,
-        }));
+        if inner.now >= deadline {
+            return Poll::Ready(());
+        }
+        match timer {
+            None => {
+                *timer = Some(
+                    inner
+                        .sched
+                        .register_timer(deadline.as_nanos(), cx.waker().clone()),
+                );
+            }
+            Some(key) => inner.sched.update_timer_waker(*key, cx.waker()),
+        }
+        Poll::Pending
     }
 }
 
@@ -508,21 +442,16 @@ impl SimCtx {
 pub struct Sleep {
     ctx: SimCtx,
     deadline: SimTime,
-    registered: bool,
+    /// The registered timer slot, reused across re-polls.
+    timer: Option<TimerKey>,
 }
 
 impl Future for Sleep {
     type Output = ();
 
-    fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
-        if self.ctx.now() >= self.deadline {
-            return Poll::Ready(());
-        }
-        if !self.registered {
-            self.ctx.register_timer(self.deadline, cx.waker().clone());
-            self.registered = true;
-        }
-        Poll::Pending
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+        let this = self.get_mut();
+        this.ctx.poll_sleep(this.deadline, &mut this.timer, cx)
     }
 }
 
@@ -887,5 +816,83 @@ mod tests {
         });
         let r = sim.run_until(SimTime::from_secs(1));
         assert_eq!(r.pending_tasks, 1);
+    }
+
+    /// Polling a `Sleep` twice (as a `timeout`/select race does) must not
+    /// register a second timer entry: the slot is updated in place.
+    #[test]
+    fn sleep_repoll_reuses_its_timer_slot() {
+        let mut sim = Sim::new(0);
+        let ctx = sim.ctx();
+        sim.spawn({
+            let ctx = ctx.clone();
+            async move {
+                let mut sleep = ctx.sleep(SimDuration::from_millis(2));
+                // Poll the sleep directly several times within one task
+                // poll; only the first may register a timer.
+                std::future::poll_fn(move |cx| {
+                    let mut registered = false;
+                    loop {
+                        match Pin::new(&mut sleep).poll(cx) {
+                            Poll::Ready(()) => return Poll::Ready(()),
+                            Poll::Pending if registered => return Poll::Pending,
+                            Poll::Pending => registered = true,
+                        }
+                    }
+                })
+                .await;
+            }
+        });
+        // After the first poll round the task is blocked on exactly one
+        // timer despite the double poll.
+        sim.run_until(SimTime::from_millis(1));
+        assert_eq!(sim.inner.borrow().sched.timer_count(), 1);
+        let r = sim.run();
+        assert_eq!(r.pending_tasks, 0);
+        assert_eq!(r.now.as_millis(), 2);
+    }
+
+    /// The same program must produce the same report and event order on
+    /// both scheduling cores.
+    #[test]
+    fn both_cores_agree_on_a_mixed_workload() {
+        fn run(kind: SchedulerKind) -> (RunReport, Vec<(u32, u64)>) {
+            let mut sim = Sim::new_with_scheduler(0xD1FF, kind);
+            assert_eq!(sim.scheduler_kind(), kind);
+            let ctx = sim.ctx();
+            let log = Rc::new(RefCell::new(Vec::new()));
+            let d = ctx.create_domain();
+            for i in 0..40u32 {
+                let tctx = ctx.clone();
+                let log = Rc::clone(&log);
+                let task = async move {
+                    let jitter = tctx.rand_range(1, 400);
+                    tctx.sleep(SimDuration::from_micros(jitter)).await;
+                    log.borrow_mut().push((i, tctx.now().as_nanos()));
+                    tctx.yield_now().await;
+                    tctx.sleep(SimDuration::from_micros(u64::from(i) % 7 + 1))
+                        .await;
+                    log.borrow_mut().push((i + 1000, tctx.now().as_nanos()));
+                };
+                if i % 5 == 0 {
+                    ctx.spawn_in(d, task);
+                } else {
+                    ctx.spawn(task);
+                }
+            }
+            let killer = ctx.clone();
+            sim.spawn(async move {
+                killer.sleep(SimDuration::from_micros(180)).await;
+                killer.kill_domain(d);
+            });
+            let report = sim.run();
+            let events = log.borrow().clone();
+            (report, events)
+        }
+        let wheel = run(SchedulerKind::TimerWheel);
+        let reference = run(SchedulerKind::Reference);
+        assert_eq!(wheel.0, reference.0, "RunReports diverge");
+        assert_eq!(wheel.1, reference.1, "event streams diverge");
+        assert!(!wheel.1.is_empty());
     }
 }

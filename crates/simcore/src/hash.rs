@@ -1,0 +1,148 @@
+//! A fast, fixed-seed hasher for the simulation's hot maps.
+//!
+//! `std`'s default `HashMap` hasher is SipHash-1-3 behind a per-process
+//! random seed — HashDoS armour the simulation does not need (every key
+//! is internal: sector numbers, page ids, transaction ids) and a real tax
+//! on the hot paths, where profiling shows hashing itself among the top
+//! costs. [`DetHasher`] is a multiply-rotate hasher in the Fx/FNV family:
+//! a few arithmetic ops per word, no setup, no finalisation.
+//!
+//! Being **fixed-seed** is a feature here, not a risk: map iteration
+//! order becomes a pure function of the insertion history, so a
+//! simulation that accidentally observes it stays bit-deterministic
+//! across runs and processes — with `RandomState` the same bug would be
+//! irreproducible noise.
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Multiply-rotate hasher with a fixed seed (see the module docs).
+#[derive(Default)]
+pub struct DetHasher {
+    state: u64,
+}
+
+/// Odd multiplier with well-mixed bits (the 64-bit golden-ratio
+/// constant, as used by Fibonacci hashing).
+const MUL: u64 = 0x9E37_79B9_7F4A_7C15;
+
+impl DetHasher {
+    #[inline]
+    fn mix(&mut self, word: u64) {
+        self.state = (self.state.rotate_left(23) ^ word).wrapping_mul(MUL);
+    }
+}
+
+impl Hasher for DetHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        // The low bits of a product are the least mixed; fold the high
+        // half down so power-of-two-capacity tables see good entropy.
+        self.state ^ (self.state >> 32)
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in &mut chunks {
+            self.mix(u64::from_le_bytes([
+                c[0], c[1], c[2], c[3], c[4], c[5], c[6], c[7],
+            ]));
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut tail = [0u8; 8];
+            tail[..rem.len()].copy_from_slice(rem);
+            tail[7] = rem.len() as u8; // length tag: "ab" ≠ "ab\0"
+            self.mix(u64::from_le_bytes(tail));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, v: u8) {
+        self.mix(v as u64);
+    }
+
+    #[inline]
+    fn write_u16(&mut self, v: u16) {
+        self.mix(v as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.mix(v as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.mix(v);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.mix(v as u64);
+    }
+}
+
+/// `HashMap` with the deterministic fast hasher.
+pub type FastMap<K, V> = std::collections::HashMap<K, V, BuildHasherDefault<DetHasher>>;
+
+/// `HashSet` with the deterministic fast hasher.
+pub type FastSet<K> = std::collections::HashSet<K, BuildHasherDefault<DetHasher>>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::{BuildHasher, BuildHasherDefault};
+
+    fn h(bytes: &[u8]) -> u64 {
+        BuildHasherDefault::<DetHasher>::default().hash_one(bytes)
+    }
+
+    #[test]
+    fn deterministic_across_builders() {
+        assert_eq!(h(b"sector 42"), h(b"sector 42"));
+        assert_eq!(
+            BuildHasherDefault::<DetHasher>::default().hash_one(42u64),
+            BuildHasherDefault::<DetHasher>::default().hash_one(42u64),
+        );
+    }
+
+    #[test]
+    fn distinguishes_values_lengths_and_orders() {
+        assert_ne!(h(b"ab"), h(b"ab\0"));
+        assert_ne!(h(b"ab"), h(b"ba"));
+        assert_ne!(h(b""), h(b"\0"));
+        let a: u64 = 7;
+        let b: u64 = 8;
+        let bh = BuildHasherDefault::<DetHasher>::default();
+        assert_ne!(bh.hash_one(a), bh.hash_one(b));
+    }
+
+    #[test]
+    fn low_bits_spread_for_sequential_keys() {
+        // HashMap uses the low bits of the hash to pick a bucket; make
+        // sure consecutive integers (sector numbers, page ids — the
+        // common key shape here) don't collide in a 128-bucket table.
+        let bh = BuildHasherDefault::<DetHasher>::default();
+        let mut buckets = std::collections::HashSet::new();
+        for k in 0u64..128 {
+            buckets.insert(bh.hash_one(k) & 127);
+        }
+        assert!(
+            buckets.len() > 96,
+            "only {} distinct buckets",
+            buckets.len()
+        );
+    }
+
+    #[test]
+    fn fast_map_works_as_a_map() {
+        let mut m: FastMap<u64, &str> = FastMap::default();
+        m.insert(1, "one");
+        m.insert(2, "two");
+        assert_eq!(m.get(&1), Some(&"one"));
+        let mut s: FastSet<u64> = FastSet::default();
+        s.insert(9);
+        assert!(s.contains(&9));
+    }
+}

@@ -33,6 +33,11 @@
 //! traces — the property the fault-injection experiments rely on to place
 //! power cuts at exact instants.
 //!
+//! Two interchangeable scheduling cores ([`SchedulerKind`]) implement that
+//! contract: the default hierarchical timer wheel (fast) and a retained
+//! reference scheduler (obviously correct), selected per simulation with
+//! [`Sim::new_with_scheduler`] and proven equivalent by differential tests.
+//!
 //! # Examples
 //!
 //! ```
@@ -51,7 +56,9 @@ pub mod bytes;
 pub mod cancel;
 pub mod chan;
 pub mod exec;
+pub mod hash;
 pub mod rng;
+mod sched;
 pub mod stats;
 pub mod sync;
 pub mod time;
@@ -59,7 +66,7 @@ pub mod trace;
 
 pub use bytes::{SectorBuf, SectorPool};
 pub use cancel::DomainId;
-pub use exec::{JoinHandle, Sim, SimCtx};
+pub use exec::{JoinHandle, RunReport, SchedulerKind, Sim, SimCtx};
 pub use rng::SimRng;
 pub use time::{SimDuration, SimTime};
 pub use trace::{LatencyAttribution, Layer, Payload, TraceSnapshot, Tracer};

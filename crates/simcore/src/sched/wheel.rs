@@ -1,0 +1,662 @@
+//! The production scheduling core: slab task arena + lock-light ready ring
+//! + hierarchical timer wheel.
+//!
+//! # Task arena
+//!
+//! Tasks live in a `Vec` of slots addressed by `(index, generation)` keys
+//! packed into a `u64`. Spawn pops the free list (or grows the vector),
+//! poll indexes directly, despawn bumps the generation and pushes the index
+//! back — all O(1) with no hashing. A stale wake (the task completed and
+//! the slot was reused) fails the generation check and is skipped, exactly
+//! as the reference core skips wakes for task ids no longer in its map.
+//!
+//! # Ready ring
+//!
+//! Each task owns one `Arc<WakeFlag>` created at spawn: an atomic
+//! `enqueued` flag plus the packed key. `wake()` is a `swap(true)` and, on
+//! the false→true edge, a push of the key onto a shared vector — no
+//! hashing, no per-wake allocation, and the flag makes duplicate wakes
+//! free. The executor drains by *swapping* the shared vector with an empty
+//! scratch batch (one lock round-trip per batch, not per task) and clears
+//! each task's flag immediately before returning it, which is exactly the
+//! reference core's clear-on-pop, so a task that wakes itself mid-poll
+//! re-enqueues just as it would there. Batch draining preserves global
+//! FIFO order: wakes that arrive while a batch drains land in the shared
+//! vector and are observed only after the current batch — the same order a
+//! one-at-a-time pop would produce, since the drained batch was enqueued
+//! strictly earlier.
+//!
+//! # Timer wheel
+//!
+//! Eight levels of 64 slots, 6 bits per level, covering 2^48 simulated
+//! nanoseconds (~3.2 days) from the wheel's `elapsed` origin; deadlines
+//! beyond that (including `SimTime::MAX` "never" timers) sit in an
+//! overflow list. A deadline is placed at the level of its highest bit
+//! differing from `elapsed` (`level = floor(log64(elapsed ^ deadline))`),
+//! i.e. as coarsely as possible while never sharing a slot with `elapsed`
+//! itself. Advancing finds the lowest occupied level, takes its next
+//! occupied slot (bitmap + `trailing_zeros`), and either fires it (level
+//! 0: the slot *is* one exact instant) or cascades it down and repeats.
+//!
+//! Determinism argument, in three invariants maintained by construction:
+//!
+//! 1. **No slot behind the clock.** Every stored deadline is `> elapsed`
+//!    (registration requires a strictly-future deadline; cascades
+//!    re-place against the new `elapsed`), so the next occupied slot at
+//!    the lowest occupied level always starts at `>= elapsed` and entering
+//!    it never wraps the level.
+//! 2. **Windows cascade on entry.** While `elapsed` sits inside a level-L
+//!    slot window, new registrations for that window land at levels < L
+//!    (their xor with `elapsed` fits below L's bit range), so a level-L
+//!    slot is drained exactly once — at the instant `elapsed` enters its
+//!    window — and everything inside it is re-sorted to finer levels
+//!    before any of it can fire. Consequently ties at one instant always
+//!    meet in one level-0 slot and fire together, sorted by registration
+//!    sequence (the sort is insurance; per-slot FIFO already matches it).
+//! 3. **Overflow is strictly later.** Overflow deadlines differ from
+//!    `elapsed` above the wheel's bit range, so they exceed every deadline
+//!    the wheel can hold; the overflow list needs scanning only when the
+//!    whole wheel is empty, and migrating it re-places entries against the
+//!    fired instant like any cascade.
+//!
+//! The hot paths — registration, firing, cascade — reuse slot vectors, a
+//! fire scratch and a timer-cell free list, so steady-state timer traffic
+//! does not allocate (asserted by the hotpaths timer-storm budget).
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::task::{Wake, Waker};
+
+use super::{LocalFuture, TaskBody, TaskKey, TimerKey};
+use crate::cancel::DomainId;
+
+const LEVEL_BITS: u32 = 6;
+const SLOTS_PER_LEVEL: usize = 1 << LEVEL_BITS;
+const SLOT_MASK: u64 = (SLOTS_PER_LEVEL - 1) as u64;
+const NUM_LEVELS: usize = 8;
+
+#[inline]
+fn pack(idx: u32, gen: u32) -> u64 {
+    ((gen as u64) << 32) | idx as u64
+}
+
+#[inline]
+fn unpack(key: u64) -> (u32, u32) {
+    (key as u32, (key >> 32) as u32)
+}
+
+/// The vector half of the ready ring, shared with every task's waker.
+struct ReadyShared {
+    queue: Mutex<Vec<u64>>,
+}
+
+impl ReadyShared {
+    fn push(&self, key: u64) {
+        self.queue.lock().expect("ready ring poisoned").push(key);
+    }
+}
+
+/// One task's waker state: set the flag, push the key on the rising edge.
+struct WakeFlag {
+    key: u64,
+    enqueued: AtomicBool,
+    shared: Arc<ReadyShared>,
+}
+
+impl WakeFlag {
+    #[inline]
+    fn enqueue(&self) {
+        if !self.enqueued.swap(true, Ordering::AcqRel) {
+            self.shared.push(self.key);
+        }
+    }
+}
+
+impl Wake for WakeFlag {
+    fn wake(self: Arc<Self>) {
+        self.enqueue();
+    }
+
+    fn wake_by_ref(self: &Arc<Self>) {
+        self.enqueue();
+    }
+}
+
+struct TaskSlot {
+    gen: u32,
+    /// Monotonic spawn order, used to drop a killed domain's tasks
+    /// deterministically.
+    spawn_seq: u64,
+    flag: Option<Arc<WakeFlag>>,
+    body: Option<TaskBody>,
+}
+
+struct TimerCell {
+    gen: u32,
+    deadline: u64,
+    seq: u64,
+    waker: Option<Waker>,
+}
+
+struct Level {
+    /// Bit i set iff `slots[i]` is non-empty.
+    occupied: u64,
+    slots: [Vec<u32>; SLOTS_PER_LEVEL],
+}
+
+impl Level {
+    fn new() -> Level {
+        Level {
+            occupied: 0,
+            slots: std::array::from_fn(|_| Vec::new()),
+        }
+    }
+}
+
+/// See the module docs for the design and determinism argument.
+pub(crate) struct WheelSched {
+    // Task arena.
+    slots: Vec<TaskSlot>,
+    free: Vec<u32>,
+    live: usize,
+    spawn_seq: u64,
+    // Ready ring.
+    shared: Arc<ReadyShared>,
+    batch: Vec<u64>,
+    batch_pos: usize,
+    // Timer wheel.
+    levels: Vec<Level>,
+    overflow: Vec<u32>,
+    cells: Vec<TimerCell>,
+    cell_free: Vec<u32>,
+    timers: usize,
+    timer_seq: u64,
+    /// The wheel's origin: the last fired instant. Always `<=` the
+    /// simulation clock, which may park ahead of it at a `run_until` limit.
+    elapsed: u64,
+    fire_scratch: Vec<u32>,
+}
+
+impl WheelSched {
+    pub(crate) fn new() -> WheelSched {
+        WheelSched {
+            slots: Vec::new(),
+            free: Vec::new(),
+            live: 0,
+            spawn_seq: 0,
+            shared: Arc::new(ReadyShared {
+                queue: Mutex::new(Vec::new()),
+            }),
+            batch: Vec::new(),
+            batch_pos: 0,
+            levels: (0..NUM_LEVELS).map(|_| Level::new()).collect(),
+            overflow: Vec::new(),
+            cells: Vec::new(),
+            cell_free: Vec::new(),
+            timers: 0,
+            timer_seq: 0,
+            elapsed: 0,
+            fire_scratch: Vec::new(),
+        }
+    }
+
+    // ---- task arena -----------------------------------------------------
+
+    pub(crate) fn spawn(&mut self, domain: DomainId, future: LocalFuture) -> TaskKey {
+        let idx = match self.free.pop() {
+            Some(idx) => idx,
+            None => {
+                self.slots.push(TaskSlot {
+                    gen: 0,
+                    spawn_seq: 0,
+                    flag: None,
+                    body: None,
+                });
+                (self.slots.len() - 1) as u32
+            }
+        };
+        let slot = &mut self.slots[idx as usize];
+        let key = pack(idx, slot.gen);
+        let flag = Arc::new(WakeFlag {
+            key,
+            enqueued: AtomicBool::new(false),
+            shared: Arc::clone(&self.shared),
+        });
+        let waker = Waker::from(Arc::clone(&flag));
+        slot.spawn_seq = self.spawn_seq;
+        self.spawn_seq += 1;
+        slot.body = Some(TaskBody {
+            future,
+            domain,
+            waker,
+        });
+        flag.enqueue();
+        slot.flag = Some(flag);
+        self.live += 1;
+        TaskKey(key)
+    }
+
+    pub(crate) fn pop_ready(&mut self) -> Option<TaskKey> {
+        loop {
+            if self.batch_pos >= self.batch.len() {
+                self.batch.clear();
+                self.batch_pos = 0;
+                // Swap, don't drain: one lock round-trip hands the whole
+                // pending batch over and recycles our scratch capacity.
+                std::mem::swap(
+                    &mut *self.shared.queue.lock().expect("ready ring poisoned"),
+                    &mut self.batch,
+                );
+                if self.batch.is_empty() {
+                    return None;
+                }
+            }
+            let key = self.batch[self.batch_pos];
+            self.batch_pos += 1;
+            let (idx, gen) = unpack(key);
+            let slot = &self.slots[idx as usize];
+            if slot.gen != gen || slot.body.is_none() {
+                // Stale wake of a completed/killed task.
+                continue;
+            }
+            // Clear-before-poll: a self-wake during the poll must re-enqueue.
+            slot.flag
+                .as_ref()
+                .expect("live slot has a wake flag")
+                .enqueued
+                .store(false, Ordering::Release);
+            return Some(TaskKey(key));
+        }
+    }
+
+    pub(crate) fn take_body(&mut self, key: TaskKey) -> Option<TaskBody> {
+        let (idx, gen) = unpack(key.0);
+        let slot = self.slots.get_mut(idx as usize)?;
+        if slot.gen != gen {
+            return None;
+        }
+        slot.body.take()
+    }
+
+    pub(crate) fn reinsert(&mut self, key: TaskKey, body: TaskBody) {
+        let (idx, gen) = unpack(key.0);
+        let slot = &mut self.slots[idx as usize];
+        debug_assert_eq!(slot.gen, gen, "reinsert into a reused slot");
+        debug_assert!(slot.body.is_none(), "reinsert over a live body");
+        slot.body = Some(body);
+    }
+
+    pub(crate) fn finish(&mut self, key: TaskKey) {
+        let (idx, gen) = unpack(key.0);
+        let slot = &mut self.slots[idx as usize];
+        if slot.gen != gen {
+            return;
+        }
+        debug_assert!(slot.body.is_none(), "finish with the body still stored");
+        slot.gen = slot.gen.wrapping_add(1);
+        slot.flag = None;
+        self.free.push(idx);
+        self.live -= 1;
+    }
+
+    pub(crate) fn live_tasks(&self) -> usize {
+        self.live
+    }
+
+    pub(crate) fn drain_domain(&mut self, domain: DomainId) -> Vec<TaskBody> {
+        let mut doomed: Vec<(u64, u32)> = Vec::new();
+        for (idx, slot) in self.slots.iter().enumerate() {
+            if let Some(body) = &slot.body {
+                if body.domain == domain {
+                    doomed.push((slot.spawn_seq, idx as u32));
+                }
+            }
+        }
+        doomed.sort_unstable();
+        doomed
+            .into_iter()
+            .map(|(_, idx)| {
+                let slot = &mut self.slots[idx as usize];
+                let body = slot.body.take().expect("doomed task has a body");
+                slot.gen = slot.gen.wrapping_add(1);
+                slot.flag = None;
+                self.free.push(idx);
+                self.live -= 1;
+                body
+            })
+            .collect()
+    }
+
+    // ---- timer wheel ----------------------------------------------------
+
+    pub(crate) fn register_timer(&mut self, deadline: u64, waker: Waker) -> TimerKey {
+        debug_assert!(
+            deadline > self.elapsed,
+            "timer deadline {deadline} not past the wheel origin {}",
+            self.elapsed
+        );
+        let idx = match self.cell_free.pop() {
+            Some(idx) => idx,
+            None => {
+                self.cells.push(TimerCell {
+                    gen: 0,
+                    deadline: 0,
+                    seq: 0,
+                    waker: None,
+                });
+                (self.cells.len() - 1) as u32
+            }
+        };
+        let cell = &mut self.cells[idx as usize];
+        cell.deadline = deadline;
+        cell.seq = self.timer_seq;
+        self.timer_seq += 1;
+        cell.waker = Some(waker);
+        let key = TimerKey(pack(idx, cell.gen));
+        self.place(idx);
+        self.timers += 1;
+        key
+    }
+
+    pub(crate) fn update_timer_waker(&mut self, key: TimerKey, waker: &Waker) {
+        let (idx, gen) = unpack(key.0);
+        let Some(cell) = self.cells.get_mut(idx as usize) else {
+            return;
+        };
+        if cell.gen != gen {
+            return; // already fired; the slot may even be reused
+        }
+        if let Some(current) = &mut cell.waker {
+            if !current.will_wake(waker) {
+                *current = waker.clone();
+            }
+        }
+    }
+
+    #[cfg(test)]
+    pub(crate) fn timer_count(&self) -> usize {
+        self.timers
+    }
+
+    /// Level of the highest bit where `deadline` differs from the origin;
+    /// `>= NUM_LEVELS` means overflow.
+    #[inline]
+    fn level_for(elapsed: u64, deadline: u64) -> usize {
+        let differing = elapsed ^ deadline;
+        debug_assert!(differing != 0, "timer registered for the current origin");
+        ((63 - differing.leading_zeros()) / LEVEL_BITS) as usize
+    }
+
+    fn place(&mut self, idx: u32) {
+        let deadline = self.cells[idx as usize].deadline;
+        let level = Self::level_for(self.elapsed, deadline);
+        if level >= NUM_LEVELS {
+            self.overflow.push(idx);
+            return;
+        }
+        let slot = ((deadline >> (LEVEL_BITS * level as u32)) & SLOT_MASK) as usize;
+        let lv = &mut self.levels[level];
+        lv.slots[slot].push(idx);
+        lv.occupied |= 1 << slot;
+    }
+
+    pub(crate) fn advance_timers(&mut self, limit: u64, fired: &mut Vec<Waker>) -> Option<u64> {
+        if self.timers == 0 {
+            return None;
+        }
+        loop {
+            let Some(level) = self.levels.iter().position(|l| l.occupied != 0) else {
+                return self.advance_overflow(limit, fired);
+            };
+            let shift = LEVEL_BITS * level as u32;
+            let cur = ((self.elapsed >> shift) & SLOT_MASK) as u32;
+            let rotated = self.levels[level].occupied.rotate_right(cur);
+            let ahead = rotated.trailing_zeros();
+            debug_assert!(
+                cur + ahead < SLOTS_PER_LEVEL as u32,
+                "occupied slot behind the clock at level {level}"
+            );
+            let slot = ((cur + ahead) as u64 & SLOT_MASK) as usize;
+            let slot_span = 1u64 << shift;
+            let window_start = self.elapsed & !((slot_span << LEVEL_BITS) - 1);
+            let slot_start = window_start + slot as u64 * slot_span;
+            if slot_start > limit {
+                return None;
+            }
+            let mut pending = std::mem::take(&mut self.levels[level].slots[slot]);
+            self.levels[level].occupied &= !(1u64 << slot);
+            self.elapsed = slot_start;
+            if level == 0 {
+                // A level-0 slot is one exact instant: everything fires.
+                debug_assert!(pending
+                    .iter()
+                    .all(|&i| self.cells[i as usize].deadline == slot_start));
+                self.fire(&mut pending, fired);
+                self.levels[0].slots[slot] = pending;
+                return Some(slot_start);
+            }
+            // Cascade: deadlines at exactly the slot's start instant fire
+            // now; the rest re-place at finer levels.
+            let mut due = std::mem::take(&mut self.fire_scratch);
+            for idx in pending.drain(..) {
+                if self.cells[idx as usize].deadline == slot_start {
+                    due.push(idx);
+                } else {
+                    self.place(idx);
+                }
+            }
+            self.levels[level].slots[slot] = pending;
+            let fired_any = !due.is_empty();
+            if fired_any {
+                self.fire(&mut due, fired);
+            }
+            self.fire_scratch = due;
+            if fired_any {
+                return Some(slot_start);
+            }
+        }
+    }
+
+    /// The wheel proper is empty; the earliest deadline (if any due by
+    /// `limit`) lives in the overflow list. Fire it and re-place the rest
+    /// against the new origin.
+    fn advance_overflow(&mut self, limit: u64, fired: &mut Vec<Waker>) -> Option<u64> {
+        let earliest = self
+            .overflow
+            .iter()
+            .map(|&i| self.cells[i as usize].deadline)
+            .min()?;
+        if earliest > limit {
+            return None;
+        }
+        self.elapsed = earliest;
+        let mut migrating = std::mem::take(&mut self.overflow);
+        let mut due = std::mem::take(&mut self.fire_scratch);
+        for idx in migrating.drain(..) {
+            if self.cells[idx as usize].deadline == earliest {
+                due.push(idx);
+            } else {
+                self.place(idx); // may push far entries back onto overflow
+            }
+        }
+        self.fire(&mut due, fired);
+        self.fire_scratch = due;
+        Some(earliest)
+    }
+
+    /// Fires one instant's worth of cells in registration order and frees
+    /// them. `indices` is drained but keeps its capacity for reuse.
+    fn fire(&mut self, indices: &mut Vec<u32>, fired: &mut Vec<Waker>) {
+        indices.sort_unstable_by_key(|&i| self.cells[i as usize].seq);
+        for &idx in indices.iter() {
+            let cell = &mut self.cells[idx as usize];
+            let waker = cell.waker.take().expect("pending timer cell has a waker");
+            cell.gen = cell.gen.wrapping_add(1);
+            self.cell_free.push(idx);
+            fired.push(waker);
+        }
+        self.timers -= indices.len();
+        indices.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    use super::*;
+
+    fn counting_waker(count: Arc<AtomicUsize>) -> Waker {
+        struct Count(Arc<AtomicUsize>);
+        impl Wake for Count {
+            fn wake(self: Arc<Self>) {
+                self.0.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+        Waker::from(Arc::new(Count(count)))
+    }
+
+    fn noop_waker() -> Waker {
+        counting_waker(Arc::new(AtomicUsize::new(0)))
+    }
+
+    /// Drives the bare wheel: fire everything up to `limit`, returning the
+    /// fired instants in order.
+    fn drain(wheel: &mut WheelSched, limit: u64) -> Vec<u64> {
+        let mut instants = Vec::new();
+        let mut fired = Vec::new();
+        while let Some(t) = wheel.advance_timers(limit, &mut fired) {
+            assert!(!fired.is_empty(), "Some(t) implies wakers fired");
+            instants.push(t);
+            fired.clear();
+        }
+        instants
+    }
+
+    #[test]
+    fn fires_in_deadline_order_across_levels() {
+        let mut wheel = WheelSched::new();
+        // Deadlines spanning level 0 (1ns), level 1 (100ns), level 3
+        // (1ms-ish) and level 5+ (minutes in ns).
+        let deadlines = [
+            1u64,
+            63,
+            64,
+            100,
+            4096,
+            262143,
+            262144,
+            60_000_000_000,
+            3_000_000_000_000,
+        ];
+        for &d in deadlines.iter().rev() {
+            wheel.register_timer(d, noop_waker());
+        }
+        assert_eq!(drain(&mut wheel, u64::MAX - 1), deadlines.to_vec());
+        assert_eq!(wheel.timer_count(), 0);
+    }
+
+    #[test]
+    fn overflow_deadlines_fire_after_migration() {
+        let mut wheel = WheelSched::new();
+        let far = 1u64 << 50; // beyond the 2^48 wheel range: overflow list
+        let never = u64::MAX;
+        wheel.register_timer(far, noop_waker());
+        wheel.register_timer(far + 5, noop_waker());
+        wheel.register_timer(never, noop_waker());
+        wheel.register_timer(7, noop_waker());
+        assert_eq!(drain(&mut wheel, far + 5), vec![7, far, far + 5]);
+        // The "never" timer still fires under an unbounded drain, exactly
+        // like the reference heap.
+        assert_eq!(drain(&mut wheel, u64::MAX), vec![never]);
+    }
+
+    #[test]
+    fn ties_fire_in_registration_order() {
+        let mut wheel = WheelSched::new();
+        let order: Arc<Mutex<Vec<usize>>> = Arc::new(Mutex::new(Vec::new()));
+        struct Tag(usize, Arc<Mutex<Vec<usize>>>);
+        impl Wake for Tag {
+            fn wake(self: Arc<Self>) {
+                self.1.lock().unwrap().push(self.0);
+            }
+        }
+        // Same deadline, interleaved with a different one.
+        for (tag, deadline) in [(0, 500), (1, 200), (2, 500), (3, 500)] {
+            wheel.register_timer(
+                deadline,
+                Waker::from(Arc::new(Tag(tag, Arc::clone(&order)))),
+            );
+        }
+        let mut fired = Vec::new();
+        assert_eq!(wheel.advance_timers(u64::MAX - 1, &mut fired), Some(200));
+        assert_eq!(wheel.advance_timers(u64::MAX - 1, &mut fired), Some(500));
+        for w in fired.drain(..) {
+            w.wake();
+        }
+        assert_eq!(*order.lock().unwrap(), vec![1, 0, 2, 3]);
+    }
+
+    #[test]
+    fn respects_limit_and_resumes() {
+        let mut wheel = WheelSched::new();
+        wheel.register_timer(1_000, noop_waker());
+        wheel.register_timer(2_000_000, noop_waker());
+        assert_eq!(drain(&mut wheel, 1_500), vec![1_000]);
+        assert_eq!(wheel.timer_count(), 1);
+        // New registrations while parked between fires still order correctly.
+        wheel.register_timer(1_800, noop_waker());
+        assert_eq!(drain(&mut wheel, 3_000_000), vec![1_800, 2_000_000]);
+    }
+
+    #[test]
+    fn update_timer_waker_replaces_in_place() {
+        let mut wheel = WheelSched::new();
+        let first = Arc::new(AtomicUsize::new(0));
+        let second = Arc::new(AtomicUsize::new(0));
+        let key = wheel.register_timer(42, counting_waker(Arc::clone(&first)));
+        assert_eq!(wheel.timer_count(), 1);
+        wheel.update_timer_waker(key, &counting_waker(Arc::clone(&second)));
+        // Still one timer: the update did not register a fresh entry.
+        assert_eq!(wheel.timer_count(), 1);
+        let mut fired = Vec::new();
+        assert_eq!(wheel.advance_timers(u64::MAX - 1, &mut fired), Some(42));
+        for w in fired.drain(..) {
+            w.wake();
+        }
+        assert_eq!(
+            first.load(Ordering::SeqCst),
+            0,
+            "replaced waker must not fire"
+        );
+        assert_eq!(second.load(Ordering::SeqCst), 1);
+        // A stale key after firing is ignored, not misdirected.
+        wheel.update_timer_waker(key, &noop_waker());
+        assert_eq!(wheel.timer_count(), 0);
+    }
+
+    #[test]
+    fn dense_and_sparse_storm_matches_a_sorted_model() {
+        // 4000 pseudo-random deadlines over a wide dynamic range, fired
+        // against a sorted-model oracle.
+        let mut wheel = WheelSched::new();
+        let mut model: Vec<u64> = Vec::new();
+        let mut x = 0x9E3779B97F4A7C15u64;
+        for _ in 0..4000 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            // Mix dense low deadlines with sparse huge ones.
+            let d = 1 + if x.is_multiple_of(5) {
+                x % (1 << 50)
+            } else {
+                x % 100_000
+            };
+            model.push(d);
+            wheel.register_timer(d, noop_waker());
+        }
+        model.sort_unstable();
+        model.dedup();
+        assert_eq!(drain(&mut wheel, u64::MAX - 1), model);
+    }
+}

@@ -16,6 +16,8 @@ use std::future::poll_fn;
 use std::rc::Rc;
 use std::task::{Poll, Waker};
 
+use crate::sched::push_waker_deduped;
+
 struct SemState {
     permits: usize,
     waiters: Vec<Waker>,
@@ -72,7 +74,7 @@ impl Semaphore {
                 s.permits -= count;
                 Poll::Ready(())
             } else {
-                s.waiters.push(cx.waker().clone());
+                push_waker_deduped(&mut s.waiters, cx.waker());
                 Poll::Pending
             }
         })
@@ -188,7 +190,7 @@ impl Notify {
                 return Poll::Ready(());
             }
             armed = true;
-            s.waiters.push(cx.waker().clone());
+            push_waker_deduped(&mut s.waiters, cx.waker());
             Poll::Pending
         })
         .await
@@ -247,7 +249,7 @@ impl Event {
             if s.set {
                 Poll::Ready(())
             } else {
-                s.waiters.push(cx.waker().clone());
+                push_waker_deduped(&mut s.waiters, cx.waker());
                 Poll::Pending
             }
         })
@@ -341,7 +343,7 @@ impl<T> AsyncMutex<T> {
                 s.locked = true;
                 Poll::Ready(())
             } else {
-                s.waiters.push(cx.waker().clone());
+                push_waker_deduped(&mut s.waiters, cx.waker());
                 Poll::Pending
             }
         })
@@ -458,6 +460,37 @@ mod tests {
             acquired_after_crash.get(),
             "crashing the holder released its permit via RAII"
         );
+    }
+
+    /// A contended semaphore re-polled by a racing combinator must keep one
+    /// waiter entry per waiting task, not one per poll.
+    #[test]
+    fn repolled_acquire_does_not_grow_the_waiter_list() {
+        let mut sim = Sim::new(0);
+        let ctx = sim.ctx();
+        let sem = Semaphore::new(0);
+        let state = Rc::clone(&sem.state);
+        for _ in 0..3 {
+            let sem = sem.clone();
+            let ctx = ctx.clone();
+            sim.spawn(async move {
+                // Each expired timeout drops the acquire future and re-polls
+                // a fresh one from the same task.
+                for _ in 0..8 {
+                    let got = ctx
+                        .timeout(SimDuration::from_millis(1), sem.acquire(1))
+                        .await;
+                    assert!(got.is_none(), "no permits exist yet");
+                }
+            });
+        }
+        sim.run_until(crate::SimTime::from_millis(4));
+        assert_eq!(
+            state.borrow().waiters.len(),
+            3,
+            "three waiting tasks, three wakers, regardless of re-polls"
+        );
+        sim.run();
     }
 
     #[test]

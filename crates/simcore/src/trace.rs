@@ -326,6 +326,16 @@ impl Tracer {
         });
     }
 
+    /// Folds the ring into per-layer busy time **without copying it** —
+    /// equivalent to `LatencyAttribution::from_snapshot(&t.snapshot(), c)`
+    /// minus the snapshot, which duplicates the entire ring (megabytes at
+    /// default capacity) just to be folded and dropped. The per-trial
+    /// attribution in the fault harness uses this.
+    pub fn latency_attribution(&self, commits: u64) -> LatencyAttribution {
+        let ring = self.ring.borrow();
+        LatencyAttribution::fold(ring.events.iter(), commits)
+    }
+
     /// Copies the ring out. Recording continues unaffected.
     pub fn snapshot(&self) -> TraceSnapshot {
         let ring = self.ring.borrow();
@@ -437,7 +447,7 @@ fn payload_args(out: &mut String, payload: &Payload) {
 }
 
 /// An owned copy of the ring at a point in time.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TraceSnapshot {
     /// Events, oldest first.
     pub events: Vec<TraceEvent>,
@@ -557,16 +567,28 @@ impl LatencyAttribution {
     /// (spans still open at snapshot time, or whose begin was evicted from
     /// the ring) are dropped rather than guessed at.
     pub fn from_snapshot(snap: &TraceSnapshot, commits: u64) -> LatencyAttribution {
-        use std::collections::HashMap;
-        let mut open: HashMap<(Layer, &'static str), Vec<SimTime>> = HashMap::new();
-        let mut spans: HashMap<Layer, (u64, u64)> = HashMap::new();
-        for ev in &snap.events {
+        Self::fold(snap.events.iter(), commits)
+    }
+
+    fn fold<'a, I>(events: I, commits: u64) -> LatencyAttribution
+    where
+        I: Iterator<Item = &'a TraceEvent>,
+    {
+        // Per-layer accumulators are plain arrays indexed by the enum
+        // discriminant; the open-span stacks hash only on begin/end (a
+        // minority of events) with the fast fixed-seed hasher. This fold
+        // runs over every recorded event once per trial, so constant
+        // factors here are measurable in trials/sec.
+        let mut open: crate::hash::FastMap<(Layer, &'static str), Vec<SimTime>> =
+            crate::hash::FastMap::default();
+        let mut spans = [(0u64, 0u64); Layer::ALL.len()];
+        for ev in events {
             match ev.phase {
                 Phase::Begin => open.entry((ev.layer, ev.name)).or_default().push(ev.time),
                 Phase::End => {
                     if let Some(begin) = open.get_mut(&(ev.layer, ev.name)).and_then(Vec::pop) {
                         let d = ev.time.saturating_duration_since(begin);
-                        let e = spans.entry(ev.layer).or_insert((0, 0));
+                        let e = &mut spans[ev.layer as usize];
                         e.0 += 1;
                         e.1 += d.as_nanos();
                     }
@@ -574,17 +596,19 @@ impl LatencyAttribution {
                 Phase::Instant => {}
             }
         }
-        let mut layers: Vec<LayerBusy> = Layer::ALL
+        // `Layer::ALL` is in discriminant order, so the result is already
+        // sorted by layer.
+        let layers: Vec<LayerBusy> = Layer::ALL
             .iter()
             .filter_map(|&layer| {
-                spans.get(&layer).map(|&(n, ns)| LayerBusy {
+                let (n, ns) = spans[layer as usize];
+                (n > 0).then_some(LayerBusy {
                     layer,
                     spans: n,
                     busy: SimDuration::from_nanos(ns),
                 })
             })
             .collect();
-        layers.sort_by_key(|l| l.layer);
         LatencyAttribution { commits, layers }
     }
 

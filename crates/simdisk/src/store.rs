@@ -5,22 +5,21 @@
 //! freshly TRIMmed drive. This is the ground truth that crash-recovery
 //! experiments audit against.
 
-use std::collections::HashMap;
-
 use rapilog_simcore::bytes::SectorBuf;
+use rapilog_simcore::hash::FastMap;
 
 use crate::SECTOR_SIZE;
 
 /// Sparse map from sector number to sector contents.
 pub struct SectorStore {
-    sectors: HashMap<u64, Box<[u8; SECTOR_SIZE]>>,
+    sectors: FastMap<u64, Box<[u8; SECTOR_SIZE]>>,
 }
 
 impl SectorStore {
     /// Creates an empty (all-zero) store.
     pub fn new() -> Self {
         SectorStore {
-            sectors: HashMap::new(),
+            sectors: FastMap::default(),
         }
     }
 

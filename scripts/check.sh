@@ -22,4 +22,7 @@ echo "==> crash-point sweep (200 trials + broken-drain control)"
 echo "==> hot-path bench + allocation budget (check mode)"
 BENCH_CHECK=1 cargo bench -q -p rapilog-bench --bench hotpaths
 
+echo "==> trials/sec regression gate (QUICK sweeps vs BENCH_baseline.json)"
+scripts/perf_gate.sh
+
 echo "==> all checks passed"

@@ -1,0 +1,86 @@
+#!/usr/bin/env bash
+# Trials/sec regression gate for the executor kernel (and everything above it).
+#
+# Re-runs the QUICK sweep benchmarks pinned to the thread counts recorded in
+# the committed BENCH_baseline.json, then compares the fresh trials_per_sec
+# in BENCH_sweeps.json against the baseline row by row. A bench that drops
+# below PERF_GATE_MIN_RATIO × baseline (default 0.8, i.e. a >20% regression)
+# fails the gate. Ratios well above 1.0 are reported but never fail — the
+# gate is a floor, not a pin.
+#
+# Usage:
+#   scripts/perf_gate.sh            # run benches, compare, exit non-zero on regression
+#   scripts/perf_gate.sh --update   # run benches, then REWRITE the baseline
+#
+# Updating the baseline: after an intentional perf change (in either
+# direction), run `scripts/perf_gate.sh --update` on a quiet machine and
+# commit the new BENCH_baseline.json together with the change that moved the
+# numbers, so the diff review sees both. Never update the baseline to paper
+# over an unexplained regression.
+#
+# Environment:
+#   PERF_GATE_MIN_RATIO   fresh/baseline floor (default 0.8)
+#   PERF_GATE_SKIP_RUN=1  compare existing BENCH_sweeps.json without re-running
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BASELINE=BENCH_baseline.json
+FRESH=BENCH_sweeps.json
+MIN_RATIO="${PERF_GATE_MIN_RATIO:-0.8}"
+UPDATE=0
+if [[ "${1:-}" == "--update" ]]; then
+    UPDATE=1
+fi
+
+if [[ ! -f "$BASELINE" ]]; then
+    echo "perf_gate: no $BASELINE committed — run 'scripts/perf_gate.sh --update' once" >&2
+    exit 1
+fi
+
+# Each baseline row names the bench binary that produced it; re-run exactly
+# those, pinned to the baseline's thread count so the comparison is
+# like-for-like even on machines with different core counts.
+if [[ "${PERF_GATE_SKIP_RUN:-0}" != "1" ]]; then
+    cargo build --release -p rapilog-bench 2>&1 | tail -n 1
+    while IFS=$'\t' read -r bench threads; do
+        echo "perf_gate: running $bench (QUICK, threads=$threads)"
+        QUICK=1 RAPILOG_BENCH_THREADS="$threads" "./target/release/$bench" >/dev/null
+    done < <(jq -r '[.bench, (.threads // 1)] | @tsv' "$BASELINE")
+fi
+
+if [[ "$UPDATE" == "1" ]]; then
+    benches=$(jq -r '.bench' "$BASELINE" | paste -sd'|' -)
+    grep -E "\"bench\":\"(${benches})\"" "$FRESH" > "$BASELINE.tmp"
+    mv "$BASELINE.tmp" "$BASELINE"
+    echo "perf_gate: baseline rewritten from fresh $FRESH:"
+    jq -r '"  \(.bench): \(.trials_per_sec) trials/sec (threads=\(.threads // 1))"' "$BASELINE"
+    exit 0
+fi
+
+fail=0
+while IFS=$'\t' read -r bench base_tps threads; do
+    fresh_tps=$(jq -r --arg b "$bench" 'select(.bench == $b) | .trials_per_sec' "$FRESH" | tail -n 1)
+    if [[ -z "$fresh_tps" ]]; then
+        echo "perf_gate: FAIL  $bench: no fresh row in $FRESH" >&2
+        fail=1
+        continue
+    fi
+    verdict=$(python3 -c "
+base, fresh, floor = float('$base_tps'), float('$fresh_tps'), float('$MIN_RATIO')
+ratio = fresh / base
+print(f'{\"ok\" if ratio >= floor else \"fail\"} {ratio:.2f}')")
+    ratio="${verdict#* }"
+    if [[ "$verdict" == fail* ]]; then
+        echo "perf_gate: FAIL  $bench: $fresh_tps trials/sec vs baseline $base_tps (ratio $ratio < $MIN_RATIO)" >&2
+        fail=1
+    else
+        echo "perf_gate: ok    $bench: $fresh_tps trials/sec vs baseline $base_tps (ratio $ratio, floor $MIN_RATIO, threads=$threads)"
+    fi
+done < <(jq -r '[.bench, .trials_per_sec, (.threads // 1)] | @tsv' "$BASELINE")
+
+if [[ "$fail" != "0" ]]; then
+    echo "perf_gate: trials/sec regressed >$(python3 -c "print(f'{(1-float('$MIN_RATIO'))*100:.0f}')")% on at least one bench" >&2
+    echo "perf_gate: if intentional, refresh with 'scripts/perf_gate.sh --update' and commit the new baseline" >&2
+    exit 1
+fi
+echo "perf_gate: all benches within budget"
