@@ -1,11 +1,14 @@
 //! Crash-point exploration sweep (CI gate).
 //!
 //! Runs the explorer over a grid of seeds × fault instants × fault kinds
-//! (default 8 × 5 × 5 = 200 deterministic trials) and demands a clean
-//! sweep: every acknowledged commit survives every crash point. Then runs
-//! a negative control — the same machine with the drain's resilience
-//! disabled — and demands the opposite: the auditor **must** produce a
-//! replayable counterexample, or a clean main sweep proves nothing.
+//! (default 8 × 5 × 5 = 200 deterministic trials) **once per drain
+//! ordering mode** — the classic `Strict` serial drain and the windowed
+//! `PartiallyConstrained` out-of-order drain — and demands a clean sweep
+//! from each: every acknowledged commit survives every crash point, with
+//! and without completion reordering. Then runs a negative control — the
+//! same machine with the drain's resilience disabled — and demands the
+//! opposite: the auditor **must** produce a replayable counterexample, or
+//! a clean main sweep proves nothing.
 //!
 //! Trials fan out over host threads (`RAPILOG_BENCH_THREADS`, default all
 //! cores); results are merged in canonical grid order, so the report is
@@ -24,6 +27,7 @@
 
 use std::time::Instant;
 
+use rapilog::OrderingMode;
 use rapilog_bench::{explore_crash_points_parallel, thread_count, Json};
 use rapilog_faultsim::{ExplorationReport, ExplorerConfig};
 use rapilog_simcore::SimDuration;
@@ -67,23 +71,35 @@ fn main() {
     };
     let threads = thread_count();
 
-    let mut cfg = ExplorerConfig::rapilog_default();
-    cfg.seeds = (0..seeds).map(|i| 0x5EED + i * 101).collect();
-    cfg.fault_times_ms = times.clone();
-    let trials = cfg.seeds.len() * cfg.fault_times_ms.len() * cfg.kinds.len();
-    println!(
-        "Crash-point sweep: {} seeds x {} instants x {} kinds = {trials} trials on {threads} threads\n",
-        cfg.seeds.len(),
-        cfg.fault_times_ms.len(),
-        cfg.kinds.len(),
-    );
+    let modes = [OrderingMode::Strict, OrderingMode::PartiallyConstrained];
+    let mut mode_reports: Vec<(OrderingMode, ExplorationReport)> = Vec::new();
+    let mut total_trials = 0u64;
     let wall_start = Instant::now();
-    let main_report = explore_crash_points_parallel(&cfg, threads);
+    for mode in modes {
+        let mut cfg = ExplorerConfig::rapilog_default();
+        cfg.seeds = (0..seeds).map(|i| 0x5EED + i * 101).collect();
+        cfg.fault_times_ms = times.clone();
+        cfg.ordering = mode;
+        let trials = cfg.seeds.len() * cfg.fault_times_ms.len() * cfg.kinds.len();
+        println!(
+            "Crash-point sweep [{mode:?}]: {} seeds x {} instants x {} kinds = {trials} trials on {threads} threads\n",
+            cfg.seeds.len(),
+            cfg.fault_times_ms.len(),
+            cfg.kinds.len(),
+        );
+        let report = explore_crash_points_parallel(&cfg, threads);
+        summarize(
+            &format!("resilient drain, {mode:?} ordering (must be clean)"),
+            &report,
+        );
+        println!();
+        total_trials += report.trials;
+        mode_reports.push((mode, report));
+    }
     let wall = wall_start.elapsed();
-    summarize("resilient drain (must be clean)", &main_report);
-    let trials_per_sec = main_report.trials as f64 / wall.as_secs_f64();
+    let trials_per_sec = total_trials as f64 / wall.as_secs_f64();
     println!(
-        "  wall-clock: {:.2} s on {threads} threads ({trials_per_sec:.1} trials/s)",
+        "  wall-clock: {:.2} s on {threads} threads, both modes ({trials_per_sec:.1} trials/s)",
         wall.as_secs_f64()
     );
 
@@ -97,17 +113,21 @@ fn main() {
     summarize("broken drain control (must find loss)", &control_report);
 
     let mut failed = false;
-    if !main_report.clean() {
-        println!("\nFAIL: the resilient sweep produced counterexamples");
-        failed = true;
-    }
-    if main_report.total_acked == 0 {
-        println!("\nFAIL: the sweep audited zero acknowledged commits");
-        failed = true;
-    }
-    if main_report.stats.transient_errors == 0 {
-        println!("\nFAIL: no media faults were injected — the sweep tested nothing");
-        failed = true;
+    for (mode, report) in &mode_reports {
+        if !report.clean() {
+            println!("\nFAIL: the {mode:?} sweep produced counterexamples");
+            failed = true;
+        }
+        if report.total_acked == 0 {
+            println!("\nFAIL: the {mode:?} sweep audited zero acknowledged commits");
+            failed = true;
+        }
+        if report.stats.transient_errors == 0 {
+            println!(
+                "\nFAIL: no media faults were injected in the {mode:?} sweep — it tested nothing"
+            );
+            failed = true;
+        }
     }
     if control_report.clean() {
         println!("\nFAIL: the broken-drain control found no counterexample");
@@ -128,22 +148,21 @@ fn main() {
         println!("\nFAIL: counterexample did not replay identically");
         std::process::exit(1);
     }
+    let acked: u64 = mode_reports.iter().map(|(_, r)| r.total_acked).sum();
+    let ces: u64 = mode_reports
+        .iter()
+        .map(|(_, r)| r.counterexamples.len() as u64)
+        .sum();
     let row = Json::obj([
         ("bench", Json::str("crashpoint_sweep")),
         ("quick", Json::Bool(quick)),
         ("threads", Json::int(threads as u64)),
-        ("trials", Json::int(main_report.trials)),
-        ("acked_commits", Json::int(main_report.total_acked)),
-        (
-            "counterexamples",
-            Json::int(main_report.counterexamples.len() as u64),
-        ),
+        ("trials", Json::int(total_trials)),
+        ("acked_commits", Json::int(acked)),
+        ("counterexamples", Json::int(ces)),
         ("wall_ms", Json::int(wall.as_millis() as u64)),
         ("trials_per_sec", Json::Num(trials_per_sec)),
     ]);
     rapilog_bench::json::upsert_line("BENCH_sweeps.json", &row).expect("write BENCH_sweeps.json");
-    println!(
-        "\nSWEEP_CLEAN trials={} (row upserted into BENCH_sweeps.json)",
-        main_report.trials
-    );
+    println!("\nSWEEP_CLEAN trials={total_trials} (row upserted into BENCH_sweeps.json)");
 }

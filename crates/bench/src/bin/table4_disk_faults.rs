@@ -99,7 +99,7 @@ fn run_row(row: &RowSpec, phases: &Phases) -> Outcome {
         }
         let mut mc = MachineConfig::new(setup, specs::instant(256 << 20), log_spec);
         mc.supply = Some(supplies::atx_psu());
-        mc.rapilog.retry = retry;
+        mc.rapilog.drain.retry = retry;
         let machine = Machine::new(&c2, mc);
         let db = machine
             .install(&micro::table_defs(CLIENTS))

@@ -16,14 +16,18 @@ use std::rc::Rc;
 
 use rapilog_simcore::bytes::SectorBuf;
 use rapilog_simcore::{SimCtx, SimDuration};
-use rapilog_simdisk::{BlockDevice, Geometry, IoError, IoResult, LocalBoxFuture};
+use rapilog_simdisk::{
+    BlockDevice, Completion, Geometry, IoError, IoQueue, IoReq, IoResult, LocalBoxFuture, ReqToken,
+};
 
 /// A [`BlockDevice`] adapter that retries transient failures.
+#[derive(Clone)]
 pub struct RetryingDevice {
     ctx: SimCtx,
     inner: Rc<dyn BlockDevice>,
     retries: u32,
     delay: SimDuration,
+    queue: Rc<IoQueue>,
 }
 
 impl RetryingDevice {
@@ -40,6 +44,7 @@ impl RetryingDevice {
             inner,
             retries,
             delay,
+            queue: Rc::new(IoQueue::new()),
         }
     }
 
@@ -62,6 +67,39 @@ impl RetryingDevice {
 impl BlockDevice for RetryingDevice {
     fn geometry(&self) -> Geometry {
         self.inner.geometry()
+    }
+
+    fn submit(&self, req: IoReq) -> ReqToken {
+        let token = self.queue.issue();
+        let this = self.clone();
+        self.ctx.spawn(async move {
+            let mut attempt = 0u32;
+            let (result, data) = loop {
+                // Segment clones are O(1) refcount bumps: retries never
+                // re-copy the payload.
+                let inner_token = this.inner.submit(req.clone());
+                match this.inner.wait(inner_token).await {
+                    Err(IoError::Transient) if attempt < this.retries => {
+                        attempt += 1;
+                        if !this.delay.is_zero() {
+                            this.ctx.sleep(this.delay).await;
+                        }
+                    }
+                    Ok(data) => break (Ok(()), data),
+                    Err(e) => break (Err(e), None),
+                }
+            };
+            this.queue.finish(token, result, data);
+        });
+        token
+    }
+
+    fn completions(&self) -> LocalBoxFuture<'_, Vec<Completion>> {
+        Box::pin(self.queue.completions())
+    }
+
+    fn wait(&self, token: ReqToken) -> LocalBoxFuture<'_, IoResult<Option<SectorBuf>>> {
+        Box::pin(self.queue.wait(token))
     }
 
     fn read<'a>(&'a self, sector: u64, buf: &'a mut [u8]) -> LocalBoxFuture<'a, IoResult<()>> {
@@ -200,6 +238,45 @@ mod tests {
         sim.run_until(SimTime::from_secs(1));
         assert_eq!(seen.get(), Some(Err(IoError::Transient)));
         assert_eq!(disk.stats().transient_errors, 3, "1 try + 2 retries");
+    }
+
+    #[test]
+    fn queued_submissions_are_retried_too() {
+        let mut sim = Sim::new(0);
+        let ctx = sim.ctx();
+        let disk = Disk::new(&ctx, specs::instant(1 << 20));
+        let dev = RetryingDevice::new(&ctx, Rc::new(disk.clone()), 8, SimDuration::from_millis(2));
+        let ok = Rc::new(Cell::new(false));
+        let o2 = Rc::clone(&ok);
+        let d2 = disk.clone();
+        let c2 = ctx.clone();
+        sim.spawn(async move {
+            d2.set_sick(true);
+            c2.spawn({
+                let d3 = d2.clone();
+                let c3 = c2.clone();
+                async move {
+                    c3.sleep(SimDuration::from_millis(5)).await;
+                    d3.set_sick(false);
+                }
+            });
+            let t = dev.submit(IoReq::Write {
+                sector: 3,
+                segments: vec![SectorBuf::copy_from(&[0xEE; SECTOR_SIZE])],
+                fua: true,
+            });
+            assert_eq!(BlockDevice::wait(&dev, t).await, Ok(None));
+            let r = dev.submit(IoReq::Read {
+                sector: 3,
+                sectors: 1,
+            });
+            let data = BlockDevice::wait(&dev, r).await.unwrap().unwrap();
+            assert_eq!(data.as_slice(), &[0xEE; SECTOR_SIZE]);
+            o2.set(true);
+        });
+        sim.run_until(SimTime::from_secs(1));
+        assert!(ok.get());
+        assert!(disk.stats().transient_errors > 0, "faults were retried");
     }
 
     #[test]

@@ -14,7 +14,7 @@
 //! [`ExplorerConfig::broken_drain`]. An explorer that cannot find a
 //! planted bug proves nothing when it finds none.
 
-use rapilog::{RapiLogConfig, RetryPolicy};
+use rapilog::{DrainConfig, OrderingMode, RapiLogConfig, RetryPolicy};
 use rapilog_simcore::SimDuration;
 use rapilog_simdisk::{specs, FaultProfile};
 use rapilog_simpower::{supplies, SupplySpec};
@@ -44,6 +44,10 @@ pub struct ExplorerConfig {
     pub log_fault: Option<FaultProfile>,
     /// The drain's resilience policy.
     pub retry: RetryPolicy,
+    /// The drain's completion-ordering discipline. `Strict` replays the
+    /// classic serial drain; `PartiallyConstrained` exercises the windowed
+    /// out-of-order engine under the same fault grid.
+    pub ordering: OrderingMode,
     /// Power supply model (power kinds need the residual window).
     pub supply: SupplySpec,
 }
@@ -61,6 +65,7 @@ impl ExplorerConfig {
             think_time: SimDuration::from_micros(300),
             log_fault: Some(FaultProfile::transient(0, 0.02)),
             retry: RetryPolicy::default(),
+            ordering: OrderingMode::Strict,
             supply: supplies::atx_psu(),
         }
     }
@@ -113,7 +118,11 @@ impl ExplorerConfig {
         let mut machine = MachineConfig::new(self.setup, specs::instant(256 << 20), log_spec);
         machine.supply = Some(self.supply.clone());
         machine.rapilog = RapiLogConfig {
-            retry: self.retry,
+            drain: DrainConfig::new()
+                .retry(self.retry)
+                .max_batch(machine.rapilog.drain.max_batch)
+                .window_depth(machine.rapilog.drain.window_depth)
+                .ordering(self.ordering),
             ..machine.rapilog
         };
         TrialConfig {

@@ -21,7 +21,9 @@ use std::rc::Rc;
 use rapilog_simcore::bytes::SectorBuf;
 use rapilog_simcore::chan::{self, OnceSender, Sender};
 use rapilog_simcore::{SimCtx, SimDuration};
-use rapilog_simdisk::{BlockDevice, Geometry, IoError, IoResult, LocalBoxFuture};
+use rapilog_simdisk::{
+    BlockDevice, Completion, Geometry, IoError, IoQueue, IoReq, IoResult, LocalBoxFuture, ReqToken,
+};
 
 use crate::cell::Cell;
 
@@ -104,6 +106,7 @@ pub struct VirtioBlk {
     geometry: Geometry,
     costs: VirtCosts,
     stats: Rc<RefCell<VirtioStats>>,
+    queue: Rc<IoQueue>,
 }
 
 impl VirtioBlk {
@@ -152,6 +155,7 @@ impl VirtioBlk {
             geometry,
             costs,
             stats: Rc::new(RefCell::new(VirtioStats::default())),
+            queue: Rc::new(IoQueue::new()),
         }
     }
 
@@ -160,7 +164,7 @@ impl VirtioBlk {
         *self.stats.borrow()
     }
 
-    async fn submit(&self, req: BlkReq) -> IoResult<Vec<u8>> {
+    async fn transact(&self, req: BlkReq) -> IoResult<Vec<u8>> {
         self.ctx.sleep(self.costs.trap).await;
         let (rtx, rrx) = chan::oneshot();
         self.tx
@@ -181,6 +185,84 @@ impl BlockDevice for VirtioBlk {
         self.geometry
     }
 
+    fn submit(&self, req: IoReq) -> ReqToken {
+        let token = self.queue.issue();
+        let this = self.clone();
+        self.ctx.spawn(async move {
+            let (result, data) = match req {
+                IoReq::Read { sector, sectors } => {
+                    let len = sectors as usize * this.geometry.sector_size;
+                    if len == 0 {
+                        (Err(IoError::Misaligned { len: 0 }), None)
+                    } else {
+                        {
+                            let mut s = this.stats.borrow_mut();
+                            s.requests += 1;
+                            s.bytes_in += len as u64;
+                        }
+                        match this
+                            .transact(BlkReq::Read {
+                                sector,
+                                sectors: sectors as usize,
+                            })
+                            .await
+                        {
+                            Ok(buf) => (Ok(()), Some(SectorBuf::from_vec(buf))),
+                            Err(e) => (Err(e), None),
+                        }
+                    }
+                }
+                IoReq::Write {
+                    sector,
+                    segments,
+                    fua,
+                } => {
+                    // The ring descriptor carries one owned buffer; a
+                    // single segment rides zero-copy, a scatter list is
+                    // flattened here.
+                    let data = if segments.len() == 1 {
+                        segments.into_iter().next().expect("len checked")
+                    } else {
+                        let mut flat = Vec::new();
+                        for seg in &segments {
+                            flat.extend_from_slice(seg.as_slice());
+                        }
+                        SectorBuf::from_vec(flat)
+                    };
+                    if data.is_empty() || !data.len().is_multiple_of(this.geometry.sector_size) {
+                        (Err(IoError::Misaligned { len: data.len() }), None)
+                    } else {
+                        {
+                            let mut s = this.stats.borrow_mut();
+                            s.requests += 1;
+                            s.bytes_out += data.len() as u64;
+                        }
+                        (
+                            this.transact(BlkReq::Write { sector, data, fua })
+                                .await
+                                .map(|_| ()),
+                            None,
+                        )
+                    }
+                }
+                IoReq::Flush => {
+                    this.stats.borrow_mut().requests += 1;
+                    (this.transact(BlkReq::Flush).await.map(|_| ()), None)
+                }
+            };
+            this.queue.finish(token, result, data);
+        });
+        token
+    }
+
+    fn completions(&self) -> LocalBoxFuture<'_, Vec<Completion>> {
+        Box::pin(self.queue.completions())
+    }
+
+    fn wait(&self, token: ReqToken) -> LocalBoxFuture<'_, IoResult<Option<SectorBuf>>> {
+        Box::pin(self.queue.wait(token))
+    }
+
     fn read<'a>(&'a self, sector: u64, buf: &'a mut [u8]) -> LocalBoxFuture<'a, IoResult<()>> {
         Box::pin(async move {
             if buf.is_empty() || !buf.len().is_multiple_of(self.geometry.sector_size) {
@@ -192,7 +274,7 @@ impl BlockDevice for VirtioBlk {
                 s.bytes_in += buf.len() as u64;
             }
             let sectors = buf.len() / self.geometry.sector_size;
-            let data = self.submit(BlkReq::Read { sector, sectors }).await?;
+            let data = self.transact(BlkReq::Read { sector, sectors }).await?;
             buf.copy_from_slice(&data);
             Ok(())
         })
@@ -227,7 +309,7 @@ impl BlockDevice for VirtioBlk {
                 s.requests += 1;
                 s.bytes_out += data.len() as u64;
             }
-            self.submit(BlkReq::Write { sector, data, fua }).await?;
+            self.transact(BlkReq::Write { sector, data, fua }).await?;
             Ok(())
         })
     }
@@ -235,7 +317,7 @@ impl BlockDevice for VirtioBlk {
     fn flush(&self) -> LocalBoxFuture<'_, IoResult<()>> {
         Box::pin(async move {
             self.stats.borrow_mut().requests += 1;
-            self.submit(BlkReq::Flush).await?;
+            self.transact(BlkReq::Flush).await?;
             Ok(())
         })
     }

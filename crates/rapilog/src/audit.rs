@@ -61,6 +61,11 @@ pub struct AuditReport {
     pub degraded_entries: u64,
     /// Times the instance recovered back to early acknowledgement.
     pub degraded_exits: u64,
+    /// Batches that retired before an older batch under the windowed drain
+    /// (out-of-order media completion). Informational, not a violation:
+    /// I3 tracks the contiguous durable *prefix*, which the drain reports
+    /// only as it advances.
+    pub ooo_retirements: u64,
 }
 
 impl AuditReport {
@@ -154,6 +159,11 @@ impl Audit {
     /// Records one sector remap + rewrite by the drain.
     pub fn record_remap(&self) {
         self.st.borrow_mut().report.sector_remaps += 1;
+    }
+
+    /// Records one batch retiring ahead of an older pending batch.
+    pub fn record_ooo_retirement(&self) {
+        self.st.borrow_mut().report.ooo_retirements += 1;
     }
 
     /// Records entry into degraded (synchronous-ack) mode.

@@ -82,11 +82,29 @@ struct BufSt {
 
 impl BufSt {
     /// Sequence number of the oldest extent not yet completed, if any.
+    /// Both deques stay sorted by seq (pops are prefix-ordered and
+    /// completion removes without reordering), and every inflight seq
+    /// precedes every queued seq, so the front of `inflight` (else
+    /// `queue`) is the oldest.
     fn oldest_pending_seq(&self) -> Option<u64> {
         self.inflight
             .front()
             .map(|r| r.seq)
             .or_else(|| self.queue.front().map(|e| e.seq))
+    }
+
+    /// Releases one committed extent: occupancy, drained accounting, and
+    /// overlay entries this extent still owns (not superseded by newer
+    /// writes to the same sectors).
+    fn release(&mut self, seq: u64, sector: u64, len: u64) {
+        self.occupancy -= len;
+        self.stats.drained_bytes += len;
+        for i in 0..len / SECTOR_SIZE as u64 {
+            let s = sector + i;
+            if self.overlay.get(&s).map(|(q, _)| *q) == Some(seq) {
+                self.overlay.remove(&s);
+            }
+        }
     }
 }
 
@@ -245,25 +263,45 @@ impl DependableBuffer {
     /// via [`pop_batch`](Self::pop_batch) (the normal pipeline) and ones
     /// still queued (direct completion, e.g. model tests).
     pub fn complete(&self, up_to: u64) {
-        fn release(st: &mut BufSt, seq: u64, sector: u64, len: u64) {
-            st.occupancy -= len;
-            st.stats.drained_bytes += len;
-            for i in 0..len / SECTOR_SIZE as u64 {
-                let s = sector + i;
-                if st.overlay.get(&s).map(|(q, _)| *q) == Some(seq) {
-                    st.overlay.remove(&s);
-                }
-            }
-        }
+        self.complete_seqs(0, up_to);
+    }
+
+    /// Out-of-order completion: marks every extent with `lo <= seq <= hi`
+    /// as committed, regardless of whether older extents are still pending.
+    /// Used by the windowed drain when a later batch retires before an
+    /// earlier one — its space and overlay entries are released
+    /// immediately (the bytes *are* on media, so they no longer weigh on
+    /// the residual-energy budget), while
+    /// [`wait_completed`](Self::wait_completed) keeps its strict
+    /// oldest-pending semantics for degraded-mode acknowledgement.
+    pub fn complete_seqs(&self, lo: u64, hi: u64) {
         let became_empty = {
             let mut st = self.st.borrow_mut();
-            while st.inflight.front().is_some_and(|r| r.seq <= up_to) {
-                let r = st.inflight.pop_front().expect("peeked head vanished");
-                release(&mut st, r.seq, r.sector, r.len);
+            let mut i = 0;
+            while i < st.inflight.len() {
+                let seq = st.inflight[i].seq;
+                if seq > hi {
+                    break; // sorted: nothing further matches
+                }
+                if seq >= lo {
+                    let r = st.inflight.remove(i).expect("indexed entry vanished");
+                    st.release(r.seq, r.sector, r.len);
+                } else {
+                    i += 1;
+                }
             }
-            while st.queue.front().is_some_and(|e| e.seq <= up_to) {
-                let e = st.queue.pop_front().expect("peeked head vanished");
-                release(&mut st, e.seq, e.sector, e.data.len() as u64);
+            let mut i = 0;
+            while i < st.queue.len() {
+                let seq = st.queue[i].seq;
+                if seq > hi {
+                    break;
+                }
+                if seq >= lo {
+                    let e = st.queue.remove(i).expect("indexed entry vanished");
+                    st.release(e.seq, e.sector, e.data.len() as u64);
+                } else {
+                    i += 1;
+                }
             }
             st.queue.is_empty() && st.inflight.is_empty()
         };
@@ -468,6 +506,66 @@ mod tests {
         });
         sim.run();
         assert_eq!(pushed_at.get(), 7, "space appeared only at complete()");
+    }
+
+    #[test]
+    fn out_of_order_completion_releases_space_but_not_the_prefix_wait() {
+        let mut sim = Sim::new(0);
+        let buf = DependableBuffer::new(1 << 20);
+        let b2 = buf.clone();
+        sim.spawn(async move {
+            let s0 = b2.push(0, sector_data(1, 1)).await.unwrap();
+            let s1 = b2.push(1, sector_data(2, 1)).await.unwrap();
+            let s2 = b2.push(2, sector_data(3, 1)).await.unwrap();
+            b2.pop_batch(usize::MAX);
+            // The later batch retires first.
+            b2.complete_seqs(s1, s2);
+            assert_eq!(b2.occupancy(), SECTOR_SIZE as u64, "s1/s2 released");
+            assert_eq!(b2.queued(), 1);
+            assert_eq!(b2.read_overlay(1), None, "committed overlay cleaned");
+            assert_eq!(
+                b2.read_overlay(0),
+                Some(sector_data(1, 1)),
+                "pending extent still readable"
+            );
+            // Now the straggler retires; everything drains.
+            b2.complete_seqs(s0, s0);
+            assert_eq!(b2.occupancy(), 0);
+            assert_eq!(b2.queued(), 0);
+            b2.drained().await;
+        });
+        sim.run();
+    }
+
+    #[test]
+    fn wait_completed_keeps_oldest_pending_semantics_under_ooo() {
+        let mut sim = Sim::new(0);
+        let ctx = sim.ctx();
+        let buf = DependableBuffer::new(1 << 20);
+        let b2 = buf.clone();
+        let done_at = Rc::new(StdCell::new(0u64));
+        let d2 = Rc::clone(&done_at);
+        sim.spawn({
+            let ctx = ctx.clone();
+            async move {
+                b2.push(0, sector_data(1, 1)).await.unwrap();
+                let s1 = b2.push(1, sector_data(2, 1)).await.unwrap();
+                b2.pop_batch(usize::MAX);
+                let b3 = b2.clone();
+                let ctx2 = ctx.clone();
+                ctx.spawn(async move {
+                    // s1 retires out of order immediately; s0 only later.
+                    b3.complete_seqs(1, 1);
+                    ctx2.sleep(SimDuration::from_millis(5)).await;
+                    b3.complete_seqs(0, 0);
+                });
+                // Waiting on s1 must wait for the full prefix (s0 too).
+                assert!(b2.wait_completed(s1).await);
+                d2.set(ctx.now().as_millis());
+            }
+        });
+        sim.run();
+        assert_eq!(done_at.get(), 5, "prefix wait held until s0 retired");
     }
 
     #[test]

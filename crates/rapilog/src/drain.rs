@@ -1,5 +1,5 @@
 //! The asynchronous drain: trusted tasks that move buffered log data to
-//! the physical disk, in order, in large batches.
+//! the physical disk in large batches.
 //!
 //! Two tasks live in the trusted cell:
 //!
@@ -13,19 +13,38 @@
 //!   records, via the [`audit`](crate::audit), whether the remaining bytes
 //!   hit the disk before the residual window expired. With correct sizing
 //!   this is guaranteed; the audit exists to prove it run after run.
+//!
+//! The drain loop comes in two disciplines (see
+//! [`OrderingMode`](crate::OrderingMode)):
+//!
+//! * **Strict** — one run on media at a time, in exact sequence order: the
+//!   paper's original serial drain, byte- and trace-identical to previous
+//!   releases.
+//! * **PartiallyConstrained** — a **drain window**: up to
+//!   [`window_depth`](crate::DrainConfig::window_depth) runs in flight at
+//!   once across the device's channels. A run must wait for every earlier
+//!   in-flight run whose sector range overlaps its own (media order is the
+//!   newest-wins tiebreak, so overlapping rewrites must land in order);
+//!   disjoint runs carry no edge and retire out of order. Batches retire
+//!   whole — space is released the moment a batch's last run lands — but
+//!   the audit ledger only advances with the contiguous durable prefix, so
+//!   invariant I3 is untouched.
 
+use std::cell::{Cell as StdCell, RefCell};
+use std::collections::VecDeque;
 use std::rc::Rc;
 
 use rapilog_microvisor::cell::Cell;
 use rapilog_simcore::rng::SimRng;
+use rapilog_simcore::sync::{Event, Semaphore};
 use rapilog_simcore::trace::{Layer, Payload};
 use rapilog_simcore::{SimCtx, SimDuration};
-use rapilog_simdisk::{Disk, IoError, IoRun, SECTOR_SIZE};
+use rapilog_simdisk::{BlockDevice, Disk, IoError, IoReq, IoRun, SECTOR_SIZE};
 use rapilog_simpower::PowerSupply;
 
 use crate::audit::Audit;
 use crate::buffer::{DependableBuffer, Extent};
-use crate::{ModeState, RapiLogConfig, RetryPolicy};
+use crate::{ModeState, OrderingMode, RapiLogConfig, RetryPolicy};
 
 /// Truncates `run` to its first `keep_sectors` sectors, slicing the
 /// boundary segment if the cut falls inside it (an O(1) re-view, not a
@@ -92,6 +111,30 @@ pub(crate) fn consolidate(batch: &[Extent]) -> Vec<IoRun> {
     runs
 }
 
+/// The ordering edges over one consolidated batch: run `j` must wait for
+/// every earlier run `i` whose sector range overlaps its own. A later run
+/// overlapping an earlier one carries the *newer* bytes for the shared
+/// sectors, so media order is the newest-wins tiebreak; disjoint runs
+/// carry no edge and may land in any order.
+///
+/// This is the declarative spec of the constraint the windowed drain
+/// enforces online (against every in-flight run, including runs of earlier
+/// batches); the permutation property test exercises it directly.
+#[cfg_attr(not(test), allow(dead_code))]
+pub(crate) fn dep_edges(runs: &[IoRun]) -> Vec<Vec<usize>> {
+    let mut edges = vec![Vec::new(); runs.len()];
+    for j in 1..runs.len() {
+        let (js, je) = (runs[j].sector, runs[j].sector + runs[j].sectors());
+        for (i, earlier) in runs.iter().enumerate().take(j) {
+            let (is, ie) = (earlier.sector, earlier.sector + earlier.sectors());
+            if js < ie && is < je {
+                edges[j].push(i);
+            }
+        }
+    }
+    edges
+}
+
 /// Computes the delay before retry number `attempt` (0-based): capped
 /// exponential backoff plus bounded jitter from the drain's forked RNG.
 /// Deterministic: the same policy, attempt and RNG state give the same
@@ -119,6 +162,17 @@ enum RunFatal {
 /// degraded mode once the retry budget is exhausted — but never drops the
 /// run: every byte in it was acknowledged, so giving up would turn a slow
 /// disk into a broken promise.
+///
+/// `consecutive_ok` is the degraded-mode hysteresis counter, shared by
+/// every concurrent writer under the windowed drain (one disk, one health
+/// signal): any writer's failure resets it, any writer's successes count
+/// toward the exit threshold.
+///
+/// With `queued`, each attempt rides the queued device interface
+/// ([`BlockDevice::submit`] + [`BlockDevice::wait`]) so the device's
+/// outstanding-request accounting sees the drain window; without it, the
+/// legacy direct vectored write is used — byte- and trace-identical to the
+/// pre-window serial drain, which [`OrderingMode::Strict`] promises.
 #[allow(clippy::too_many_arguments)]
 async fn write_run_resilient(
     ctx: &SimCtx,
@@ -128,21 +182,31 @@ async fn write_run_resilient(
     rng: &mut SimRng,
     audit: &Audit,
     mode: &ModeState,
-    consecutive_ok: &mut u32,
+    consecutive_ok: &StdCell<u32>,
+    queued: bool,
 ) -> Result<(), RunFatal> {
     let tracer = ctx.tracer();
     let mut attempt: u32 = 0;
     let mut remaps: u32 = 0;
     loop {
-        // Vectored zero-copy write: the disk views the run's segments until
-        // they land on the media store. Segment clones are refcount bumps.
-        match disk
-            .write_segments(run.sector, run.segments.clone(), true)
-            .await
-        {
+        // Vectored zero-copy write either way: the disk views the run's
+        // segments until they land on the media store; segment clones are
+        // refcount bumps.
+        let wrote = if queued {
+            let token = disk.submit(IoReq::Write {
+                sector: run.sector,
+                segments: run.segments.clone(),
+                fua: true,
+            });
+            BlockDevice::wait(disk, token).await.map(|_| ())
+        } else {
+            disk.write_segments(run.sector, run.segments.clone(), true)
+                .await
+        };
+        match wrote {
             Ok(()) => {
-                *consecutive_ok = consecutive_ok.saturating_add(1);
-                if mode.is_degraded() && *consecutive_ok >= policy.degraded_exit_successes {
+                consecutive_ok.set(consecutive_ok.get().saturating_add(1));
+                if mode.is_degraded() && consecutive_ok.get() >= policy.degraded_exit_successes {
                     mode.set_degraded(false);
                     audit.record_degraded_exit();
                     tracer.instant(
@@ -150,14 +214,14 @@ async fn write_run_resilient(
                         Layer::Drain,
                         "degraded_exit",
                         Payload::Mark {
-                            value: *consecutive_ok as u64,
+                            value: consecutive_ok.get() as u64,
                         },
                     );
                 }
                 return Ok(());
             }
             Err(IoError::Transient) if policy.enabled => {
-                *consecutive_ok = 0;
+                consecutive_ok.set(0);
                 audit.record_retry();
                 tracer.instant(
                     ctx.now(),
@@ -183,7 +247,7 @@ async fn write_run_resilient(
                 attempt = attempt.saturating_add(1);
             }
             Err(IoError::MediaError { sector }) if policy.enabled => {
-                *consecutive_ok = 0;
+                consecutive_ok.set(0);
                 remaps += 1;
                 if remaps > policy.max_remaps {
                     return Err(RunFatal::DeviceLost);
@@ -203,10 +267,77 @@ async fn write_run_resilient(
                 // the defect, and rewriting is idempotent.
             }
             Err(_) => {
-                *consecutive_ok = 0;
+                consecutive_ok.set(0);
                 return Err(RunFatal::DeviceLost);
             }
         }
+    }
+}
+
+/// One run in flight under the windowed drain: its sector range, and the
+/// event dependents (later overlapping runs) wait on before touching media.
+struct InflightRun {
+    id: u64,
+    sector: u64,
+    sectors: u64,
+    done: Rc<Event>,
+}
+
+/// One popped batch awaiting retirement under the windowed drain.
+struct BatchEntry {
+    id: u64,
+    /// Sequence range `[lo, hi]` the batch covers.
+    lo: u64,
+    hi: u64,
+    /// Runs still in flight; the batch retires when this reaches zero.
+    remaining: u64,
+    retired: bool,
+    payload: Payload,
+}
+
+/// Retirement accounting: batches are registered in sequence order and may
+/// finish out of order, but [`Audit::record_commit`] is fed only the
+/// contiguous durable prefix — exactly what invariant I3 promises.
+struct BatchLedger {
+    batches: VecDeque<BatchEntry>,
+}
+
+impl BatchLedger {
+    /// Marks one run of batch `id` complete. Returns the trace payloads of
+    /// batches newly retired plus the sequence numbers whose durable-prefix
+    /// commits should be recorded, and whether this retirement jumped ahead
+    /// of an older still-pending batch.
+    fn run_done(
+        &mut self,
+        id: u64,
+        buffer: &DependableBuffer,
+        audit: &Audit,
+    ) -> (Option<Payload>, bool) {
+        let idx = self
+            .batches
+            .iter()
+            .position(|b| b.id == id)
+            .expect("run retired for an unregistered batch");
+        let entry = &mut self.batches[idx];
+        entry.remaining -= 1;
+        if entry.remaining > 0 {
+            return (None, false);
+        }
+        entry.retired = true;
+        let payload = entry.payload;
+        // Space (and the read overlay) release immediately: the bytes are
+        // on media whether or not older batches still fly.
+        buffer.complete_seqs(entry.lo, entry.hi);
+        let jumped = idx != 0;
+        if jumped {
+            audit.record_ooo_retirement();
+        }
+        // The audit ledger advances only with the contiguous prefix.
+        while self.batches.front().is_some_and(|b| b.retired) {
+            let front = self.batches.pop_front().expect("checked non-empty");
+            audit.record_commit(front.hi);
+        }
+        (Some(payload), jumped)
     }
 }
 
@@ -222,21 +353,44 @@ pub(crate) fn start(
     audit: Audit,
     mode: Rc<ModeState>,
 ) {
+    match cfg.drain.ordering {
+        OrderingMode::Strict => start_strict(ctx, cell, &buffer, disk, cfg, &audit, mode),
+        OrderingMode::PartiallyConstrained => {
+            start_windowed(ctx, cell, &buffer, disk, cfg, &audit, mode)
+        }
+    }
+    if let Some(psu) = supply {
+        start_power_watcher(ctx, cell, buffer, psu, audit);
+    }
+}
+
+/// The paper's original serial drain: one run on media at a time, in exact
+/// sequence order. Kept verbatim — [`OrderingMode::Strict`] must stay
+/// trace-identical release over release.
+fn start_strict(
+    ctx: &SimCtx,
+    cell: &Cell,
+    buffer: &DependableBuffer,
+    disk: Disk,
+    cfg: RapiLogConfig,
+    audit: &Audit,
+    mode: Rc<ModeState>,
+) {
     let drain_buffer = buffer.clone();
     let drain_audit = audit.clone();
     let drain_ctx = ctx.clone();
     let tracer = ctx.tracer();
     let mut rng = ctx.fork_rng();
     cell.spawn(async move {
-        let policy = cfg.retry;
-        let mut consecutive_ok: u32 = 0;
+        let policy = cfg.drain.retry;
+        let consecutive_ok = StdCell::new(0u32);
         loop {
             drain_buffer.wait_avail().await;
             loop {
                 // Extents move out of the queue; the buffer's in-flight
                 // ledger keeps occupancy and read-your-writes alive until
                 // complete().
-                let batch = drain_buffer.pop_batch(cfg.max_batch);
+                let batch = drain_buffer.pop_batch(cfg.drain.max_batch);
                 if batch.is_empty() {
                     break;
                 }
@@ -258,7 +412,8 @@ pub(crate) fn start(
                         &mut rng,
                         &drain_audit,
                         &mode,
-                        &mut consecutive_ok,
+                        &consecutive_ok,
+                        false,
                     )
                     .await
                     .is_err()
@@ -299,47 +454,240 @@ pub(crate) fn start(
             }
         }
     });
-    if let Some(psu) = supply {
-        let watcher_ctx = ctx.clone();
-        let watch_audit = audit;
-        let tracer = ctx.tracer();
-        cell.spawn(async move {
-            // One power episode per RapiLog instance: after power loss the
-            // instance is frozen and must be replaced by the operator (the
-            // fault harness rebuilds the device stack on reboot).
-            let warning = psu.warning_event();
-            warning.wait().await;
-            // Power is failing: stop admitting, note the state, and watch
-            // the (already eager) drain race the deadline.
-            buffer.freeze();
-            let remaining = buffer.occupancy();
-            tracer.instant(
-                watcher_ctx.now(),
-                Layer::Power,
-                "power_warning",
-                Payload::Bytes { bytes: remaining },
-            );
-            let deadline = watcher_ctx.now()
-                + psu
-                    .time_until_death()
-                    .expect("warning implies residual state");
-            watch_audit.record_warning(remaining, deadline);
-            tracer.begin(
-                watcher_ctx.now(),
-                Layer::Drain,
-                "emergency_drain",
-                Payload::Bytes { bytes: remaining },
-            );
-            buffer.drained().await;
-            tracer.end(
-                watcher_ctx.now(),
-                Layer::Drain,
-                "emergency_drain",
-                Payload::Bytes { bytes: remaining },
-            );
-            watch_audit.record_emergency_drained();
-        });
-    }
+}
+
+/// The windowed drain: pops batches continuously and keeps up to
+/// `window_depth` consolidated runs in flight at once. Each run waits for
+/// every earlier in-flight run overlapping its sector range (see
+/// [`dep_edges`] for the declarative form of the constraint — here it is
+/// enforced online, across batch boundaries too) and then commits through
+/// [`write_run_resilient`], so the full retry/remap/degraded machinery
+/// applies per run. Disjoint runs ride separate device channels and retire
+/// out of order; [`BatchLedger`] keeps the audit ledger on the contiguous
+/// durable prefix.
+fn start_windowed(
+    ctx: &SimCtx,
+    cell: &Cell,
+    buffer: &DependableBuffer,
+    disk: Disk,
+    cfg: RapiLogConfig,
+    audit: &Audit,
+    mode: Rc<ModeState>,
+) {
+    let drain_buffer = buffer.clone();
+    let drain_audit = audit.clone();
+    let drain_ctx = ctx.clone();
+    let tracer = ctx.tracer();
+    cell.spawn(async move {
+        let policy = cfg.drain.retry;
+        let window = Rc::new(Semaphore::new(cfg.drain.window_depth.max(1)));
+        let consecutive_ok = Rc::new(StdCell::new(0u32));
+        let failed = Rc::new(StdCell::new(false));
+        let inflight: Rc<RefCell<Vec<InflightRun>>> = Rc::new(RefCell::new(Vec::new()));
+        let ledger = Rc::new(RefCell::new(BatchLedger {
+            batches: VecDeque::new(),
+        }));
+        let mut next_run_id = 0u64;
+        let mut next_batch_id = 0u64;
+        loop {
+            drain_buffer.wait_avail().await;
+            loop {
+                if failed.get() {
+                    return;
+                }
+                let batch = drain_buffer.pop_batch(cfg.drain.max_batch);
+                if batch.is_empty() {
+                    break;
+                }
+                let lo = batch.first().expect("non-empty batch").seq;
+                let hi = batch.last().expect("non-empty batch").seq;
+                let runs = consolidate(&batch);
+                let batch_payload = Payload::Batch {
+                    extents: batch.len() as u64,
+                    runs: runs.len() as u64,
+                    bytes: runs.iter().map(|r| r.bytes() as u64).sum(),
+                };
+                tracer.begin(drain_ctx.now(), Layer::Drain, "drain_batch", batch_payload);
+                let batch_id = next_batch_id;
+                next_batch_id += 1;
+                ledger.borrow_mut().batches.push_back(BatchEntry {
+                    id: batch_id,
+                    lo,
+                    hi,
+                    remaining: runs.len() as u64,
+                    retired: false,
+                    payload: batch_payload,
+                });
+                for run in runs {
+                    // Backpressure: the window cap bounds runs in flight.
+                    let permit = window.acquire(1).await;
+                    if failed.get() {
+                        return;
+                    }
+                    let run_id = next_run_id;
+                    next_run_id += 1;
+                    // Ordering edges: every in-flight run overlapping this
+                    // one — including earlier runs of this very batch —
+                    // must land first, or newest-wins media order breaks.
+                    let (run_lo, run_hi) = (run.sector, run.sector + run.sectors());
+                    let deps: Vec<Rc<Event>> = inflight
+                        .borrow()
+                        .iter()
+                        .filter(|f| run_lo < f.sector + f.sectors && f.sector < run_hi)
+                        .map(|f| Rc::clone(&f.done))
+                        .collect();
+                    let done = Rc::new(Event::new());
+                    inflight.borrow_mut().push(InflightRun {
+                        id: run_id,
+                        sector: run.sector,
+                        sectors: run.sectors(),
+                        done: Rc::clone(&done),
+                    });
+                    // RNG forked at dispatch, in deterministic order.
+                    let mut rng = drain_ctx.fork_rng();
+                    let task_ctx = drain_ctx.clone();
+                    let task_disk = disk.clone();
+                    let task_audit = drain_audit.clone();
+                    let task_mode = Rc::clone(&mode);
+                    let task_ok = Rc::clone(&consecutive_ok);
+                    let task_failed = Rc::clone(&failed);
+                    let task_inflight = Rc::clone(&inflight);
+                    let task_ledger = Rc::clone(&ledger);
+                    let task_buffer = drain_buffer.clone();
+                    let task_tracer = Rc::clone(&tracer);
+                    drain_ctx.spawn(async move {
+                        let _permit = permit;
+                        for dep in &deps {
+                            dep.wait().await;
+                        }
+                        // A sibling writer lost the device: the buffer is
+                        // frozen, nothing more may touch media coherently.
+                        let result = if task_failed.get() {
+                            None
+                        } else {
+                            Some(
+                                write_run_resilient(
+                                    &task_ctx,
+                                    &task_disk,
+                                    &run,
+                                    &policy,
+                                    &mut rng,
+                                    &task_audit,
+                                    &task_mode,
+                                    &task_ok,
+                                    true,
+                                )
+                                .await,
+                            )
+                        };
+                        // Dependents proceed (and observe `failed`) even
+                        // when this run went down with the device.
+                        done.set();
+                        task_inflight.borrow_mut().retain(|f| f.id != run_id);
+                        match result {
+                            Some(Ok(())) if !task_failed.get() => {
+                                let (retired, jumped) = task_ledger.borrow_mut().run_done(
+                                    batch_id,
+                                    &task_buffer,
+                                    &task_audit,
+                                );
+                                if let Some(payload) = retired {
+                                    task_tracer.end(
+                                        task_ctx.now(),
+                                        Layer::Drain,
+                                        "drain_batch",
+                                        payload,
+                                    );
+                                    if jumped {
+                                        task_tracer.instant(
+                                            task_ctx.now(),
+                                            Layer::Drain,
+                                            "ooo_retire",
+                                            payload,
+                                        );
+                                    }
+                                }
+                            }
+                            Some(Err(RunFatal::DeviceLost)) if !task_failed.replace(true) => {
+                                task_tracer.end(
+                                    task_ctx.now(),
+                                    Layer::Drain,
+                                    "drain_batch",
+                                    Payload::Text {
+                                        text: "drain_failure",
+                                    },
+                                );
+                                task_tracer.instant(
+                                    task_ctx.now(),
+                                    Layer::Drain,
+                                    "freeze",
+                                    Payload::Bytes {
+                                        bytes: task_buffer.occupancy(),
+                                    },
+                                );
+                                task_audit.record_drain_failure(task_buffer.occupancy());
+                                task_buffer.freeze();
+                            }
+                            // Skipped (device already lost) or landed after
+                            // the failure: leave the ledger alone — the
+                            // occupancy snapshot at failure is the loss.
+                            _ => {}
+                        }
+                    });
+                }
+            }
+        }
+    });
+}
+
+/// Spawns the power watcher: freezes admissions on the supply's warning
+/// and audits whether the drain beat the residual-energy deadline.
+fn start_power_watcher(
+    ctx: &SimCtx,
+    cell: &Cell,
+    buffer: DependableBuffer,
+    psu: PowerSupply,
+    audit: Audit,
+) {
+    let watcher_ctx = ctx.clone();
+    let watch_audit = audit;
+    let tracer = ctx.tracer();
+    cell.spawn(async move {
+        // One power episode per RapiLog instance: after power loss the
+        // instance is frozen and must be replaced by the operator (the
+        // fault harness rebuilds the device stack on reboot).
+        let warning = psu.warning_event();
+        warning.wait().await;
+        // Power is failing: stop admitting, note the state, and watch
+        // the (already eager) drain race the deadline.
+        buffer.freeze();
+        let remaining = buffer.occupancy();
+        tracer.instant(
+            watcher_ctx.now(),
+            Layer::Power,
+            "power_warning",
+            Payload::Bytes { bytes: remaining },
+        );
+        let deadline = watcher_ctx.now()
+            + psu
+                .time_until_death()
+                .expect("warning implies residual state");
+        watch_audit.record_warning(remaining, deadline);
+        tracer.begin(
+            watcher_ctx.now(),
+            Layer::Drain,
+            "emergency_drain",
+            Payload::Bytes { bytes: remaining },
+        );
+        buffer.drained().await;
+        tracer.end(
+            watcher_ctx.now(),
+            Layer::Drain,
+            "emergency_drain",
+            Payload::Bytes { bytes: remaining },
+        );
+        watch_audit.record_emergency_drained();
+    });
 }
 
 #[cfg(test)]
@@ -564,7 +912,7 @@ mod resilience_tests {
             .cell(&cell)
             .disk(disk)
             .capacity(CapacitySpec::Fixed(16 << 20))
-            .retry(retry)
+            .drain_config(DrainConfig::new().retry(retry))
             .build();
         std::mem::forget(cell);
         rl
@@ -744,5 +1092,328 @@ mod resilience_tests {
             "acked bytes were lost: the checker must notice"
         );
         assert!(rl.device_frozen());
+    }
+}
+
+#[cfg(test)]
+mod window_tests {
+    use super::{consolidate, dep_edges};
+    use crate::buffer::Extent;
+    use crate::prelude::*;
+    use rapilog_microvisor::{Hypervisor, Trust};
+    use rapilog_simcore::bytes::SectorBuf;
+    use rapilog_simcore::rng::SimRng;
+    use rapilog_simcore::{Sim, SimTime};
+    use rapilog_simdisk::{specs, BlockDevice, Disk, DiskSpec, SectorStore, SECTOR_SIZE};
+    use std::cell::Cell as StdCell;
+    use std::rc::Rc;
+
+    fn setup(sim: &mut Sim, spec: DiskSpec, drain: DrainConfig) -> (RapiLog, Disk) {
+        let ctx = sim.ctx();
+        let hv = Hypervisor::new(&ctx);
+        let cell = hv.create_cell("rapilog", Trust::Trusted);
+        let disk = Disk::new(&ctx, spec);
+        let rl = RapiLog::builder(&ctx)
+            .cell(&cell)
+            .disk(disk.clone())
+            .capacity(CapacitySpec::Fixed(64 << 20))
+            .drain_config(drain)
+            .build();
+        std::mem::forget(cell);
+        (rl, disk)
+    }
+
+    /// Writes `batches` adjacent-but-disjoint 64 KiB extents and returns
+    /// the virtual time at which the buffer was fully drained.
+    fn drain_time(seed: u64, spec: DiskSpec, drain: DrainConfig) -> (u64, RapiLog, Disk) {
+        let mut sim = Sim::new(seed);
+        let (rl, disk) = setup(&mut sim, spec, drain);
+        let dev = rl.device();
+        let rl2 = rl.clone();
+        let ctx = sim.ctx();
+        let drained_at = Rc::new(StdCell::new(0u64));
+        let d2 = Rc::clone(&drained_at);
+        sim.spawn(async move {
+            let sectors_per = (64 << 10) / SECTOR_SIZE as u64;
+            for i in 0..16u64 {
+                dev.write(i * sectors_per, &vec![(i + 1) as u8; 64 << 10], true)
+                    .await
+                    .unwrap();
+            }
+            rl2.quiesce().await;
+            d2.set(ctx.now().as_nanos());
+        });
+        sim.run_until(SimTime::from_secs(120));
+        assert_eq!(rl.occupancy(), 0, "workload must fully drain");
+        (drained_at.get(), rl, disk)
+    }
+
+    #[test]
+    fn windowed_drain_commits_everything_and_audit_holds() {
+        let spec = specs::ssd_nvme(1 << 30).with_channels(4);
+        let drain = DrainConfig::new()
+            .max_batch(64 << 10)
+            .window_depth(8)
+            .ordering(OrderingMode::PartiallyConstrained);
+        let (t, rl, disk) = drain_time(31, spec, drain);
+        assert!(t > 0, "drain finished");
+        let report = rl.audit_report();
+        assert!(report.guarantee_held());
+        assert!(report.commits > 0, "durable prefix advanced");
+        // Every byte is on media, newest-wins intact.
+        let sectors_per = (64 << 10) / SECTOR_SIZE as u64;
+        let mut buf = vec![0u8; SECTOR_SIZE];
+        for i in 0..16u64 {
+            disk.peek_media(i * sectors_per, &mut buf);
+            assert_eq!(buf, vec![(i + 1) as u8; SECTOR_SIZE], "extent {i}");
+        }
+        // The window actually kept several requests in flight.
+        let snap = rl.snapshot();
+        assert!(
+            snap.disk.max_outstanding >= 2,
+            "window never overlapped requests: max_outstanding = {}",
+            snap.disk.max_outstanding
+        );
+    }
+
+    #[test]
+    fn windowed_drain_outpaces_strict_on_a_multichannel_ssd() {
+        let spec = specs::ssd_nvme(1 << 30).with_channels(4);
+        let strict = DrainConfig::new().max_batch(64 << 10);
+        let windowed = DrainConfig::new()
+            .max_batch(64 << 10)
+            .window_depth(8)
+            .ordering(OrderingMode::PartiallyConstrained);
+        let (t_strict, rl_s, _) = drain_time(32, spec.clone(), strict);
+        let (t_windowed, rl_w, _) = drain_time(32, spec, windowed);
+        assert!(rl_s.audit_report().guarantee_held());
+        assert!(rl_w.audit_report().guarantee_held());
+        assert!(
+            t_windowed < t_strict,
+            "4-channel windowed drain ({t_windowed} ns) must beat the serial drain ({t_strict} ns)"
+        );
+    }
+
+    #[test]
+    fn later_batch_may_retire_first_but_the_ledger_stays_ordered() {
+        // Batch 1 is a long 256 KiB run; batch 2 a single disjoint sector.
+        // On a multi-channel SSD the small run lands first — an ooo
+        // retirement — while record_commit still sees ascending sequences
+        // (guarantee_held checks exactly that).
+        let mut sim = Sim::new(33);
+        let spec = specs::ssd_nvme(1 << 30).with_channels(4);
+        let drain = DrainConfig::new()
+            .max_batch(256 << 10)
+            .window_depth(4)
+            .ordering(OrderingMode::PartiallyConstrained);
+        let (rl, disk) = setup(&mut sim, spec, drain);
+        let dev = rl.device();
+        let rl2 = rl.clone();
+        sim.spawn(async move {
+            dev.write(0, &vec![0xAA; 256 << 10], true).await.unwrap();
+            dev.write(10_000, &vec![0xBB; SECTOR_SIZE], true)
+                .await
+                .unwrap();
+            rl2.quiesce().await;
+        });
+        sim.run_until(SimTime::from_secs(60));
+        assert_eq!(rl.occupancy(), 0);
+        let report = rl.audit_report();
+        assert!(report.guarantee_held(), "prefix commits stayed ordered");
+        assert!(
+            report.ooo_retirements >= 1,
+            "the small batch should have jumped the big one"
+        );
+        let mut buf = vec![0u8; SECTOR_SIZE];
+        disk.peek_media(10_000, &mut buf);
+        assert_eq!(buf, vec![0xBB; SECTOR_SIZE]);
+        disk.peek_media(0, &mut buf);
+        assert_eq!(buf, vec![0xAA; SECTOR_SIZE]);
+    }
+
+    #[test]
+    fn overlapping_rewrites_stay_newest_wins_under_the_window() {
+        // The same sector is rewritten in every batch; dependency edges
+        // force those runs to land in order even though the window would
+        // happily fly them together.
+        let mut sim = Sim::new(34);
+        let spec = specs::ssd_nvme(1 << 30).with_channels(8);
+        let drain = DrainConfig::new()
+            .max_batch(SECTOR_SIZE)
+            .window_depth(8)
+            .ordering(OrderingMode::PartiallyConstrained);
+        let (rl, disk) = setup(&mut sim, spec, drain);
+        let dev = rl.device();
+        let rl2 = rl.clone();
+        sim.spawn(async move {
+            for round in 1..=32u64 {
+                dev.write(7, &vec![round as u8; SECTOR_SIZE], true)
+                    .await
+                    .unwrap();
+            }
+            rl2.quiesce().await;
+        });
+        sim.run_until(SimTime::from_secs(60));
+        assert_eq!(rl.occupancy(), 0);
+        assert!(rl.audit_report().guarantee_held());
+        let mut buf = vec![0u8; SECTOR_SIZE];
+        disk.peek_media(7, &mut buf);
+        assert_eq!(buf, vec![32u8; SECTOR_SIZE], "newest rewrite wins");
+    }
+
+    #[test]
+    fn windowed_drain_failure_freezes_and_the_checker_notices() {
+        let mut sim = Sim::new(35);
+        let spec = specs::instant(1 << 24);
+        let drain = DrainConfig::new()
+            .window_depth(4)
+            .ordering(OrderingMode::PartiallyConstrained)
+            .retry(RetryPolicy {
+                enabled: false,
+                ..RetryPolicy::default()
+            });
+        let (rl, disk) = setup(&mut sim, spec, drain);
+        let dev = rl.device();
+        sim.spawn(async move {
+            disk.set_sick(true);
+            let _ = dev.write(0, &vec![9u8; SECTOR_SIZE], true).await;
+        });
+        sim.run_until(SimTime::from_secs(1));
+        let report = rl.audit_report();
+        assert!(report.drain_failures > 0, "drain gave up immediately");
+        assert!(!report.guarantee_held(), "acked bytes were lost");
+        assert!(rl.device_frozen());
+    }
+
+    #[test]
+    fn strict_mode_traces_are_bit_identical_across_window_depths() {
+        // The sched_differential-style check: window_depth is dead config
+        // under Strict — the serial loop must produce the exact same event
+        // stream regardless, i.e. today's traces are preserved.
+        let run = |depth: usize| {
+            let mut sim = Sim::new(36);
+            let ctx = sim.ctx();
+            ctx.tracer().set_capacity(1 << 16);
+            ctx.tracer().set_enabled(true);
+            let drain = DrainConfig::new().max_batch(64 << 10).window_depth(depth);
+            let (rl, _disk) = setup(&mut sim, specs::ssd_nvme(1 << 30).with_channels(4), drain);
+            let dev = rl.device();
+            let rl2 = rl.clone();
+            sim.spawn(async move {
+                for i in 0..24u64 {
+                    dev.write(i * 16, &vec![i as u8; 4 * SECTOR_SIZE], true)
+                        .await
+                        .unwrap();
+                }
+                rl2.quiesce().await;
+            });
+            sim.run_until(SimTime::from_secs(60));
+            assert!(rl.audit_report().guarantee_held());
+            ctx.tracer().snapshot()
+        };
+        let a = run(1);
+        let b = run(8);
+        assert_eq!(a.events.len(), b.events.len());
+        assert_eq!(a, b, "Strict must stay trace-identical");
+    }
+
+    // ---- dependency-permutation property test ----
+
+    /// One random linearization of `edges` (a DAG in index order), chosen
+    /// uniformly-ish by repeatedly picking a random ready node.
+    fn random_linearization(edges: &[Vec<usize>], rng: &mut SimRng) -> Vec<usize> {
+        let n = edges.len();
+        let mut missing: Vec<usize> = edges.iter().map(|e| e.len()).collect();
+        let mut dependents: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for (j, deps) in edges.iter().enumerate() {
+            for &i in deps {
+                dependents[i].push(j);
+            }
+        }
+        let mut ready: Vec<usize> = (0..n).filter(|&j| missing[j] == 0).collect();
+        let mut order = Vec::with_capacity(n);
+        while !ready.is_empty() {
+            let pick = (rng.next_u64() as usize) % ready.len();
+            let j = ready.swap_remove(pick);
+            order.push(j);
+            for &d in &dependents[j] {
+                missing[d] -= 1;
+                if missing[d] == 0 {
+                    ready.push(d);
+                }
+            }
+        }
+        assert_eq!(order.len(), n, "dep graph must be acyclic");
+        order
+    }
+
+    #[test]
+    fn any_edge_respecting_completion_order_yields_the_same_media_state() {
+        // Property: for random batches of log extents, every completion
+        // order permitted by dep_edges() recovers to the same committed
+        // media state as the serial drain. 16 seeded batches × 8 sampled
+        // linearizations each.
+        const SECTOR_SPAN: u64 = 48;
+        for seed in 0..16u64 {
+            let mut rng = SimRng::seed_from_u64(0xD0_0D + seed);
+            let n_extents = 4 + (rng.next_u64() % 12) as usize;
+            let mut extents = Vec::with_capacity(n_extents);
+            for seq in 0..n_extents as u64 {
+                let sectors = 1 + (rng.next_u64() % 4) as usize;
+                let sector = rng.next_u64() % (SECTOR_SPAN - sectors as u64);
+                extents.push(Extent {
+                    seq,
+                    sector,
+                    data: SectorBuf::from_vec(vec![(seq + 1) as u8; sectors * SECTOR_SIZE]),
+                });
+            }
+            let runs = consolidate(&extents);
+            let edges = dep_edges(&runs);
+            // Ground truth: serial media order.
+            let mut serial = SectorStore::new();
+            serial.write_runs(&runs);
+            let mut expect = vec![0u8; SECTOR_SPAN as usize * SECTOR_SIZE];
+            serial.read_run(0, &mut expect);
+            for sample in 0..8u64 {
+                let mut prng = SimRng::seed_from_u64(seed * 100 + sample);
+                let order = random_linearization(&edges, &mut prng);
+                let mut store = SectorStore::new();
+                for &j in &order {
+                    store.write_runs(std::slice::from_ref(&runs[j]));
+                }
+                let mut got = vec![0u8; SECTOR_SPAN as usize * SECTOR_SIZE];
+                store.read_run(0, &mut got);
+                assert_eq!(
+                    got, expect,
+                    "seed {seed} sample {sample} order {order:?} diverged"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn dep_edges_order_overlaps_and_free_disjoint_runs() {
+        let runs = consolidate(&[
+            Extent {
+                seq: 0,
+                sector: 0,
+                data: SectorBuf::from_vec(vec![1; 4 * SECTOR_SIZE]),
+            },
+            Extent {
+                seq: 1,
+                sector: 1,
+                data: SectorBuf::from_vec(vec![2; SECTOR_SIZE]),
+            },
+            Extent {
+                seq: 2,
+                sector: 100,
+                data: SectorBuf::from_vec(vec![3; SECTOR_SIZE]),
+            },
+        ]);
+        assert_eq!(runs.len(), 3, "middle overlap + gap split the batch");
+        let edges = dep_edges(&runs);
+        assert!(edges[0].is_empty());
+        assert_eq!(edges[1], vec![0], "the middle rewrite must order");
+        assert!(edges[2].is_empty(), "the disjoint run is free to fly");
     }
 }

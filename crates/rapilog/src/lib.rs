@@ -74,7 +74,8 @@ pub mod prelude {
     pub use crate::buffer::{BufferStats, DependableBuffer};
     pub use crate::vdisk::RapiLogDevice;
     pub use crate::{
-        CapacitySpec, RapiLog, RapiLogBuilder, RapiLogConfig, RapiLogSnapshot, RetryPolicy,
+        CapacitySpec, DrainConfig, OrderingMode, RapiLog, RapiLogBuilder, RapiLogConfig,
+        RapiLogSnapshot, RetryPolicy,
     };
 }
 
@@ -144,30 +145,114 @@ impl Default for RetryPolicy {
     }
 }
 
+/// How strictly the drain orders media writes relative to the log's
+/// sequence order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum OrderingMode {
+    /// One run on media at a time, in exact sequence order — the paper's
+    /// original serial drain. Trace-identical to previous releases.
+    #[default]
+    Strict,
+    /// Runs are issued out of order across the device's channels wherever
+    /// their sector ranges are disjoint; overlapping rewrites and batch
+    /// boundaries still order. Durability is unchanged (the audit ledger
+    /// only advances with the contiguous durable prefix) but disjoint runs
+    /// overlap in flight, so SSD-class devices drain at channel-scaled
+    /// bandwidth.
+    PartiallyConstrained,
+}
+
+/// Drain tuning: batching, fault handling and the in-flight window.
+///
+/// Built fluently and handed to
+/// [`RapiLogBuilder::drain_config`]:
+///
+/// ```
+/// use rapilog::{DrainConfig, OrderingMode};
+/// let cfg = DrainConfig::new()
+///     .max_batch(1 << 20)
+///     .window_depth(8)
+///     .ordering(OrderingMode::PartiallyConstrained);
+/// assert_eq!(cfg.window_depth, 8);
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct DrainConfig {
+    /// Drain fault handling.
+    pub retry: RetryPolicy,
+    /// Largest single drain batch in bytes.
+    pub max_batch: usize,
+    /// Maximum runs in flight at once under
+    /// [`OrderingMode::PartiallyConstrained`] (ignored by
+    /// [`OrderingMode::Strict`], which is always depth 1).
+    pub window_depth: usize,
+    /// Media write ordering discipline.
+    pub ordering: OrderingMode,
+}
+
+impl Default for DrainConfig {
+    fn default() -> Self {
+        DrainConfig {
+            retry: RetryPolicy::default(),
+            max_batch: 2 * 1024 * 1024,
+            window_depth: 4,
+            ordering: OrderingMode::Strict,
+        }
+    }
+}
+
+impl DrainConfig {
+    /// Starts from the defaults (2 MiB batches, retries on, strict order).
+    pub fn new() -> DrainConfig {
+        DrainConfig::default()
+    }
+
+    /// Drain fault handling (default: [`RetryPolicy::default`]).
+    pub fn retry(mut self, policy: RetryPolicy) -> Self {
+        self.retry = policy;
+        self
+    }
+
+    /// Largest single drain batch in bytes (default: 2 MiB).
+    pub fn max_batch(mut self, bytes: usize) -> Self {
+        self.max_batch = bytes;
+        self
+    }
+
+    /// Runs kept in flight under the windowed drain (default: 4; clamped
+    /// to at least 1).
+    pub fn window_depth(mut self, depth: usize) -> Self {
+        self.window_depth = depth.max(1);
+        self
+    }
+
+    /// Media write ordering discipline (default: [`OrderingMode::Strict`]).
+    pub fn ordering(mut self, mode: OrderingMode) -> Self {
+        self.ordering = mode;
+        self
+    }
+}
+
 /// RapiLog configuration.
 #[derive(Debug, Clone, Copy)]
 pub struct RapiLogConfig {
     /// Buffer capacity policy.
     pub capacity: CapacitySpec,
-    /// Largest single drain batch in bytes.
-    pub max_batch: usize,
     /// Fixed CPU cost of accepting one write into the buffer.
     pub ack_base: SimDuration,
     /// Additional copy cost per KiB accepted.
     pub ack_per_kib: SimDuration,
-    /// Drain fault handling.
-    pub retry: RetryPolicy,
+    /// Drain tuning (batching, retries, ordering window).
+    pub drain: DrainConfig,
 }
 
 impl Default for RapiLogConfig {
     fn default() -> Self {
         RapiLogConfig {
             capacity: CapacitySpec::FromSupply,
-            max_batch: 2 * 1024 * 1024,
             ack_base: SimDuration::from_micros(2),
             // ~4 GB/s single-copy bandwidth.
             ack_per_kib: SimDuration::from_nanos(250),
-            retry: RetryPolicy::default(),
+            drain: DrainConfig::default(),
         }
     }
 }
@@ -218,6 +303,9 @@ pub struct RapiLogSnapshot {
     /// True while the instance acknowledges synchronously because the log
     /// disk is misbehaving (see [`RetryPolicy`]).
     pub degraded: bool,
+    /// The backing disk's counters, including queued-request depth
+    /// (`outstanding` / `max_outstanding`) under the windowed drain.
+    pub disk: rapilog_simdisk::DiskStats,
 }
 
 /// Fluent constructor for [`RapiLog`]; obtained from [`RapiLog::builder`].
@@ -243,7 +331,7 @@ pub struct RapiLogSnapshot {
 ///     .cell(&cell)
 ///     .disk(disk)
 ///     .capacity(CapacitySpec::Fixed(8 << 20))
-///     .max_batch(1 << 20)
+///     .drain_config(DrainConfig::new().max_batch(1 << 20))
 ///     .build();
 /// assert_eq!(rl.capacity(), 8 << 20);
 /// ```
@@ -289,9 +377,20 @@ impl<'a> RapiLogBuilder<'a> {
         self
     }
 
+    /// Replaces the drain tuning (batching, retries, ordering window) at
+    /// once; see [`DrainConfig`].
+    pub fn drain_config(mut self, drain: DrainConfig) -> Self {
+        self.cfg.drain = drain;
+        self
+    }
+
     /// Largest single drain batch in bytes (default: 2 MiB).
+    #[deprecated(
+        since = "0.3.0",
+        note = "use drain_config(DrainConfig::new().max_batch(..))"
+    )]
     pub fn max_batch(mut self, bytes: usize) -> Self {
-        self.cfg.max_batch = bytes;
+        self.cfg.drain.max_batch = bytes;
         self
     }
 
@@ -308,8 +407,12 @@ impl<'a> RapiLogBuilder<'a> {
     }
 
     /// Drain fault handling (default: [`RetryPolicy::default`]).
+    #[deprecated(
+        since = "0.3.0",
+        note = "use drain_config(DrainConfig::new().retry(..))"
+    )]
     pub fn retry(mut self, policy: RetryPolicy) -> Self {
-        self.cfg.retry = policy;
+        self.cfg.drain.retry = policy;
         self
     }
 
@@ -356,6 +459,7 @@ impl<'a> RapiLogBuilder<'a> {
                 device,
                 audit,
                 mode,
+                disk,
             };
         }
         let audit = audit::Audit::new(ctx, supply.cloned());
@@ -373,7 +477,7 @@ impl<'a> RapiLogBuilder<'a> {
             ctx,
             cell,
             buffer.clone(),
-            disk,
+            disk.clone(),
             cfg,
             supply.cloned(),
             audit.clone(),
@@ -384,6 +488,7 @@ impl<'a> RapiLogBuilder<'a> {
             device,
             audit,
             mode,
+            disk,
         }
     }
 }
@@ -395,6 +500,7 @@ pub struct RapiLog {
     device: RapiLogDevice,
     audit: audit::Audit,
     mode: Rc<ModeState>,
+    disk: Disk,
 }
 
 impl RapiLog {
@@ -450,6 +556,7 @@ impl RapiLog {
             frozen: self.buffer.is_frozen(),
             write_through: self.device.is_write_through(),
             degraded: self.mode.is_degraded(),
+            disk: self.disk.stats(),
         }
     }
 
@@ -510,7 +617,7 @@ mod builder_tests {
             .cell(&cell)
             .disk(disk)
             .capacity(CapacitySpec::Fixed(4 << 20))
-            .max_batch(1 << 20)
+            .drain_config(DrainConfig::new().max_batch(1 << 20))
             .ack_base(SimDuration::from_micros(5))
             .ack_per_kib(SimDuration::from_nanos(100))
             .build();

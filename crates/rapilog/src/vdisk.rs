@@ -23,7 +23,10 @@ use std::rc::Rc;
 use rapilog_simcore::bytes::SectorBuf;
 use rapilog_simcore::trace::{Layer, Payload, Tracer};
 use rapilog_simcore::{SimCtx, SimDuration};
-use rapilog_simdisk::{BlockDevice, Geometry, IoError, IoResult, LocalBoxFuture, SECTOR_SIZE};
+use rapilog_simdisk::{
+    BlockDevice, Completion, Geometry, IoError, IoQueue, IoReq, IoResult, LocalBoxFuture, ReqToken,
+    SECTOR_SIZE,
+};
 
 use crate::audit::Audit;
 use crate::buffer::{DependableBuffer, PushError};
@@ -43,6 +46,7 @@ pub struct RapiLogDevice {
     mode: Rc<ModeState>,
     geometry: Geometry,
     tracer: Rc<Tracer>,
+    queue: Rc<IoQueue>,
 }
 
 impl RapiLogDevice {
@@ -64,6 +68,7 @@ impl RapiLogDevice {
             mode,
             geometry,
             tracer: ctx.tracer(),
+            queue: Rc::new(IoQueue::new()),
         }
     }
 
@@ -87,6 +92,7 @@ impl RapiLogDevice {
             mode: ModeState::new(),
             geometry,
             tracer: ctx.tracer(),
+            queue: Rc::new(IoQueue::new()),
         }
     }
 
@@ -218,6 +224,53 @@ impl RapiLogDevice {
 impl BlockDevice for RapiLogDevice {
     fn geometry(&self) -> Geometry {
         self.geometry
+    }
+
+    fn submit(&self, req: IoReq) -> ReqToken {
+        let token = self.queue.issue();
+        let this = self.clone();
+        self.ctx.spawn(async move {
+            let (result, data) = match req {
+                IoReq::Read { sector, sectors } => {
+                    let mut buf = vec![0u8; sectors as usize * SECTOR_SIZE];
+                    match this.read(sector, &mut buf).await {
+                        Ok(()) => (Ok(()), Some(SectorBuf::from_vec(buf))),
+                        Err(e) => (Err(e), None),
+                    }
+                }
+                IoReq::Write {
+                    sector,
+                    mut segments,
+                    ..
+                } => {
+                    // A single segment rides zero-copy into the admission
+                    // path; multiple segments are flattened once, exactly
+                    // as the slice entry point would copy them.
+                    let res = if segments.len() == 1 {
+                        this.write_inner(sector, segments.pop().unwrap()).await
+                    } else {
+                        let total: usize = segments.iter().map(|s| s.len()).sum();
+                        let mut flat = Vec::with_capacity(total);
+                        for seg in &segments {
+                            flat.extend_from_slice(seg.as_slice());
+                        }
+                        this.write_inner(sector, SectorBuf::from_vec(flat)).await
+                    };
+                    (res, None)
+                }
+                IoReq::Flush => (this.flush().await, None),
+            };
+            this.queue.finish(token, result, data);
+        });
+        token
+    }
+
+    fn completions(&self) -> LocalBoxFuture<'_, Vec<Completion>> {
+        Box::pin(self.queue.completions())
+    }
+
+    fn wait(&self, token: ReqToken) -> LocalBoxFuture<'_, IoResult<Option<SectorBuf>>> {
+        Box::pin(self.queue.wait(token))
     }
 
     fn read<'a>(&'a self, sector: u64, buf: &'a mut [u8]) -> LocalBoxFuture<'a, IoResult<()>> {

@@ -43,11 +43,13 @@
 //! ```
 
 pub mod disk;
+pub mod queue;
 pub mod spec;
 pub mod store;
 pub mod timing;
 
 pub use disk::{Disk, DiskStats};
+pub use queue::IoQueue;
 pub use rapilog_simcore::bytes::{SectorBuf, SectorPool};
 pub use spec::{specs, CacheSpec, DiskSpec, FaultProfile, TimingSpec};
 pub use store::SectorStore;
@@ -122,6 +124,12 @@ pub struct Geometry {
     pub sector_size: usize,
     /// Total addressable sectors.
     pub sectors: u64,
+    /// How many requests the device services concurrently: the flash
+    /// channel count for SSDs, 1 for a single-actuator rotating disk.
+    /// Submitting more than this never fails — excess requests queue
+    /// inside the device — but only `queue_depth` make media progress
+    /// at once.
+    pub queue_depth: u32,
 }
 
 impl Geometry {
@@ -131,49 +139,183 @@ impl Geometry {
     }
 }
 
+/// One request on the queued [`BlockDevice`] interface.
+///
+/// Submitted with [`BlockDevice::submit`]; the matching [`Completion`]
+/// carries the result (and, for reads, the data).
+#[derive(Debug, Clone)]
+pub enum IoReq {
+    /// Read `sectors` sectors starting at `sector`.
+    Read {
+        /// First sector of the access.
+        sector: u64,
+        /// Number of sectors to read.
+        sectors: u64,
+    },
+    /// Write `segments` laid out back to back starting at `sector`.
+    Write {
+        /// First sector of the access.
+        sector: u64,
+        /// Byte segments, each a multiple of the sector size.
+        segments: Vec<SectorBuf>,
+        /// Force unit access: data is on stable media at completion.
+        fua: bool,
+    },
+    /// Barrier: completes once every previously acknowledged write is on
+    /// stable media.
+    Flush,
+}
+
+/// Opaque handle identifying a submitted request.
+///
+/// Tokens are unique per device instance and must be claimed exactly once,
+/// via [`BlockDevice::wait`] or [`BlockDevice::completions`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ReqToken(pub(crate) u64);
+
+/// The finished half of a queued request.
+#[derive(Debug, Clone)]
+pub struct Completion {
+    /// Token returned by the [`BlockDevice::submit`] that started this
+    /// request.
+    pub token: ReqToken,
+    /// Outcome of the request.
+    pub result: IoResult<()>,
+    /// Data of a completed read; `None` for writes, flushes, and errors.
+    pub data: Option<SectorBuf>,
+}
+
 /// An asynchronous, sector-addressed block device.
 ///
 /// Implemented by the raw simulated [`Disk`] and — crucially — by the
 /// RapiLog virtual log disk, which is how an unmodified database engine is
 /// pointed at either one. All methods are object-safe (they return boxed
 /// futures) so engines can hold `Rc<dyn BlockDevice>`.
+///
+/// # The queued interface
+///
+/// The primary surface is queue-based: [`submit`](BlockDevice::submit)
+/// enqueues a request and returns immediately with a [`ReqToken`]; the
+/// result is collected later with [`wait`](BlockDevice::wait) (one token)
+/// or [`completions`](BlockDevice::completions) (everything finished).
+/// Multiple requests may be outstanding at once — up to
+/// [`Geometry::queue_depth`] of them make media progress concurrently —
+/// which is what lets the RapiLog drain keep several flash channels busy.
+/// Completion order is *not* submission order; callers that need ordering
+/// express it by waiting before submitting the dependent request.
+///
+/// Each token must be claimed exactly once, through either `wait` or
+/// `completions`, never both: `completions` drains every unclaimed result,
+/// so mixing the two styles on one device handle steals tokens from the
+/// `wait`ers.
+///
+/// The older one-future-per-op methods ([`read`](BlockDevice::read),
+/// [`write`](BlockDevice::write), [`flush`](BlockDevice::flush),
+/// [`write_buf`](BlockDevice::write_buf)) remain as default-method shims
+/// over depth-1 submission. They are **deprecated as a primary interface**
+/// — new code should submit — but stay supported indefinitely as the
+/// convenient form for engines that want one request at a time.
 pub trait BlockDevice {
     /// The device's geometry.
     fn geometry(&self) -> Geometry;
 
+    /// Enqueues `req` and returns its token. Never blocks: admission
+    /// control beyond [`Geometry::queue_depth`] happens inside the device,
+    /// not at submission.
+    fn submit(&self, req: IoReq) -> ReqToken;
+
+    /// Waits until at least one submitted request has finished, then
+    /// returns every unclaimed [`Completion`] (ascending token order).
+    fn completions(&self) -> LocalBoxFuture<'_, Vec<Completion>>;
+
+    /// Waits for one specific request and takes its result; a completed
+    /// read yields `Some(data)`.
+    fn wait(&self, token: ReqToken) -> LocalBoxFuture<'_, IoResult<Option<SectorBuf>>>;
+
     /// Reads `buf.len() / sector_size` sectors starting at `sector`.
     /// The buffer length must be a positive multiple of the sector size.
-    fn read<'a>(&'a self, sector: u64, buf: &'a mut [u8]) -> LocalBoxFuture<'a, IoResult<()>>;
+    ///
+    /// Deprecated shim: depth-1 [`submit`](BlockDevice::submit) +
+    /// [`wait`](BlockDevice::wait), plus one copy into the borrowed
+    /// buffer. Prefer submitting an [`IoReq::Read`].
+    fn read<'a>(&'a self, sector: u64, buf: &'a mut [u8]) -> LocalBoxFuture<'a, IoResult<()>> {
+        Box::pin(async move {
+            if buf.is_empty() || !buf.len().is_multiple_of(SECTOR_SIZE) {
+                return Err(IoError::Misaligned { len: buf.len() });
+            }
+            let token = self.submit(IoReq::Read {
+                sector,
+                sectors: (buf.len() / SECTOR_SIZE) as u64,
+            });
+            let data = self.wait(token).await?;
+            let data = data.expect("read completion must carry data");
+            buf.copy_from_slice(data.as_slice());
+            Ok(())
+        })
+    }
 
     /// Writes `data` starting at `sector`. With `fua` (force unit access)
     /// the data is on stable media when the future resolves; without it the
     /// write may land in a volatile cache.
+    ///
+    /// Deprecated shim: depth-1 [`submit`](BlockDevice::submit) +
+    /// [`wait`](BlockDevice::wait), plus one copy of `data` into an owned
+    /// buffer. Prefer submitting an [`IoReq::Write`].
     fn write<'a>(
         &'a self,
         sector: u64,
         data: &'a [u8],
         fua: bool,
-    ) -> LocalBoxFuture<'a, IoResult<()>>;
+    ) -> LocalBoxFuture<'a, IoResult<()>> {
+        Box::pin(async move {
+            if data.is_empty() || !data.len().is_multiple_of(SECTOR_SIZE) {
+                return Err(IoError::Misaligned { len: data.len() });
+            }
+            let token = self.submit(IoReq::Write {
+                sector,
+                segments: vec![SectorBuf::copy_from(data)],
+                fua,
+            });
+            self.wait(token).await.map(|_| ())
+        })
+    }
 
     /// Barrier: resolves once every previously acknowledged write is on
     /// stable media.
-    fn flush(&self) -> LocalBoxFuture<'_, IoResult<()>>;
+    ///
+    /// Deprecated shim: depth-1 submission of [`IoReq::Flush`].
+    fn flush(&self) -> LocalBoxFuture<'_, IoResult<()>> {
+        Box::pin(async move {
+            let token = self.submit(IoReq::Flush);
+            self.wait(token).await.map(|_| ())
+        })
+    }
 
     /// Writes an owned, reference-counted buffer starting at `sector`.
     ///
     /// This is the zero-copy entry point of the log data path: layers that
     /// keep the bytes alive (the RapiLog buffer, the virtio transport, the
     /// media model's in-flight window) take an O(1) view of `data` instead
-    /// of copying it. The default implementation forwards to
-    /// [`write`](BlockDevice::write), so existing devices keep working and
-    /// pay at most what they paid before.
+    /// of copying it. The default implementation submits a single-segment
+    /// [`IoReq::Write`], so existing devices keep working and pay at most
+    /// what they paid before.
     fn write_buf(
         &self,
         sector: u64,
         data: SectorBuf,
         fua: bool,
     ) -> LocalBoxFuture<'_, IoResult<()>> {
-        Box::pin(async move { self.write(sector, data.as_slice(), fua).await })
+        Box::pin(async move {
+            if data.is_empty() || !data.len().is_multiple_of(SECTOR_SIZE) {
+                return Err(IoError::Misaligned { len: data.len() });
+            }
+            let token = self.submit(IoReq::Write {
+                sector,
+                segments: vec![data],
+                fua,
+            });
+            self.wait(token).await.map(|_| ())
+        })
     }
 }
 

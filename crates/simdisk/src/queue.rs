@@ -1,0 +1,166 @@
+//! Completion bookkeeping for the queued [`BlockDevice`] interface.
+//!
+//! Every device that implements [`BlockDevice::submit`] needs the same small
+//! piece of machinery: hand out tokens, remember finished requests until the
+//! caller collects them, and wake whoever is waiting. [`IoQueue`] is that
+//! machinery, shared by the simulated [`Disk`](crate::Disk), the virtio
+//! transport, the retrying wrapper and the RapiLog virtual device. It is
+//! deliberately dumb — *when* a request finishes is entirely the device's
+//! business; the queue only routes the result back to the submitter.
+//!
+//! [`BlockDevice`]: crate::BlockDevice
+//! [`BlockDevice::submit`]: crate::BlockDevice::submit
+
+use std::cell::{Cell, RefCell};
+use std::collections::HashMap;
+
+use rapilog_simcore::bytes::SectorBuf;
+use rapilog_simcore::sync::Notify;
+
+use crate::{Completion, IoResult, ReqToken};
+
+/// What the mailbox stores per finished request: the outcome and, for
+/// reads, the payload.
+type Finished = (IoResult<()>, Option<SectorBuf>);
+
+/// Token allocator plus completion mailbox for one device instance.
+///
+/// Single-threaded (sim tasks are cooperative), so plain `Cell`/`RefCell`
+/// interior mutability is enough. The device calls [`issue`](IoQueue::issue)
+/// from `submit` and [`finish`](IoQueue::finish) when the spawned request
+/// task resolves; submitters call [`wait`](IoQueue::wait) for one token or
+/// [`completions`](IoQueue::completions) to drain everything that has
+/// finished.
+#[derive(Default)]
+pub struct IoQueue {
+    next_token: Cell<u64>,
+    done: RefCell<HashMap<u64, Finished>>,
+    outstanding: Cell<u32>,
+    max_outstanding: Cell<u32>,
+    notify: Notify,
+}
+
+impl IoQueue {
+    /// Creates an empty queue.
+    pub fn new() -> IoQueue {
+        IoQueue::default()
+    }
+
+    /// Allocates the token for a freshly submitted request and counts it
+    /// as outstanding.
+    pub fn issue(&self) -> ReqToken {
+        let t = self.next_token.get();
+        self.next_token.set(t + 1);
+        let out = self.outstanding.get() + 1;
+        self.outstanding.set(out);
+        if out > self.max_outstanding.get() {
+            self.max_outstanding.set(out);
+        }
+        ReqToken(t)
+    }
+
+    /// Records the result of a request and wakes every waiter. `data`
+    /// carries the payload of a completed read; writes and flushes pass
+    /// `None`.
+    pub fn finish(&self, token: ReqToken, result: IoResult<()>, data: Option<SectorBuf>) {
+        self.done.borrow_mut().insert(token.0, (result, data));
+        self.outstanding
+            .set(self.outstanding.get().saturating_sub(1));
+        self.notify.notify_all();
+    }
+
+    /// Requests submitted but not yet finished.
+    pub fn outstanding(&self) -> u32 {
+        self.outstanding.get()
+    }
+
+    /// High-water mark of [`outstanding`](IoQueue::outstanding) over the
+    /// queue's lifetime.
+    pub fn max_outstanding(&self) -> u32 {
+        self.max_outstanding.get()
+    }
+
+    /// Waits for the request identified by `token` and takes its result.
+    /// Each token must be claimed exactly once, through either `wait` or
+    /// [`completions`](IoQueue::completions) — never both.
+    pub async fn wait(&self, token: ReqToken) -> IoResult<Option<SectorBuf>> {
+        loop {
+            if let Some((result, data)) = self.done.borrow_mut().remove(&token.0) {
+                return result.map(|()| data);
+            }
+            self.notify.notified().await;
+        }
+    }
+
+    /// Waits until at least one request has finished, then drains and
+    /// returns every unclaimed completion (ascending token order).
+    pub async fn completions(&self) -> Vec<Completion> {
+        loop {
+            {
+                let mut done = self.done.borrow_mut();
+                if !done.is_empty() {
+                    let mut out: Vec<Completion> = done
+                        .drain()
+                        .map(|(t, (result, data))| Completion {
+                            token: ReqToken(t),
+                            result,
+                            data,
+                        })
+                        .collect();
+                    out.sort_by_key(|c| c.token.0);
+                    return out;
+                }
+            }
+            self.notify.notified().await;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::IoError;
+    use rapilog_simcore::Sim;
+    use std::rc::Rc;
+
+    #[test]
+    fn wait_returns_result_for_its_own_token() {
+        let mut sim = Sim::new(7);
+        let q = Rc::new(IoQueue::new());
+        let a = q.issue();
+        let b = q.issue();
+        assert_ne!(a, b);
+        assert_eq!(q.outstanding(), 2);
+        let q2 = Rc::clone(&q);
+        sim.spawn(async move {
+            let got = q2.wait(b).await;
+            assert_eq!(got, Err(IoError::Transient));
+            let got = q2.wait(a).await;
+            assert_eq!(got, Ok(None));
+        });
+        q.finish(b, Err(IoError::Transient), None);
+        q.finish(a, Ok(()), None);
+        sim.run();
+        assert_eq!(q.outstanding(), 0);
+        assert_eq!(q.max_outstanding(), 2);
+    }
+
+    #[test]
+    fn completions_drains_everything_finished() {
+        let mut sim = Sim::new(7);
+        let q = Rc::new(IoQueue::new());
+        let a = q.issue();
+        let b = q.issue();
+        q.finish(b, Ok(()), Some(SectorBuf::from_vec(vec![1u8; 512])));
+        q.finish(a, Ok(()), None);
+        let q2 = Rc::clone(&q);
+        sim.spawn(async move {
+            let got = q2.completions().await;
+            assert_eq!(got.len(), 2);
+            assert_eq!(got[0].token, a);
+            assert_eq!(got[1].token, b);
+            assert_eq!(got[1].data.as_ref().map(|d| d.len()), Some(512));
+        });
+        sim.run();
+    }
+}

@@ -31,6 +31,11 @@ pub enum TimingSpec {
         flush_latency: SimDuration,
         /// Interface bandwidth in bytes per second.
         bus_bytes_per_sec: u64,
+        /// Independent flash channels: how many media operations the device
+        /// services concurrently. Each channel has the full per-op latency
+        /// and bus share; the queued [`BlockDevice`](crate::BlockDevice)
+        /// interface is what lets callers actually keep them busy.
+        channels: u32,
     },
 }
 
@@ -167,6 +172,24 @@ impl DiskSpec {
         self
     }
 
+    /// Returns the spec with `n` independent flash channels (SSD specs
+    /// only; ignored for rotating disks, which have a single actuator).
+    pub fn with_channels(mut self, n: u32) -> DiskSpec {
+        if let TimingSpec::Ssd { channels, .. } = &mut self.timing {
+            *channels = n.max(1);
+        }
+        self
+    }
+
+    /// How many media operations the device can service concurrently: the
+    /// channel count for flash, 1 for a rotating disk.
+    pub fn queue_depth(&self) -> u32 {
+        match &self.timing {
+            TimingSpec::Hdd { .. } => 1,
+            TimingSpec::Ssd { channels, .. } => (*channels).max(1),
+        }
+    }
+
     /// Time for one platter rotation; zero for SSDs.
     pub fn rotation_period(&self) -> SimDuration {
         match &self.timing {
@@ -246,6 +269,7 @@ pub mod specs {
                 write_latency: SimDuration::from_micros(70),
                 flush_latency: SimDuration::from_millis(2),
                 bus_bytes_per_sec: 250 * 1024 * 1024,
+                channels: 1,
             },
             cache: None,
             torn_writes: false,
@@ -263,6 +287,7 @@ pub mod specs {
                 write_latency: SimDuration::from_micros(15),
                 flush_latency: SimDuration::from_micros(400),
                 bus_bytes_per_sec: 2 * 1024 * 1024 * 1024,
+                channels: 1,
             },
             cache: None,
             torn_writes: false,
@@ -280,6 +305,7 @@ pub mod specs {
                 write_latency: SimDuration::ZERO,
                 flush_latency: SimDuration::ZERO,
                 bus_bytes_per_sec: u64::MAX,
+                channels: 1,
             },
             cache: None,
             torn_writes: false,
@@ -312,6 +338,15 @@ mod tests {
     fn capacity_rounds_up_to_sectors() {
         let spec = specs::instant(1000);
         assert_eq!(spec.sectors, 2);
+    }
+
+    #[test]
+    fn channels_default_to_one_and_are_configurable() {
+        assert_eq!(specs::ssd_nvme(1 << 30).queue_depth(), 1);
+        assert_eq!(specs::ssd_nvme(1 << 30).with_channels(4).queue_depth(), 4);
+        assert_eq!(specs::ssd_nvme(1 << 30).with_channels(0).queue_depth(), 1);
+        // Rotating disks have a single actuator no matter what.
+        assert_eq!(specs::hdd_7200(1 << 30).with_channels(4).queue_depth(), 1);
     }
 
     #[test]

@@ -112,6 +112,7 @@ impl TimingModel {
                 write_latency,
                 flush_latency,
                 bus_bytes_per_sec,
+                ..
             } => TimingModel::Ssd {
                 read_latency: *read_latency,
                 write_latency: *write_latency,

@@ -14,6 +14,7 @@ $B/table3_groupcommit     > results/table3.txt 2>&1
 $B/abl_buffer_sweep       > results/abl_buffer.txt 2>&1
 $B/abl_disk_sweep         > results/abl_disk.txt 2>&1
 $B/abl_ckpt_sweep         > results/abl_ckpt.txt 2>&1
+$B/abl_ssd_channels       > results/abl_ssd_channels.txt 2>&1
 TRIALS=${TRIALS:-40} $B/table2_durability > results/table2.txt 2>&1
 $B/table4_disk_faults     > results/table4.txt 2>&1
 $B/crashpoint_sweep       > results/crashpoints.txt 2>&1
