@@ -10,11 +10,16 @@
 //! opposite: the auditor **must** produce a replayable counterexample, or
 //! a clean main sweep proves nothing.
 //!
+//! A third sweep runs the **multi-tenant** machine (4 equal-weight cells
+//! sharing one sharded RapiLog) over the same fault kinds and demands the
+//! per-tenant durability invariant: no tenant loses acknowledged bytes and
+//! no tenant's sectors carry another tenant's data, at every crash point.
+//!
 //! Trials fan out over host threads (`RAPILOG_BENCH_THREADS`, default all
 //! cores); results are merged in canonical grid order, so the report is
 //! bit-identical at any thread count. A machine-readable summary row —
-//! wall-clock, trials/sec, thread count — is upserted into
-//! `BENCH_sweeps.json`.
+//! wall-clock, trials/sec, thread count, p99/p999 commit latency — is
+//! upserted into `BENCH_sweeps.json`.
 //!
 //! Exit status is non-zero when either half fails, so this binary doubles
 //! as the CI gate (`scripts/check.sh`).
@@ -56,6 +61,17 @@ fn summarize(title: &str, report: &ExplorationReport) {
         "  drain response:  retries={} remaps={} degraded_entries={} degraded_exits={}",
         s.drain_retries, s.sector_remaps, s.degraded_entries, s.degraded_exits
     );
+    if report.commit_latency.count() > 0 {
+        println!(
+            "  commit latency:  p99={}us p999={}us ({} samples)",
+            report.commit_latency.percentile(99.0),
+            report.commit_latency.percentile(99.9),
+            report.commit_latency.count()
+        );
+    }
+    if report.tenant_acked > 0 {
+        println!("  co-tenant acked writes audited: {}", report.tenant_acked);
+    }
     for ce in &report.counterexamples {
         println!("  {}", ce.replay_line());
     }
@@ -103,6 +119,35 @@ fn main() {
         wall.as_secs_f64()
     );
 
+    // Multi-tenant sweep: 4 equal-weight cells sharing one sharded buffer,
+    // windowed drain. The trial itself audits the media image per tenant, so
+    // a clean report means no tenant lost acked bytes and no sector leaked
+    // across tenants at any crash point.
+    let mut mt = ExplorerConfig::multi_tenant();
+    mt.seeds = if quick {
+        (0..2).map(|i| 0x7E2A + i * 97).collect()
+    } else {
+        (0..4).map(|i| 0x7E2A + i * 97).collect()
+    };
+    mt.fault_times_ms = if quick {
+        vec![120, 330]
+    } else {
+        vec![120, 240, 360]
+    };
+    let mt_trials = mt.seeds.len() * mt.fault_times_ms.len() * mt.kinds.len();
+    println!(
+        "\nMulti-tenant sweep [{} cells]: {} seeds x {} instants x {} kinds = {mt_trials} trials\n",
+        mt.tenants,
+        mt.seeds.len(),
+        mt.fault_times_ms.len(),
+        mt.kinds.len(),
+    );
+    let mt_report = explore_crash_points_parallel(&mt, threads);
+    summarize(
+        "multi-tenant windowed drain (must be clean, per-tenant audit)",
+        &mt_report,
+    );
+
     // Negative control: a drain that cannot retry must lose acked commits
     // under a disk-error burst, and the auditor must catch it.
     let mut control = ExplorerConfig::broken_drain();
@@ -129,6 +174,14 @@ fn main() {
             failed = true;
         }
     }
+    if !mt_report.clean() {
+        println!("\nFAIL: the multi-tenant sweep produced counterexamples");
+        failed = true;
+    }
+    if mt_report.total_acked == 0 || mt_report.tenant_acked == 0 {
+        println!("\nFAIL: the multi-tenant sweep audited no co-tenant traffic");
+        failed = true;
+    }
     if control_report.clean() {
         println!("\nFAIL: the broken-drain control found no counterexample");
         failed = true;
@@ -153,6 +206,10 @@ fn main() {
         .iter()
         .map(|(_, r)| r.counterexamples.len() as u64)
         .sum();
+    let mut lat = rapilog_simcore::stats::Histogram::new();
+    for (_, r) in &mode_reports {
+        lat.merge(&r.commit_latency);
+    }
     let row = Json::obj([
         ("bench", Json::str("crashpoint_sweep")),
         ("quick", Json::Bool(quick)),
@@ -160,6 +217,14 @@ fn main() {
         ("trials", Json::int(total_trials)),
         ("acked_commits", Json::int(acked)),
         ("counterexamples", Json::int(ces)),
+        ("p99_commit_us", Json::int(lat.percentile(99.0))),
+        ("p999_commit_us", Json::int(lat.percentile(99.9))),
+        ("mt_trials", Json::int(mt_report.trials)),
+        ("mt_tenant_acked", Json::int(mt_report.tenant_acked)),
+        (
+            "mt_counterexamples",
+            Json::int(mt_report.counterexamples.len() as u64),
+        ),
         ("wall_ms", Json::int(wall.as_millis() as u64)),
         ("trials_per_sec", Json::Num(trials_per_sec)),
     ]);

@@ -86,6 +86,8 @@ fn main() {
         "violating trials",
         "acked lost",
         "mean recovery (ms)",
+        "p99 commit (us)",
+        "p999 commit (us)",
     ]);
     let mut json_rows = Vec::new();
     for row in rows {
@@ -118,8 +120,10 @@ fn main() {
         let mut violating = 0u64;
         let mut lost = 0u64;
         let mut recovery_ms = 0.0f64;
+        let mut latency = rapilog_simcore::stats::Histogram::new();
         for r in &results {
             total_acked += r.total_acked;
+            latency.merge(&r.commit_latency);
             if !r.ok {
                 violating += 1;
                 for (c, j) in r.journals.iter().enumerate() {
@@ -136,6 +140,8 @@ fn main() {
             violating.to_string(),
             lost.to_string(),
             f1(recovery_ms / trials as f64),
+            latency.percentile(99.0).to_string(),
+            latency.percentile(99.9).to_string(),
         ]);
         json_rows.push(Json::obj([
             ("configuration", Json::str(row.label)),
@@ -144,6 +150,8 @@ fn main() {
             ("violating_trials", Json::int(violating)),
             ("acked_lost", Json::int(lost)),
             ("mean_recovery_ms", Json::Num(recovery_ms / trials as f64)),
+            ("p99_commit_us", Json::int(latency.percentile(99.0))),
+            ("p999_commit_us", Json::int(latency.percentile(99.9))),
         ]));
     }
     let wall = wall_start.elapsed();

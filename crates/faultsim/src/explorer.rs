@@ -15,6 +15,7 @@
 //! planted bug proves nothing when it finds none.
 
 use rapilog::{DrainConfig, OrderingMode, RapiLogConfig, RetryPolicy};
+use rapilog_simcore::stats::Histogram;
 use rapilog_simcore::SimDuration;
 use rapilog_simdisk::{specs, FaultProfile};
 use rapilog_simpower::{supplies, SupplySpec};
@@ -50,6 +51,11 @@ pub struct ExplorerConfig {
     pub ordering: OrderingMode,
     /// Power supply model (power kinds need the residual window).
     pub supply: SupplySpec,
+    /// Tenants sharing the RapiLog instance per trial. `1` is the classic
+    /// single-tenant machine; `n > 1` adds `n − 1` co-tenant writer cells
+    /// whose shards the media audit checks for per-tenant durability and
+    /// cross-tenant isolation.
+    pub tenants: usize,
 }
 
 impl ExplorerConfig {
@@ -67,6 +73,20 @@ impl ExplorerConfig {
             retry: RetryPolicy::default(),
             ordering: OrderingMode::Strict,
             supply: supplies::atx_psu(),
+            tenants: 1,
+        }
+    }
+
+    /// The multi-tenant sweep: four equal-weight tenants on one instance,
+    /// the windowed out-of-order drain, and the full fault-kind set. Every
+    /// trial audits the per-tenant durability invariant (no tenant loses
+    /// acknowledged bytes) and shard isolation (no tenant's sectors carry
+    /// another tenant's data) across the whole crash-point grid.
+    pub fn multi_tenant() -> ExplorerConfig {
+        ExplorerConfig {
+            tenants: 4,
+            ordering: OrderingMode::PartiallyConstrained,
+            ..ExplorerConfig::rapilog_default()
         }
     }
 
@@ -117,6 +137,7 @@ impl ExplorerConfig {
         }
         let mut machine = MachineConfig::new(self.setup, specs::instant(256 << 20), log_spec);
         machine.supply = Some(self.supply.clone());
+        machine.tenants = self.tenants;
         machine.rapilog = RapiLogConfig {
             drain: DrainConfig::new()
                 .retry(self.retry)
@@ -198,6 +219,12 @@ pub struct ExplorationReport {
     pub counterexamples: Vec<Counterexample>,
     /// Fault-handling activity summed over every trial.
     pub stats: FaultStats,
+    /// Client commit latency (µs) merged over every trial's pre-fault load;
+    /// `percentile(99.0)` / `percentile(99.9)` feed the sweep tables.
+    pub commit_latency: Histogram,
+    /// Co-tenant writer acknowledgements audited, summed over trials (0 on
+    /// single-tenant sweeps).
+    pub tenant_acked: u64,
 }
 
 impl ExplorationReport {
@@ -222,6 +249,12 @@ impl ExplorationReport {
         self.stats.sector_remaps += s.sector_remaps;
         self.stats.degraded_entries += s.degraded_entries;
         self.stats.degraded_exits += s.degraded_exits;
+        self.commit_latency.merge(&r.commit_latency);
+        self.tenant_acked += r
+            .tenant_journals
+            .iter()
+            .map(|t| t.acked_writes)
+            .sum::<u64>();
         if !r.ok {
             let mut ce = point.clone();
             ce.violations = r.violations.clone();
@@ -285,6 +318,27 @@ mod tests {
             report.stats.transient_errors > 0,
             "the background fault profile injected something"
         );
+    }
+
+    #[test]
+    fn multi_tenant_grid_holds_per_tenant_durability_and_isolation() {
+        let mut cfg = ExplorerConfig::multi_tenant();
+        cfg.seeds = vec![0x5EED];
+        cfg.fault_times_ms = vec![150, 350];
+        let report = explore_crash_points(&cfg);
+        assert_eq!(report.trials, 2 * 5);
+        assert!(
+            report.clean(),
+            "counterexamples: {:?}",
+            report
+                .counterexamples
+                .iter()
+                .map(|c| c.replay_line())
+                .collect::<Vec<_>>()
+        );
+        assert!(report.total_acked > 0, "the WAL load ran");
+        assert!(report.tenant_acked > 0, "the co-tenant writers ran");
+        assert!(report.commit_latency.count() > 0, "latency was recorded");
     }
 
     #[test]

@@ -18,7 +18,7 @@
 use std::cell::RefCell;
 use std::rc::Rc;
 
-use rapilog::{AuditReport, RapiLog, RapiLogConfig};
+use rapilog::{AuditReport, RapiLog, RapiLogConfig, TenantSpec};
 use rapilog_dbengine::recovery::RecoveryReport;
 use rapilog_dbengine::{Database, DbConfig, DbError, TableDef};
 use rapilog_microvisor::{Cell as HvCell, GuestVm, Hypervisor, Trust, VirtCosts, VirtioBlk};
@@ -67,6 +67,11 @@ pub struct MachineConfig {
     pub virt_costs: VirtCosts,
     /// RapiLog configuration (RapiLog setup).
     pub rapilog: RapiLogConfig,
+    /// Tenants sharing the RapiLog instance (RapiLog setup). `1` is the
+    /// classic single-tenant machine; `n > 1` builds `n` equal-weight
+    /// shards with tenant ids `0..n`, where tenant 0 carries the database
+    /// WAL and the rest are synthetic co-tenant cells.
+    pub tenants: usize,
     /// CPU tax of running under the hypervisor.
     pub virt_cpu_factor: f64,
 }
@@ -82,6 +87,7 @@ impl MachineConfig {
             db: DbConfig::default(),
             virt_costs: VirtCosts::default(),
             rapilog: RapiLogConfig::default(),
+            tenants: 1,
             virt_cpu_factor: 1.05,
         }
     }
@@ -187,6 +193,11 @@ impl Machine {
                     .cell(&i.driver_cell)
                     .disk(i.log_disk.clone())
                     .config(i.cfg.rapilog);
+                if i.cfg.tenants > 1 {
+                    let specs: Vec<TenantSpec> =
+                        (0..i.cfg.tenants as u64).map(TenantSpec::new).collect();
+                    builder = builder.tenants(&specs);
+                }
                 if let Some(psu) = i.psu.as_ref() {
                     builder = builder.supply(psu);
                 }

@@ -17,13 +17,23 @@
 use std::cell::RefCell;
 use std::rc::Rc;
 
+use rapilog::TenantId;
 use rapilog_dbengine::recovery::RecoveryReport;
+use rapilog_simcore::stats::Histogram;
 use rapilog_simcore::trace::{LatencyAttribution, Layer, Payload, TraceSnapshot};
 use rapilog_simcore::{RunReport, SchedulerKind, Sim, SimDuration, SimTime};
+use rapilog_simdisk::{BlockDevice, SECTOR_SIZE};
 use rapilog_workload::micro;
 use rapilog_workload::session::{job, outcome_from, JobOutcome};
 
 use crate::machine::{Machine, MachineConfig};
+
+/// First log-disk sector of the co-tenant writer region. Far above anything
+/// the database WAL touches on the 128 MiB+ log disks the trials use, so
+/// tenant slots and WAL never alias.
+const TENANT_BASE_SECTOR: u64 = 200_000;
+/// Sectors (= journal slots) per co-tenant writer.
+const TENANT_SLOT_COUNT: u64 = 64;
 
 /// The injected fault classes: the paper's two machine-level failures plus
 /// the media-fault scenarios of the IRON-style disk model.
@@ -141,6 +151,40 @@ pub struct ClientJournal {
     pub attempted: u64,
 }
 
+/// One co-tenant writer's acknowledgement journal (multi-tenant trials).
+///
+/// The writer cycles through [`TENANT_SLOT_COUNT`] private log-disk sectors,
+/// stamping each write with a monotonic sequence and the tenant's tag. The
+/// journal records, per slot, the highest acknowledged and highest attempted
+/// sequence — the media audit after recovery checks every slot against it.
+#[derive(Debug, Clone)]
+pub struct TenantJournal {
+    /// The tenant id (1-based; tenant 0 is the database WAL).
+    pub tenant: u64,
+    /// Per-slot highest sequence whose write was acknowledged.
+    pub acked: Vec<u64>,
+    /// Per-slot highest sequence ever submitted.
+    pub attempted: Vec<u64>,
+    /// Count of acknowledged writes (across slots).
+    pub acked_writes: u64,
+}
+
+impl TenantJournal {
+    fn new(tenant: u64) -> TenantJournal {
+        TenantJournal {
+            tenant,
+            acked: vec![0; TENANT_SLOT_COUNT as usize],
+            attempted: vec![0; TENANT_SLOT_COUNT as usize],
+            acked_writes: 0,
+        }
+    }
+}
+
+/// The byte every filler position of tenant `t`'s sectors carries.
+fn tenant_fill(t: u64) -> u8 {
+    0xA0u8.wrapping_add(t as u8)
+}
+
 /// The outcome of one trial.
 #[derive(Debug, Clone)]
 pub struct TrialResult {
@@ -164,6 +208,11 @@ pub struct TrialResult {
     /// Per-layer busy-time attribution over the whole trial (commits =
     /// `total_acked`). Trials always run with tracing enabled.
     pub attribution: LatencyAttribution,
+    /// Client commit latency (µs) over the pre-fault load; `percentile`
+    /// gives p99/p999 for the sweep tables.
+    pub commit_latency: Histogram,
+    /// Co-tenant writer journals (empty on single-tenant machines).
+    pub tenant_journals: Vec<TenantJournal>,
 }
 
 /// Runs one complete trial in its own deterministic simulation on the
@@ -208,18 +257,21 @@ pub fn run_trial_traced(
         // Clients: external, keep their own journals.
         let journals: Rc<RefCell<Vec<ClientJournal>>> =
             Rc::new(RefCell::new(vec![ClientJournal::default(); cfg.clients]));
+        let commit_latency: Rc<RefCell<Histogram>> = Rc::new(RefCell::new(Histogram::new()));
         let server = machine.server();
         let mut client_handles = Vec::new();
         for client in 0..cfg.clients as u64 {
             let conn = server.connect();
             let ctx3 = c2.clone();
             let journals = Rc::clone(&journals);
+            let lat = Rc::clone(&commit_latency);
             let think = cfg.think_time;
             client_handles.push(c2.spawn(async move {
                 let mut seq = 0u64;
                 loop {
                     seq += 1;
                     journals.borrow_mut()[client as usize].attempted = seq;
+                    let t0 = ctx3.now();
                     let outcome = conn
                         .submit(job(move |db| async move {
                             let table = match micro::registers_table(&db) {
@@ -232,6 +284,8 @@ pub fn run_trial_traced(
                     match outcome {
                         JobOutcome::Committed => {
                             journals.borrow_mut()[client as usize].acked = seq;
+                            lat.borrow_mut()
+                                .record(ctx3.now().duration_since(t0).as_micros());
                         }
                         // The machine is dying (stop, power loss, reset):
                         // this client is done.
@@ -246,6 +300,58 @@ pub fn run_trial_traced(
                     }
                 }
             }));
+        }
+        // Co-tenant writers (multi-tenant machines only — spawning nothing
+        // here keeps single-tenant trials event-for-event identical).
+        // Tenant 0 is the database WAL above; tenants 1..n are synthetic
+        // guest cells hammering their own shard with tagged sectors.
+        let n_tenants = cfg.machine.tenants;
+        let stop_writers = Rc::new(std::cell::Cell::new(false));
+        let tenant_journals: Rc<RefCell<Vec<TenantJournal>>> = Rc::new(RefCell::new(
+            (1..n_tenants as u64).map(TenantJournal::new).collect(),
+        ));
+        let mut writer_handles = Vec::new();
+        if n_tenants > 1 {
+            let rl = machine
+                .rapilog()
+                .expect("multi-tenant trials require the RapiLog setup");
+            for t in 1..n_tenants as u64 {
+                let dev = rl
+                    .device_for(TenantId(t))
+                    .expect("tenant shard was configured");
+                let ctx4 = c2.clone();
+                let tj = Rc::clone(&tenant_journals);
+                let stop = Rc::clone(&stop_writers);
+                let think = cfg.think_time;
+                writer_handles.push(c2.spawn(async move {
+                    let mut seq = 0u64;
+                    while !stop.get() {
+                        seq += 1;
+                        let slot = (seq - 1) % TENANT_SLOT_COUNT;
+                        let sector = TENANT_BASE_SECTOR + (t - 1) * TENANT_SLOT_COUNT + slot;
+                        let mut data = vec![tenant_fill(t); SECTOR_SIZE];
+                        data[..8].copy_from_slice(&seq.to_le_bytes());
+                        data[8] = t as u8;
+                        tj.borrow_mut()[t as usize - 1].attempted[slot as usize] = seq;
+                        match dev.write(sector, &data, true).await {
+                            Ok(()) => {
+                                let mut js = tj.borrow_mut();
+                                js[t as usize - 1].acked[slot as usize] = seq;
+                                js[t as usize - 1].acked_writes += 1;
+                            }
+                            // Frozen buffer or dead disk: this tenant is done.
+                            Err(_) => break,
+                        }
+                        if !think.is_zero() {
+                            let ns = rapilog_simcore::rng::exponential(
+                                &mut ctx4.fork_rng(),
+                                think.as_nanos() as f64,
+                            );
+                            ctx4.sleep(SimDuration::from_nanos(ns as u64)).await;
+                        }
+                    }
+                }));
+            }
         }
         // Let the load run, then pull the trigger.
         c2.sleep(cfg.fault_after).await;
@@ -298,8 +404,23 @@ pub fn run_trial_traced(
             }
         }
         // Wait for every client to observe the failure.
+        stop_writers.set(true);
         for h in client_handles {
             let _ = h.await;
+        }
+        for h in writer_handles {
+            let _ = h.await;
+        }
+        // Multi-tenant only: let the fair-share drain land everything the
+        // co-tenant writers were acknowledged for (a frozen instance
+        // already ran its emergency drain). Single-tenant trials skip this
+        // await entirely so their event sequence stays bit-identical.
+        if n_tenants > 1 {
+            if let Some(rl) = machine.rapilog() {
+                if !rl.device_frozen() {
+                    rl.quiesce().await;
+                }
+            }
         }
         let journals = journals.borrow().clone();
         // Reboot and recover.
@@ -333,6 +454,42 @@ pub fn run_trial_traced(
                 ));
             }
         }
+        // Multi-tenant media audit: every tenant keeps every acknowledged
+        // byte (durability) and no tenant's sectors carry another tenant's
+        // data (isolation). Read straight off the media, past all caches.
+        let tenant_journals = tenant_journals.borrow().clone();
+        for tj in &tenant_journals {
+            let t = tj.tenant;
+            let base = TENANT_BASE_SECTOR + (t - 1) * TENANT_SLOT_COUNT;
+            let mut buf = vec![0u8; SECTOR_SIZE];
+            for slot in 0..TENANT_SLOT_COUNT as usize {
+                machine.log_disk().peek_media(base + slot as u64, &mut buf);
+                let acked = tj.acked[slot];
+                let attempted = tj.attempted[slot];
+                if buf.iter().all(|&b| b == 0) {
+                    if acked > 0 {
+                        violations.push(format!(
+                            "tenant {t}: slot {slot} lost acked seq {acked} (media empty)"
+                        ));
+                    }
+                    continue;
+                }
+                if buf[8] != t as u8 || buf[9] != tenant_fill(t) {
+                    violations.push(format!(
+                        "tenant {t}: foreign data in slot {slot} (tag {}, fill {:#04x})",
+                        buf[8], buf[9]
+                    ));
+                    continue;
+                }
+                let media_seq = u64::from_le_bytes(buf[..8].try_into().unwrap());
+                if media_seq < acked || media_seq > attempted {
+                    violations.push(format!(
+                        "tenant {t}: slot {slot} media seq {media_seq} outside \
+                         acked..attempted [{acked}, {attempted}]"
+                    ));
+                }
+            }
+        }
         machine.assert_trusted_intact();
         let rapilog_guarantee = machine.rapilog_guarantee_held();
         if rapilog_guarantee == Some(false) {
@@ -352,6 +509,8 @@ pub fn run_trial_traced(
             rapilog_guarantee,
             fault_stats,
             attribution,
+            commit_latency: commit_latency.borrow().clone(),
+            tenant_journals,
         });
     });
     let report = sim.run_until(SimTime::from_secs(600));
@@ -456,6 +615,36 @@ mod tests {
         assert!(r.total_acked > 0);
         assert_eq!(r.rapilog_guarantee, Some(true));
         assert!(r.fault_stats.drain_retries > 0);
+    }
+
+    #[test]
+    fn multi_tenant_power_cut_keeps_every_tenants_acked_bytes() {
+        let mut cfg = base(Setup::RapiLog, FaultKind::PowerCut);
+        cfg.machine.tenants = 4;
+        cfg.machine.rapilog.drain =
+            rapilog::DrainConfig::new().ordering(rapilog::OrderingMode::PartiallyConstrained);
+        let r = run_trial(110, cfg);
+        assert!(r.ok, "violations: {:?}", r.violations);
+        assert_eq!(r.tenant_journals.len(), 3, "tenants 1..4 journaled");
+        for tj in &r.tenant_journals {
+            assert!(
+                tj.acked_writes > 0,
+                "tenant {} never got an ack — the co-tenant load is dead",
+                tj.tenant
+            );
+        }
+        assert!(r.commit_latency.count() > 0, "client latency was recorded");
+        assert_eq!(r.rapilog_guarantee, Some(true));
+    }
+
+    #[test]
+    fn multi_tenant_guest_crash_is_invisible_to_co_tenants() {
+        let mut cfg = base(Setup::RapiLog, FaultKind::GuestCrash);
+        cfg.machine.tenants = 3;
+        let r = run_trial(111, cfg);
+        assert!(r.ok, "violations: {:?}", r.violations);
+        assert!(r.tenant_journals.iter().all(|t| t.acked_writes > 0));
+        assert_eq!(r.rapilog_guarantee, Some(true));
     }
 
     #[test]

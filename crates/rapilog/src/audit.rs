@@ -40,6 +40,31 @@ impl EmergencyOutcome {
     }
 }
 
+/// Per-tenant section of the audit report. Each tenant shard has its own
+/// sequence space, so ordering (I3) is checked against a per-tenant
+/// contiguous durable prefix, and lost bytes are attributed to the shard
+/// that held them when the drain died.
+#[derive(Debug, Clone, Default)]
+pub struct TenantAudit {
+    /// The tenant this section describes (`TenantId` raw value).
+    pub tenant: u64,
+    /// Media commits observed for this tenant.
+    pub commits: u64,
+    /// True if this tenant's commits arrived out of sequence order.
+    pub order_violated: bool,
+    /// Bytes of this tenant still buffered when the drain failed.
+    pub bytes_lost_at_failure: u64,
+    /// Last committed sequence, for the per-tenant ordering check.
+    pub(crate) last_seq: Option<u64>,
+}
+
+impl TenantAudit {
+    /// The per-tenant verdict: ordering held and no acked byte was lost.
+    pub fn guarantee_held(&self) -> bool {
+        !self.order_violated && self.bytes_lost_at_failure == 0
+    }
+}
+
 /// The auditor's cumulative findings.
 #[derive(Debug, Clone, Default)]
 pub struct AuditReport {
@@ -66,17 +91,27 @@ pub struct AuditReport {
     /// I3 tracks the contiguous durable *prefix*, which the drain reports
     /// only as it advances.
     pub ooo_retirements: u64,
+    /// Per-tenant sections (empty for single-tenant instances). The global
+    /// counters above aggregate across tenants; these attribute them.
+    pub tenants: Vec<TenantAudit>,
 }
 
 impl AuditReport {
     /// The headline verdict: ordering held, and every power-failure
     /// episode drained in time. A drain failure is only acceptable if it
     /// happened *after* the buffer had already emptied (then
-    /// `bytes_lost_at_failure` is zero).
+    /// `bytes_lost_at_failure` is zero). For multi-tenant instances the
+    /// same must hold for every tenant section individually.
     pub fn guarantee_held(&self) -> bool {
         !self.order_violated
             && self.bytes_lost_at_failure == 0
             && self.emergencies.iter().all(|e| e.met())
+            && self.tenants.iter().all(|t| t.guarantee_held())
+    }
+
+    /// The section for `tenant`, if registered.
+    pub fn tenant(&self, tenant: u64) -> Option<&TenantAudit> {
+        self.tenants.iter().find(|t| t.tenant == tenant)
     }
 }
 
@@ -84,6 +119,21 @@ struct AuditSt {
     last_seq: Option<u64>,
     report: AuditReport,
     pending_emergency: Option<usize>,
+}
+
+impl AuditSt {
+    /// Index of `tenant`'s section, creating it on first use. Sections are
+    /// few (one per cell) — a linear scan beats a side map.
+    fn tenant_idx(&mut self, tenant: u64) -> usize {
+        if let Some(i) = self.report.tenants.iter().position(|t| t.tenant == tenant) {
+            return i;
+        }
+        self.report.tenants.push(TenantAudit {
+            tenant,
+            ..TenantAudit::default()
+        });
+        self.report.tenants.len() - 1
+    }
 }
 
 /// Cloneable auditor handle.
@@ -119,6 +169,40 @@ impl Audit {
         }
         st.last_seq = Some(seq);
         st.report.commits += 1;
+    }
+
+    /// Registers a tenant section up front so reports list every tenant
+    /// even if it never commits.
+    pub fn register_tenant(&self, tenant: u64) {
+        self.st.borrow_mut().tenant_idx(tenant);
+    }
+
+    /// Records a media commit of every extent of `tenant` up to `seq`.
+    /// Ordering is checked against the tenant's own sequence space; the
+    /// global commit counter aggregates across tenants (the global
+    /// `last_seq` check stays single-tenant-only, since tenant sequence
+    /// spaces are independent).
+    pub fn record_tenant_commit(&self, tenant: u64, seq: u64) {
+        let mut st = self.st.borrow_mut();
+        let idx = st.tenant_idx(tenant);
+        let section = &mut st.report.tenants[idx];
+        if let Some(last) = section.last_seq {
+            if seq <= last {
+                section.order_violated = true;
+            }
+        }
+        section.last_seq = Some(seq);
+        section.commits += 1;
+        st.report.commits += 1;
+    }
+
+    /// Attributes bytes lost at a drain failure to `tenant`'s shard. The
+    /// aggregate is recorded separately via
+    /// [`record_drain_failure`](Self::record_drain_failure).
+    pub fn record_tenant_loss(&self, tenant: u64, bytes: u64) {
+        let mut st = self.st.borrow_mut();
+        let idx = st.tenant_idx(tenant);
+        st.report.tenants[idx].bytes_lost_at_failure += bytes;
     }
 
     /// Records the power-fail warning with the occupancy snapshot.
@@ -263,5 +347,44 @@ mod tests {
         assert!(audit.report().guarantee_held(), "nothing was lost");
         audit.record_drain_failure(512);
         assert!(!audit.report().guarantee_held());
+    }
+
+    #[test]
+    fn tenant_sections_check_ordering_per_tenant() {
+        let sim = Sim::new(0);
+        let audit = Audit::new(&sim.ctx(), None);
+        audit.register_tenant(0);
+        audit.register_tenant(1);
+        // Interleaved commits from independent sequence spaces: each
+        // tenant's own order holds even though the merged stream does not.
+        audit.record_tenant_commit(0, 5);
+        audit.record_tenant_commit(1, 2);
+        audit.record_tenant_commit(0, 6);
+        audit.record_tenant_commit(1, 3);
+        let r = audit.report();
+        assert_eq!(r.tenants.len(), 2);
+        assert_eq!(r.commits, 4, "global counter aggregates");
+        assert!(r.guarantee_held());
+        assert_eq!(r.tenant(0).unwrap().commits, 2);
+        // A regression within ONE tenant's space flips only that section
+        // — and with it the headline verdict.
+        audit.record_tenant_commit(1, 3);
+        let r = audit.report();
+        assert!(r.tenant(1).unwrap().order_violated);
+        assert!(!r.tenant(1).unwrap().guarantee_held());
+        assert!(!r.tenant(0).unwrap().order_violated);
+        assert!(!r.guarantee_held());
+    }
+
+    #[test]
+    fn tenant_loss_fails_only_that_section_and_the_headline() {
+        let sim = Sim::new(0);
+        let audit = Audit::new(&sim.ctx(), None);
+        audit.record_tenant_commit(7, 1);
+        audit.record_tenant_loss(7, 4096);
+        let r = audit.report();
+        assert_eq!(r.tenant(7).unwrap().bytes_lost_at_failure, 4096);
+        assert!(!r.guarantee_held());
+        assert!(r.tenant(7).is_some() && r.tenant(8).is_none());
     }
 }

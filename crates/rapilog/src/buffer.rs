@@ -127,6 +127,13 @@ pub enum PushError {
 impl DependableBuffer {
     /// Creates a buffer with the given byte capacity.
     pub fn new(capacity: u64) -> DependableBuffer {
+        DependableBuffer::with_avail(capacity, Notify::new())
+    }
+
+    /// Creates a buffer whose availability notifications go to a *shared*
+    /// `Notify` — how the tenant shards of a [`ShardedBuffer`]
+    /// (crate::shard::ShardedBuffer) all wake the one fair-share drain.
+    pub(crate) fn with_avail(capacity: u64, avail: Notify) -> DependableBuffer {
         DependableBuffer {
             st: Rc::new(RefCell::new(BufSt {
                 queue: VecDeque::new(),
@@ -139,9 +146,14 @@ impl DependableBuffer {
                 stats: BufferStats::default(),
             })),
             space: Notify::new(),
-            avail: Notify::new(),
+            avail,
             empty: Notify::new(),
         }
+    }
+
+    /// True if at least one extent is queued (not counting in-flight ones).
+    pub(crate) fn has_queued(&self) -> bool {
+        !self.st.borrow().queue.is_empty()
     }
 
     /// The admission cap.
@@ -664,6 +676,91 @@ mod tests {
         let buf = DependableBuffer::new(SECTOR_SIZE as u64);
         sim.spawn(async move {
             let _ = buf.push(0, sector_data(1, 2)).await;
+        });
+        sim.run();
+    }
+
+    #[test]
+    fn duplicate_completion_is_idempotent() {
+        let mut sim = Sim::new(0);
+        let buf = DependableBuffer::new(1 << 20);
+        let b2 = buf.clone();
+        sim.spawn(async move {
+            let s0 = b2.push(0, sector_data(1, 2)).await.unwrap();
+            let s1 = b2.push(2, sector_data(2, 1)).await.unwrap();
+            b2.pop_batch(usize::MAX);
+            b2.complete_seqs(s0, s0);
+            assert_eq!(b2.occupancy(), SECTOR_SIZE as u64);
+            // Completing the same range again must not double-release space
+            // or double-count drained bytes.
+            b2.complete_seqs(s0, s0);
+            assert_eq!(b2.occupancy(), SECTOR_SIZE as u64);
+            assert_eq!(b2.stats().drained_bytes, 2 * SECTOR_SIZE as u64);
+            b2.complete_seqs(s1, s1);
+            b2.complete_seqs(s1, s1);
+            assert_eq!(b2.occupancy(), 0);
+            assert_eq!(b2.stats().drained_bytes, 3 * SECTOR_SIZE as u64);
+            b2.drained().await;
+        });
+        sim.run();
+    }
+
+    #[test]
+    fn completion_past_high_water_seq_is_a_bounded_no_op() {
+        let mut sim = Sim::new(0);
+        let buf = DependableBuffer::new(1 << 20);
+        let b2 = buf.clone();
+        sim.spawn(async move {
+            let s0 = b2.push(0, sector_data(1, 1)).await.unwrap();
+            b2.pop_batch(usize::MAX);
+            // A range entirely above the high-water seq touches nothing.
+            b2.complete_seqs(s0 + 10, s0 + 20);
+            assert_eq!(b2.occupancy(), SECTOR_SIZE as u64);
+            assert_eq!(b2.queued(), 1);
+            // A range reaching past the high-water seq releases only what
+            // exists — u64::MAX as `hi` must not overflow or over-release.
+            b2.complete_seqs(0, u64::MAX);
+            assert_eq!(b2.occupancy(), 0);
+            assert_eq!(b2.queued(), 0);
+            assert_eq!(b2.stats().drained_bytes, SECTOR_SIZE as u64);
+            b2.drained().await;
+        });
+        sim.run();
+    }
+
+    #[test]
+    fn interleaved_release_under_partially_constrained_ordering() {
+        // The windowed drain's pattern: two batches in flight, the later one
+        // retires first (releasing space to a blocked writer), then the
+        // earlier one; meanwhile new pushes interleave with the releases.
+        let mut sim = Sim::new(0);
+        let buf = DependableBuffer::new(4 * SECTOR_SIZE as u64);
+        let b2 = buf.clone();
+        sim.spawn(async move {
+            let s0 = b2.push(0, sector_data(1, 2)).await.unwrap();
+            let s1 = b2.push(2, sector_data(2, 2)).await.unwrap();
+            let batch_a = b2.pop_batch(2 * SECTOR_SIZE);
+            let batch_b = b2.pop_batch(2 * SECTOR_SIZE);
+            assert_eq!((batch_a.len(), batch_b.len()), (1, 1));
+            // Later batch retires first: space frees out of order.
+            b2.complete_seqs(s1, s1);
+            assert_eq!(b2.occupancy(), 2 * SECTOR_SIZE as u64);
+            // A new push lands in the freed space while s0 is in flight.
+            let s2 = b2.push(4, sector_data(3, 2)).await.unwrap();
+            assert!(s2 > s1);
+            assert_eq!(b2.occupancy(), 4 * SECTOR_SIZE as u64);
+            // Straggler retires; only the newest extent remains charged.
+            b2.complete_seqs(s0, s0);
+            assert_eq!(b2.occupancy(), 2 * SECTOR_SIZE as u64);
+            assert_eq!(b2.read_overlay(0), None, "s0 overlay cleaned");
+            assert_eq!(
+                b2.read_overlay(4),
+                Some(sector_data(3, 1)),
+                "interleaved push still readable"
+            );
+            b2.pop_batch(usize::MAX);
+            b2.complete_seqs(s2, s2);
+            b2.drained().await;
         });
         sim.run();
     }

@@ -44,6 +44,7 @@ use rapilog_simpower::PowerSupply;
 
 use crate::audit::Audit;
 use crate::buffer::{DependableBuffer, Extent};
+use crate::shard::{ShardedBuffer, TenantId};
 use crate::{ModeState, OrderingMode, RapiLogConfig, RetryPolicy};
 
 /// Truncates `run` to its first `keep_sectors` sectors, slicing the
@@ -297,9 +298,12 @@ struct BatchEntry {
 
 /// Retirement accounting: batches are registered in sequence order and may
 /// finish out of order, but [`Audit::record_commit`] is fed only the
-/// contiguous durable prefix — exactly what invariant I3 promises.
+/// contiguous durable prefix — exactly what invariant I3 promises. Under
+/// the sharded drain each tenant has its own ledger (`tenant` set), so each
+/// tenant's audit section advances with its own contiguous prefix.
 struct BatchLedger {
     batches: VecDeque<BatchEntry>,
+    tenant: Option<TenantId>,
 }
 
 impl BatchLedger {
@@ -335,7 +339,10 @@ impl BatchLedger {
         // The audit ledger advances only with the contiguous prefix.
         while self.batches.front().is_some_and(|b| b.retired) {
             let front = self.batches.pop_front().expect("checked non-empty");
-            audit.record_commit(front.hi);
+            match self.tenant {
+                Some(t) => audit.record_tenant_commit(t.0, front.hi),
+                None => audit.record_commit(front.hi),
+            }
         }
         (Some(payload), jumped)
     }
@@ -486,6 +493,7 @@ fn start_windowed(
         let inflight: Rc<RefCell<Vec<InflightRun>>> = Rc::new(RefCell::new(Vec::new()));
         let ledger = Rc::new(RefCell::new(BatchLedger {
             batches: VecDeque::new(),
+            tenant: None,
         }));
         let mut next_run_id = 0u64;
         let mut next_batch_id = 0u64;
@@ -637,6 +645,292 @@ fn start_windowed(
                 }
             }
         }
+    });
+}
+
+/// Spawns the multi-tenant fair-share drain and (with a supply) the
+/// sharded power watcher.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn start_sharded(
+    ctx: &SimCtx,
+    cell: &Cell,
+    sharded: &ShardedBuffer,
+    disk: Disk,
+    cfg: RapiLogConfig,
+    supply: Option<PowerSupply>,
+    audit: Audit,
+    mode: Rc<ModeState>,
+) {
+    start_fair_share(ctx, cell, sharded, disk, cfg, &audit, mode);
+    if let Some(psu) = supply {
+        start_power_watcher_sharded(ctx, cell, sharded.clone(), psu, audit);
+    }
+}
+
+/// The fair-share drain: a deficit-round-robin scheduler over tenant
+/// shards feeding the windowed out-of-order engine of [`start_windowed`].
+///
+/// Each scheduling cycle visits every shard once (the start position
+/// rotates so no shard gets a standing head-of-line advantage) and grants
+/// it one batch of up to `weight × max_batch` bytes — the weighted
+/// quantum. The runs of all tenants share one in-flight window and one
+/// overlap-dependency set (one disk, one newest-wins media order), but
+/// retirement bookkeeping is **per tenant**: each shard has its own
+/// [`BatchLedger`], so space release and the audit's contiguous durable
+/// prefix advance independently per tenant, and a slow tenant never holds
+/// back another tenant's commit ledger.
+///
+/// [`OrderingMode::Strict`] is honoured by clamping the window to depth 1:
+/// runs then land serially in dispatch order, which — because every shard's
+/// batches are dispatched in its own sequence order — preserves the strict
+/// per-tenant discipline.
+fn start_fair_share(
+    ctx: &SimCtx,
+    cell: &Cell,
+    sharded: &ShardedBuffer,
+    disk: Disk,
+    cfg: RapiLogConfig,
+    audit: &Audit,
+    mode: Rc<ModeState>,
+) {
+    let drain_sharded = sharded.clone();
+    let drain_audit = audit.clone();
+    let drain_ctx = ctx.clone();
+    let tracer = ctx.tracer();
+    cell.spawn(async move {
+        let policy = cfg.drain.retry;
+        let depth = match cfg.drain.ordering {
+            OrderingMode::Strict => 1,
+            OrderingMode::PartiallyConstrained => cfg.drain.window_depth.max(1),
+        };
+        let window = Rc::new(Semaphore::new(depth));
+        let consecutive_ok = Rc::new(StdCell::new(0u32));
+        let failed = Rc::new(StdCell::new(false));
+        let inflight: Rc<RefCell<Vec<InflightRun>>> = Rc::new(RefCell::new(Vec::new()));
+        let shard_info: Vec<(TenantId, u32, DependableBuffer)> = drain_sharded
+            .shards()
+            .iter()
+            .map(|s| (s.id, s.weight, s.buf.clone()))
+            .collect();
+        let ledgers: Vec<Rc<RefCell<BatchLedger>>> = shard_info
+            .iter()
+            .map(|(id, _, _)| {
+                Rc::new(RefCell::new(BatchLedger {
+                    batches: VecDeque::new(),
+                    tenant: Some(*id),
+                }))
+            })
+            .collect();
+        let n = shard_info.len();
+        let mut next_run_id = 0u64;
+        let mut next_batch_id = 0u64;
+        let mut cursor = 0usize;
+        loop {
+            drain_sharded.wait_any_avail().await;
+            loop {
+                if failed.get() {
+                    return;
+                }
+                let mut popped_any = false;
+                for off in 0..n {
+                    let idx = (cursor + off) % n;
+                    let (_, weight, ref shard_buf) = shard_info[idx];
+                    let quantum = cfg.drain.max_batch.saturating_mul(weight as usize);
+                    let batch = shard_buf.pop_batch(quantum);
+                    if batch.is_empty() {
+                        continue;
+                    }
+                    popped_any = true;
+                    let lo = batch.first().expect("non-empty batch").seq;
+                    let hi = batch.last().expect("non-empty batch").seq;
+                    let runs = consolidate(&batch);
+                    let batch_payload = Payload::Batch {
+                        extents: batch.len() as u64,
+                        runs: runs.len() as u64,
+                        bytes: runs.iter().map(|r| r.bytes() as u64).sum(),
+                    };
+                    tracer.begin(drain_ctx.now(), Layer::Drain, "drain_batch", batch_payload);
+                    let batch_id = next_batch_id;
+                    next_batch_id += 1;
+                    ledgers[idx].borrow_mut().batches.push_back(BatchEntry {
+                        id: batch_id,
+                        lo,
+                        hi,
+                        remaining: runs.len() as u64,
+                        retired: false,
+                        payload: batch_payload,
+                    });
+                    for run in runs {
+                        let permit = window.acquire(1).await;
+                        if failed.get() {
+                            return;
+                        }
+                        let run_id = next_run_id;
+                        next_run_id += 1;
+                        // Overlap edges are computed across ALL tenants'
+                        // in-flight runs: tenants share the disk, so
+                        // newest-wins media order is a global constraint.
+                        let (run_lo, run_hi) = (run.sector, run.sector + run.sectors());
+                        let deps: Vec<Rc<Event>> = inflight
+                            .borrow()
+                            .iter()
+                            .filter(|f| run_lo < f.sector + f.sectors && f.sector < run_hi)
+                            .map(|f| Rc::clone(&f.done))
+                            .collect();
+                        let done = Rc::new(Event::new());
+                        inflight.borrow_mut().push(InflightRun {
+                            id: run_id,
+                            sector: run.sector,
+                            sectors: run.sectors(),
+                            done: Rc::clone(&done),
+                        });
+                        let mut rng = drain_ctx.fork_rng();
+                        let task_ctx = drain_ctx.clone();
+                        let task_disk = disk.clone();
+                        let task_audit = drain_audit.clone();
+                        let task_mode = Rc::clone(&mode);
+                        let task_ok = Rc::clone(&consecutive_ok);
+                        let task_failed = Rc::clone(&failed);
+                        let task_inflight = Rc::clone(&inflight);
+                        let task_ledger = Rc::clone(&ledgers[idx]);
+                        let task_buffer = shard_buf.clone();
+                        let task_sharded = drain_sharded.clone();
+                        let task_tracer = Rc::clone(&tracer);
+                        drain_ctx.spawn(async move {
+                            let _permit = permit;
+                            for dep in &deps {
+                                dep.wait().await;
+                            }
+                            let result = if task_failed.get() {
+                                None
+                            } else {
+                                Some(
+                                    write_run_resilient(
+                                        &task_ctx,
+                                        &task_disk,
+                                        &run,
+                                        &policy,
+                                        &mut rng,
+                                        &task_audit,
+                                        &task_mode,
+                                        &task_ok,
+                                        true,
+                                    )
+                                    .await,
+                                )
+                            };
+                            done.set();
+                            task_inflight.borrow_mut().retain(|f| f.id != run_id);
+                            match result {
+                                Some(Ok(())) if !task_failed.get() => {
+                                    let (retired, jumped) = task_ledger.borrow_mut().run_done(
+                                        batch_id,
+                                        &task_buffer,
+                                        &task_audit,
+                                    );
+                                    if let Some(payload) = retired {
+                                        task_tracer.end(
+                                            task_ctx.now(),
+                                            Layer::Drain,
+                                            "drain_batch",
+                                            payload,
+                                        );
+                                        if jumped {
+                                            task_tracer.instant(
+                                                task_ctx.now(),
+                                                Layer::Drain,
+                                                "ooo_retire",
+                                                payload,
+                                            );
+                                        }
+                                    }
+                                }
+                                Some(Err(RunFatal::DeviceLost)) if !task_failed.replace(true) => {
+                                    task_tracer.end(
+                                        task_ctx.now(),
+                                        Layer::Drain,
+                                        "drain_batch",
+                                        Payload::Text {
+                                            text: "drain_failure",
+                                        },
+                                    );
+                                    task_tracer.instant(
+                                        task_ctx.now(),
+                                        Layer::Drain,
+                                        "freeze",
+                                        Payload::Bytes {
+                                            bytes: task_sharded.total_occupancy(),
+                                        },
+                                    );
+                                    // The aggregate is the global loss; the
+                                    // per-shard snapshots attribute it so
+                                    // every tenant's section can testify.
+                                    task_audit.record_drain_failure(task_sharded.total_occupancy());
+                                    for s in task_sharded.shards() {
+                                        task_audit.record_tenant_loss(s.id.0, s.buf.occupancy());
+                                    }
+                                    task_sharded.freeze_all();
+                                }
+                                _ => {}
+                            }
+                        });
+                    }
+                    if failed.get() {
+                        return;
+                    }
+                }
+                cursor = (cursor + 1) % n;
+                if !popped_any {
+                    break;
+                }
+            }
+        }
+    });
+}
+
+/// The power watcher for a sharded instance: freezes every shard on the
+/// supply's warning and audits the *aggregate* emergency drain — the
+/// residual-energy window was sized for the sum of the shard capacities,
+/// so the deadline applies to the sum of their occupancies.
+fn start_power_watcher_sharded(
+    ctx: &SimCtx,
+    cell: &Cell,
+    sharded: ShardedBuffer,
+    psu: PowerSupply,
+    audit: Audit,
+) {
+    let watcher_ctx = ctx.clone();
+    let tracer = ctx.tracer();
+    cell.spawn(async move {
+        let warning = psu.warning_event();
+        warning.wait().await;
+        sharded.freeze_all();
+        let remaining = sharded.total_occupancy();
+        tracer.instant(
+            watcher_ctx.now(),
+            Layer::Power,
+            "power_warning",
+            Payload::Bytes { bytes: remaining },
+        );
+        let deadline = watcher_ctx.now()
+            + psu
+                .time_until_death()
+                .expect("warning implies residual state");
+        audit.record_warning(remaining, deadline);
+        tracer.begin(
+            watcher_ctx.now(),
+            Layer::Drain,
+            "emergency_drain",
+            Payload::Bytes { bytes: remaining },
+        );
+        sharded.all_drained().await;
+        tracer.end(
+            watcher_ctx.now(),
+            Layer::Drain,
+            "emergency_drain",
+            Payload::Bytes { bytes: remaining },
+        );
+        audit.record_emergency_drained();
     });
 }
 

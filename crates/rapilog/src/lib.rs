@@ -58,10 +58,14 @@
 pub mod audit;
 pub mod buffer;
 pub mod drain;
+pub mod service;
+pub mod shard;
 pub mod vdisk;
 
-pub use audit::AuditReport;
+pub use audit::{AuditReport, TenantAudit};
 pub use buffer::{BufferStats, DependableBuffer};
+pub use service::LogService;
+pub use shard::{ShardedBuffer, TenantId, TenantSpec};
 pub use vdisk::RapiLogDevice;
 
 /// One-stop imports for assembling and observing a RapiLog stack.
@@ -70,12 +74,14 @@ pub use vdisk::RapiLogDevice;
 /// use rapilog::prelude::*;
 /// ```
 pub mod prelude {
-    pub use crate::audit::AuditReport;
+    pub use crate::audit::{AuditReport, TenantAudit};
     pub use crate::buffer::{BufferStats, DependableBuffer};
+    pub use crate::service::LogService;
+    pub use crate::shard::{ShardedBuffer, TenantId, TenantSpec};
     pub use crate::vdisk::RapiLogDevice;
     pub use crate::{
         CapacitySpec, DrainConfig, OrderingMode, RapiLog, RapiLogBuilder, RapiLogConfig,
-        RapiLogSnapshot, RetryPolicy,
+        RapiLogSnapshot, RetryPolicy, TenantSnapshot,
     };
 }
 
@@ -306,6 +312,25 @@ pub struct RapiLogSnapshot {
     /// The backing disk's counters, including queued-request depth
     /// (`outstanding` / `max_outstanding`) under the windowed drain.
     pub disk: rapilog_simdisk::DiskStats,
+    /// Per-tenant views, in shard order. A single-tenant instance has one
+    /// entry for [`TenantId::DEFAULT`]; the aggregate fields above are the
+    /// sums across these.
+    pub tenants: Vec<TenantSnapshot>,
+}
+
+/// One tenant's slice of a [`RapiLogSnapshot`].
+#[derive(Debug, Clone)]
+pub struct TenantSnapshot {
+    /// The tenant (`TenantId` raw value).
+    pub tenant: u64,
+    /// Fair-share weight.
+    pub weight: u32,
+    /// This shard's buffer counters.
+    pub buffer: BufferStats,
+    /// Bytes this shard currently buffers.
+    pub occupancy: u64,
+    /// This shard's admission cap in bytes.
+    pub capacity: u64,
 }
 
 /// Fluent constructor for [`RapiLog`]; obtained from [`RapiLog::builder`].
@@ -342,6 +367,7 @@ pub struct RapiLogBuilder<'a> {
     disk: Option<Disk>,
     supply: Option<&'a PowerSupply>,
     cfg: RapiLogConfig,
+    tenants: Vec<TenantSpec>,
 }
 
 impl<'a> RapiLogBuilder<'a> {
@@ -384,13 +410,13 @@ impl<'a> RapiLogBuilder<'a> {
         self
     }
 
-    /// Largest single drain batch in bytes (default: 2 MiB).
-    #[deprecated(
-        since = "0.3.0",
-        note = "use drain_config(DrainConfig::new().max_batch(..))"
-    )]
-    pub fn max_batch(mut self, bytes: usize) -> Self {
-        self.cfg.drain.max_batch = bytes;
+    /// The tenants sharing this instance. With two or more specs, the
+    /// capacity is split into per-tenant shards by weight and the drain
+    /// runs the weighted-round-robin fair-share scheduler; with zero or
+    /// one, the instance is single-tenant and behaves (and traces) exactly
+    /// as before sharding existed. See [`TenantSpec`].
+    pub fn tenants(mut self, specs: &[TenantSpec]) -> Self {
+        self.tenants = specs.to_vec();
         self
     }
 
@@ -403,16 +429,6 @@ impl<'a> RapiLogBuilder<'a> {
     /// Additional copy cost per KiB accepted (default: 250 ns).
     pub fn ack_per_kib(mut self, cost: SimDuration) -> Self {
         self.cfg.ack_per_kib = cost;
-        self
-    }
-
-    /// Drain fault handling (default: [`RetryPolicy::default`]).
-    #[deprecated(
-        since = "0.3.0",
-        note = "use drain_config(DrainConfig::new().retry(..))"
-    )]
-    pub fn retry(mut self, policy: RetryPolicy) -> Self {
-        self.cfg.drain.retry = policy;
         self
     }
 
@@ -443,6 +459,17 @@ impl<'a> RapiLogBuilder<'a> {
             }
             (CapacitySpec::FromSupply, None) => 16 * 1024 * 1024,
         };
+        // Zero or one tenant spec is the single-tenant instance — same
+        // construction sequence as before sharding existed, so Strict
+        // traces stay bit-identical. Two or more go through the shards.
+        if self.tenants.len() >= 2 {
+            return Self::build_sharded(ctx, cell, disk, supply, cfg, capacity, &self.tenants);
+        }
+        let tenant_id = self
+            .tenants
+            .first()
+            .map(|s| s.id)
+            .unwrap_or(TenantId::DEFAULT);
         if capacity < rapilog_simdisk::SECTOR_SIZE as u64 {
             // The residual window cannot cover even one sector's drain:
             // fall back to write-through — the device forwards every write
@@ -455,8 +482,12 @@ impl<'a> RapiLogBuilder<'a> {
             let device =
                 RapiLogDevice::new_write_through(ctx, Rc::new(disk.clone()), cfg, audit.clone());
             return RapiLog {
-                buffer,
-                device,
+                tenants: Rc::new(vec![TenantHandle {
+                    id: tenant_id,
+                    weight: 1,
+                    buffer,
+                    device,
+                }]),
                 audit,
                 mode,
                 disk,
@@ -484,8 +515,106 @@ impl<'a> RapiLogBuilder<'a> {
             Rc::clone(&mode),
         );
         RapiLog {
-            buffer,
-            device,
+            tenants: Rc::new(vec![TenantHandle {
+                id: tenant_id,
+                weight: 1,
+                buffer,
+                device,
+            }]),
+            audit,
+            mode,
+            disk,
+        }
+    }
+
+    /// The multi-tenant assembly: capacity split into weighted shards, one
+    /// guest-facing device per tenant, one fair-share drain over them all.
+    fn build_sharded(
+        ctx: &SimCtx,
+        cell: &Cell,
+        disk: Disk,
+        supply: Option<&PowerSupply>,
+        cfg: RapiLogConfig,
+        capacity: u64,
+        specs: &[TenantSpec],
+    ) -> RapiLog {
+        let weights: Vec<u32> = specs.iter().map(|s| s.weight.max(1)).collect();
+        let shard_caps = shard::split_capacity(capacity, &weights);
+        let audit = audit::Audit::new(ctx, supply.cloned());
+        for spec in specs {
+            audit.register_tenant(spec.id.0);
+        }
+        let mode = ModeState::new();
+        if shard_caps
+            .iter()
+            .any(|&c| c < rapilog_simdisk::SECTOR_SIZE as u64)
+        {
+            // Some tenant's share cannot cover even one sector: the whole
+            // instance runs write-through (per-tenant devices, no buffers)
+            // rather than buffering for some tenants and lying to others.
+            let tenants: Vec<TenantHandle> = specs
+                .iter()
+                .map(|spec| TenantHandle {
+                    id: spec.id,
+                    weight: spec.weight.max(1),
+                    buffer: DependableBuffer::new(0),
+                    device: RapiLogDevice::new_write_through(
+                        ctx,
+                        Rc::new(disk.clone()),
+                        cfg,
+                        audit.clone(),
+                    ),
+                })
+                .collect();
+            return RapiLog {
+                tenants: Rc::new(tenants),
+                audit,
+                mode,
+                disk,
+            };
+        }
+        let sharded = ShardedBuffer::new(specs, capacity);
+        if let Some(psu) = supply {
+            // The sizing rule must hold for the AGGREGATE: the emergency
+            // drain empties every shard within one residual window.
+            assert!(
+                budget::aggregate_fits(
+                    psu.spec(),
+                    disk.spec().sequential_bandwidth(),
+                    &sharded.capacities(),
+                ),
+                "aggregate shard capacity exceeds the residual-energy budget"
+            );
+        }
+        let tenants: Vec<TenantHandle> = sharded
+            .shards()
+            .iter()
+            .map(|s| TenantHandle {
+                id: s.id,
+                weight: s.weight,
+                buffer: s.buf.clone(),
+                device: RapiLogDevice::new(
+                    ctx,
+                    s.buf.clone(),
+                    Rc::new(disk.clone()),
+                    cfg,
+                    audit.clone(),
+                    Rc::clone(&mode),
+                ),
+            })
+            .collect();
+        drain::start_sharded(
+            ctx,
+            cell,
+            &sharded,
+            disk.clone(),
+            cfg,
+            supply.cloned(),
+            audit.clone(),
+            Rc::clone(&mode),
+        );
+        RapiLog {
+            tenants: Rc::new(tenants),
             audit,
             mode,
             disk,
@@ -493,11 +622,19 @@ impl<'a> RapiLogBuilder<'a> {
     }
 }
 
+/// One tenant's slice of the instance: identity, weight, buffer shard and
+/// guest-facing device. A single-tenant instance has exactly one handle.
+struct TenantHandle {
+    id: TenantId,
+    weight: u32,
+    buffer: DependableBuffer,
+    device: RapiLogDevice,
+}
+
 /// The assembled RapiLog instance.
 #[derive(Clone)]
 pub struct RapiLog {
-    buffer: DependableBuffer,
-    device: RapiLogDevice,
+    tenants: Rc<Vec<TenantHandle>>,
     audit: audit::Audit,
     mode: Rc<ModeState>,
     disk: Disk,
@@ -512,51 +649,69 @@ impl RapiLog {
             disk: None,
             supply: None,
             cfg: RapiLogConfig::default(),
+            tenants: Vec::new(),
         }
     }
 
-    /// Builds RapiLog inside `cell` (must be trusted), draining to `disk`.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `cell` is untrusted.
-    #[deprecated(since = "0.2.0", note = "use RapiLog::builder(ctx) instead")]
-    pub fn new(
-        ctx: &SimCtx,
-        cell: &Cell,
-        disk: Disk,
-        supply: Option<&PowerSupply>,
-        cfg: RapiLogConfig,
-    ) -> RapiLog {
-        let mut b = RapiLog::builder(ctx).cell(cell).disk(disk).config(cfg);
-        if let Some(psu) = supply {
-            b = b.supply(psu);
-        }
-        b.build()
-    }
-
-    /// The guest-facing block device for the log partition.
+    /// The guest-facing block device for the log partition. On a
+    /// multi-tenant instance this is the *first* tenant's device; use
+    /// [`device_for`](Self::device_for) to address a specific tenant.
     pub fn device(&self) -> RapiLogDevice {
-        self.device.clone()
+        self.tenants[0].device.clone()
     }
 
-    /// Buffer statistics snapshot.
+    /// The guest-facing device for `tenant`, if it shares this instance.
+    pub fn device_for(&self, tenant: TenantId) -> Option<RapiLogDevice> {
+        self.tenants
+            .iter()
+            .find(|t| t.id == tenant)
+            .map(|t| t.device.clone())
+    }
+
+    /// The tenants sharing this instance, in shard order.
+    pub fn tenant_ids(&self) -> Vec<TenantId> {
+        self.tenants.iter().map(|t| t.id).collect()
+    }
+
+    /// Buffer statistics snapshot, aggregated across shards.
     pub fn stats(&self) -> BufferStats {
-        self.buffer.stats()
+        let mut agg = BufferStats::default();
+        for t in self.tenants.iter() {
+            let s = t.buffer.stats();
+            agg.accepted_writes += s.accepted_writes;
+            agg.accepted_bytes += s.accepted_bytes;
+            agg.drained_bytes += s.drained_bytes;
+            agg.peak_occupancy += s.peak_occupancy;
+            agg.backpressure_events += s.backpressure_events;
+        }
+        agg
     }
 
-    /// One unified snapshot of the instance's observable state: buffer
-    /// counters, audit report, occupancy, capacity and mode flags.
+    /// One unified snapshot of the instance's observable state: aggregate
+    /// buffer counters, audit report, occupancy, capacity and mode flags,
+    /// plus one [`TenantSnapshot`] per shard.
     pub fn snapshot(&self) -> RapiLogSnapshot {
+        let tenants: Vec<TenantSnapshot> = self
+            .tenants
+            .iter()
+            .map(|t| TenantSnapshot {
+                tenant: t.id.0,
+                weight: t.weight,
+                buffer: t.buffer.stats(),
+                occupancy: t.buffer.occupancy(),
+                capacity: t.buffer.capacity(),
+            })
+            .collect();
         RapiLogSnapshot {
-            buffer: self.buffer.stats(),
+            buffer: self.stats(),
             audit: self.audit.report(),
-            occupancy: self.buffer.occupancy(),
-            capacity: self.buffer.capacity(),
-            frozen: self.buffer.is_frozen(),
-            write_through: self.device.is_write_through(),
+            occupancy: self.occupancy(),
+            capacity: self.capacity(),
+            frozen: self.device_frozen(),
+            write_through: self.tenants[0].device.is_write_through(),
             degraded: self.mode.is_degraded(),
             disk: self.disk.stats(),
+            tenants,
         }
     }
 
@@ -566,25 +721,29 @@ impl RapiLog {
         self.mode.is_degraded()
     }
 
-    /// Bytes currently buffered (acked, not yet on media).
+    /// Bytes currently buffered across all shards (acked, not on media).
     pub fn occupancy(&self) -> u64 {
-        self.buffer.occupancy()
+        self.tenants.iter().map(|t| t.buffer.occupancy()).sum()
     }
 
-    /// The admission cap in bytes.
+    /// The admission cap in bytes, summed across shards.
     pub fn capacity(&self) -> u64 {
-        self.buffer.capacity()
+        self.tenants.iter().map(|t| t.buffer.capacity()).sum()
     }
 
-    /// Waits until every acknowledged byte is on the physical disk.
+    /// Waits until every acknowledged byte — from every tenant — is on the
+    /// physical disk.
     pub async fn quiesce(&self) {
-        self.buffer.drained().await;
+        for t in self.tenants.iter() {
+            t.buffer.drained().await;
+        }
     }
 
     /// True once the buffer has frozen (a power-failure episode ran); a
-    /// frozen instance must be replaced after power returns.
+    /// frozen instance must be replaced after power returns. Shards freeze
+    /// together, so any frozen shard means the instance froze.
     pub fn device_frozen(&self) -> bool {
-        self.buffer.is_frozen()
+        self.tenants.iter().any(|t| t.buffer.is_frozen())
     }
 
     /// The invariant auditor's report.

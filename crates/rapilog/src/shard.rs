@@ -1,0 +1,293 @@
+//! Tenant-sharded buffering: many guest cells, one dependable drain.
+//!
+//! A multi-tenant RapiLog instance splits its admission capacity into one
+//! [`DependableBuffer`] shard per tenant. Each shard keeps its own byte
+//! accounting, backpressure threshold, and sequence space, so one noisy
+//! tenant saturating its share blocks only its own writers — the other
+//! cells keep early-ack latency. All shards report availability through a
+//! *shared* notify, which is what wakes the single fair-share drain
+//! scheduler (`drain::start_sharded`).
+//!
+//! Capacity is split proportionally to tenant weight and rounded down to
+//! sector multiples, so the *aggregate* of the shares never exceeds the
+//! residual-energy budget the total was derived from — the emergency-drain
+//! argument is preserved by construction (see `rapilog_simpower::budget`).
+
+use rapilog_simcore::sync::Notify;
+use rapilog_simdisk::SECTOR_SIZE;
+
+use crate::buffer::DependableBuffer;
+
+/// Identity of one tenant cell sharing a RapiLog instance.
+///
+/// In the microvisor integration the tenant id doubles as the IPC badge on
+/// the tenant's endpoint capability ([`TenantId::from_badge`]), so the log
+/// service can route a submission to its shard without trusting any field
+/// of the message itself.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TenantId(pub u64);
+
+impl TenantId {
+    /// The implicit tenant of a single-tenant instance.
+    pub const DEFAULT: TenantId = TenantId(0);
+
+    /// Derives the tenant identity from a microvisor IPC badge. Badges are
+    /// unforgeable within the model, which makes this the trusted routing
+    /// key for cell submissions.
+    pub fn from_badge(badge: u64) -> TenantId {
+        TenantId(badge)
+    }
+
+    /// The badge value to mint this tenant's endpoint capability with.
+    pub fn badge(self) -> u64 {
+        self.0
+    }
+}
+
+impl std::fmt::Display for TenantId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+/// One tenant's share of a multi-tenant instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TenantSpec {
+    /// The tenant's identity (also its IPC badge).
+    pub id: TenantId,
+    /// Fair-share weight: capacity split and drain quantum scale with it.
+    /// Clamped to at least 1.
+    pub weight: u32,
+}
+
+impl TenantSpec {
+    /// An equal-weight tenant.
+    pub fn new(id: u64) -> TenantSpec {
+        TenantSpec {
+            id: TenantId(id),
+            weight: 1,
+        }
+    }
+
+    /// Sets the fair-share weight (minimum 1).
+    pub fn weight(mut self, weight: u32) -> TenantSpec {
+        self.weight = weight.max(1);
+        self
+    }
+}
+
+/// Splits `total` bytes across weights, each share rounded down to a sector
+/// multiple. The sum of the shares never exceeds `total`, so sizing the
+/// total from the residual-energy window bounds the aggregate too.
+pub fn split_capacity(total: u64, weights: &[u32]) -> Vec<u64> {
+    let weight_sum: u64 = weights.iter().map(|&w| u64::from(w.max(1))).sum();
+    weights
+        .iter()
+        .map(|&w| {
+            let share = total * u64::from(w.max(1)) / weight_sum;
+            share - share % SECTOR_SIZE as u64
+        })
+        .collect()
+}
+
+/// One shard: a tenant's identity, weight, and private buffer.
+pub(crate) struct Shard {
+    pub(crate) id: TenantId,
+    pub(crate) weight: u32,
+    pub(crate) buf: DependableBuffer,
+}
+
+/// `TenantId`-keyed collection of per-tenant buffer shards. Clones share
+/// the shards (same `Rc`d state inside each [`DependableBuffer`]).
+#[derive(Clone)]
+pub struct ShardedBuffer {
+    shards: std::rc::Rc<Vec<Shard>>,
+    avail: Notify,
+}
+
+impl ShardedBuffer {
+    /// Splits `total_capacity` across `specs` by weight and builds one
+    /// shard per tenant, all wired to one availability notify.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty spec list or duplicate tenant ids.
+    pub fn new(specs: &[TenantSpec], total_capacity: u64) -> ShardedBuffer {
+        assert!(!specs.is_empty(), "at least one tenant required");
+        for (i, a) in specs.iter().enumerate() {
+            for b in &specs[i + 1..] {
+                assert_ne!(a.id, b.id, "duplicate tenant id {}", a.id);
+            }
+        }
+        let weights: Vec<u32> = specs.iter().map(|s| s.weight.max(1)).collect();
+        let caps = split_capacity(total_capacity, &weights);
+        let avail = Notify::new();
+        let shards = specs
+            .iter()
+            .zip(caps)
+            .map(|(spec, cap)| Shard {
+                id: spec.id,
+                weight: spec.weight.max(1),
+                buf: DependableBuffer::with_avail(cap, avail.clone()),
+            })
+            .collect();
+        ShardedBuffer {
+            shards: std::rc::Rc::new(shards),
+            avail,
+        }
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The tenant ids, in shard order.
+    pub fn tenant_ids(&self) -> Vec<TenantId> {
+        self.shards.iter().map(|s| s.id).collect()
+    }
+
+    /// The buffer shard for `tenant`, if present.
+    pub fn shard(&self, tenant: TenantId) -> Option<&DependableBuffer> {
+        self.shards.iter().find(|s| s.id == tenant).map(|s| &s.buf)
+    }
+
+    /// All shards, in construction order.
+    pub(crate) fn shards(&self) -> &[Shard] {
+        &self.shards
+    }
+
+    /// Sum of shard capacities (≤ the total the split was made from).
+    pub fn total_capacity(&self) -> u64 {
+        self.shards.iter().map(|s| s.buf.capacity()).sum()
+    }
+
+    /// Sum of shard occupancies — the bytes the emergency drain must land.
+    pub fn total_occupancy(&self) -> u64 {
+        self.shards.iter().map(|s| s.buf.occupancy()).sum()
+    }
+
+    /// Per-shard capacities, in shard order.
+    pub fn capacities(&self) -> Vec<u64> {
+        self.shards.iter().map(|s| s.buf.capacity()).collect()
+    }
+
+    /// Freezes every shard (power-fail warning / fatal drain error).
+    pub fn freeze_all(&self) {
+        for s in self.shards.iter() {
+            s.buf.freeze();
+        }
+    }
+
+    /// True once [`freeze_all`](Self::freeze_all) ran (shards freeze
+    /// together, so probing the first suffices).
+    pub fn is_frozen(&self) -> bool {
+        self.shards[0].buf.is_frozen()
+    }
+
+    /// Waits until at least one shard has a queued extent.
+    pub async fn wait_any_avail(&self) {
+        loop {
+            if self.shards.iter().any(|s| s.buf.has_queued()) {
+                return;
+            }
+            self.avail.notified().await;
+        }
+    }
+
+    /// Waits until every shard is fully drained (nothing queued, nothing
+    /// popped-but-uncommitted).
+    pub async fn all_drained(&self) {
+        for s in self.shards.iter() {
+            s.buf.drained().await;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rapilog_simcore::bytes::SectorBuf;
+    use rapilog_simcore::{Sim, SimDuration};
+    use std::cell::Cell as StdCell;
+    use std::rc::Rc;
+
+    fn sector_data(tag: u8, sectors: usize) -> SectorBuf {
+        SectorBuf::from_vec(vec![tag; sectors * SECTOR_SIZE])
+    }
+
+    #[test]
+    fn split_capacity_is_weighted_sector_aligned_and_bounded() {
+        let caps = split_capacity(1 << 20, &[1, 1, 2]);
+        assert_eq!(caps.len(), 3);
+        assert!(caps.iter().all(|c| c % SECTOR_SIZE as u64 == 0));
+        assert!(caps.iter().sum::<u64>() <= 1 << 20);
+        assert_eq!(caps[2], 2 * caps[0], "weight 2 gets a double share");
+        // Zero weights are clamped to 1, not divided by.
+        let caps = split_capacity(1 << 20, &[0, 1]);
+        assert_eq!(caps[0], caps[1]);
+    }
+
+    #[test]
+    fn shards_isolate_backpressure_per_tenant() {
+        let mut sim = Sim::new(0);
+        let ctx = sim.ctx();
+        let specs = [TenantSpec::new(0), TenantSpec::new(1)];
+        // Each tenant gets exactly one sector of capacity.
+        let sharded = ShardedBuffer::new(&specs, 2 * SECTOR_SIZE as u64);
+        let done = Rc::new(StdCell::new(false));
+        let d2 = Rc::clone(&done);
+        let s2 = sharded.clone();
+        sim.spawn({
+            let ctx = ctx.clone();
+            async move {
+                let t0 = s2.shard(TenantId(0)).unwrap().clone();
+                let t1 = s2.shard(TenantId(1)).unwrap().clone();
+                t0.push(0, sector_data(1, 1)).await.unwrap();
+                // Tenant 0 is now full; tenant 1 must admit immediately.
+                let before = ctx.now();
+                t1.push(8, sector_data(2, 1)).await.unwrap();
+                assert_eq!(ctx.now(), before, "no cross-tenant backpressure");
+                assert_eq!(s2.total_occupancy(), 2 * SECTOR_SIZE as u64);
+                d2.set(true);
+            }
+        });
+        sim.run_until(rapilog_simcore::SimTime::from_secs(1));
+        assert!(done.get());
+    }
+
+    #[test]
+    fn wait_any_avail_wakes_on_any_shard() {
+        let mut sim = Sim::new(0);
+        let ctx = sim.ctx();
+        let sharded = ShardedBuffer::new(&[TenantSpec::new(0), TenantSpec::new(1)], 1 << 20);
+        let woke_at = Rc::new(StdCell::new(0u64));
+        let s2 = sharded.clone();
+        let w2 = Rc::clone(&woke_at);
+        sim.spawn(async move {
+            s2.wait_any_avail().await;
+            w2.set(1);
+        });
+        let s3 = sharded.clone();
+        sim.spawn({
+            let ctx = ctx.clone();
+            async move {
+                ctx.sleep(SimDuration::from_millis(2)).await;
+                // A push to the *second* shard wakes the shared waiter.
+                s3.shard(TenantId(1))
+                    .unwrap()
+                    .push(0, sector_data(1, 1))
+                    .await
+                    .unwrap();
+            }
+        });
+        sim.run();
+        assert_eq!(woke_at.get(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate tenant id")]
+    fn duplicate_tenant_ids_rejected() {
+        let _ = ShardedBuffer::new(&[TenantSpec::new(3), TenantSpec::new(3)], 1 << 20);
+    }
+}

@@ -194,6 +194,19 @@ impl Default for Histogram {
     }
 }
 
+impl std::fmt::Debug for Histogram {
+    /// Prints the distribution's shape, not the bucket array.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Histogram")
+            .field("count", &self.count)
+            .field("min", &self.min())
+            .field("mean", &self.mean())
+            .field("p99", &self.percentile(99.0))
+            .field("max", &self.max())
+            .finish()
+    }
+}
+
 /// Per-simulation metrics registry. Cloned handles share storage via the
 /// owning [`Sim`](crate::Sim); names are free-form dotted paths
 /// (`"wal.commit_latency"`).

@@ -48,6 +48,18 @@ pub fn fits(spec: &SupplySpec, drain_bandwidth: u64, bytes: u64) -> bool {
     bytes <= max_buffer_bytes(spec, drain_bandwidth)
 }
 
+/// Multi-tenant form of [`fits`]: the emergency drain empties every shard
+/// through the *one* physical disk, so the inequality must hold for the
+/// **sum** of the shard capacities, not for each shard in isolation. This
+/// is the sizing obligation a sharded RapiLog instance asserts at build
+/// time.
+pub fn aggregate_fits(spec: &SupplySpec, drain_bandwidth: u64, shard_bytes: &[u64]) -> bool {
+    let total: u64 = shard_bytes
+        .iter()
+        .fold(0u64, |acc, &b| acc.saturating_add(b));
+    fits(spec, drain_bandwidth, total)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -96,6 +108,27 @@ mod tests {
         let cap = max_buffer_bytes(&spec, 116_000_000);
         assert!(fits(&spec, 116_000_000, cap));
         assert!(!fits(&spec, 116_000_000, cap + 1));
+    }
+
+    #[test]
+    fn aggregate_fits_bounds_the_sum_not_the_parts() {
+        let spec = supplies::atx_psu();
+        let cap = max_buffer_bytes(&spec, 116_000_000);
+        // Four shards each individually tiny but summing past the cap must
+        // be rejected; splitting exactly the cap must pass.
+        let quarter = cap / 4;
+        assert!(aggregate_fits(
+            &spec,
+            116_000_000,
+            &[quarter, quarter, quarter, quarter]
+        ));
+        assert!(!aggregate_fits(
+            &spec,
+            116_000_000,
+            &[quarter + 1, quarter, quarter, quarter + 1]
+        ));
+        // Saturating sum: absurd shard sizes must not wrap into "fits".
+        assert!(!aggregate_fits(&spec, 116_000_000, &[u64::MAX, u64::MAX]));
     }
 
     #[test]

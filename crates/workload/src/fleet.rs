@@ -1,0 +1,268 @@
+//! Fleet-scale load: thousands of sessions spread over many cells with
+//! zipfian skew.
+//!
+//! The multi-tenant experiments drive N database cells that share one
+//! RapiLog instance. Real fleets are not uniform: a few hot tenants carry
+//! most of the sessions while a long tail idles. [`zipf_split`] reproduces
+//! that shape (Zipf over cell ranks, the YCSB convention), and
+//! [`run_fleet`] runs one closed-loop [`client`](crate::client) driver per
+//! cell concurrently — 10³–10⁵ sessions in one deterministic simulation.
+//!
+//! [`FleetStats::fairness_ratio`] is the headline number for the
+//! fair-share drain: min/max committed throughput across cells. Under
+//! equal weights and per-cell saturation it must stay near 1; a collapsed
+//! ratio means one tenant's log traffic starved another's.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use rapilog_simcore::rng::{zipf, SimRng};
+use rapilog_simcore::stats::Histogram;
+use rapilog_simcore::{SimCtx, SimDuration};
+
+use crate::client::{run, JobSource, RunConfig, RunStats};
+use crate::session::DbServer;
+
+/// Fleet driver configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct FleetConfig {
+    /// Total closed-loop sessions across the whole fleet.
+    pub sessions: usize,
+    /// Zipf exponent of the session→cell skew. Values ≤ 0 mean a uniform
+    /// split; 0.99 is the YCSB-style heavy skew the experiments use.
+    pub theta: f64,
+    /// Warmup (excluded from statistics).
+    pub warmup: SimDuration,
+    /// Measurement window.
+    pub measure: SimDuration,
+    /// Mean exponential think time between transactions (`None` = none).
+    pub think_time: Option<SimDuration>,
+}
+
+impl Default for FleetConfig {
+    fn default() -> Self {
+        FleetConfig {
+            sessions: 1_000,
+            theta: 0.99,
+            warmup: SimDuration::from_secs(2),
+            measure: SimDuration::from_secs(10),
+            think_time: Some(SimDuration::from_millis(1)),
+        }
+    }
+}
+
+/// Splits `sessions` over `cells` ranks with Zipf(`theta`) skew; `theta ≤ 0`
+/// splits uniformly. Every cell gets at least one session (the long tail
+/// must exist to be measured), and the counts always sum to `sessions`.
+///
+/// # Panics
+///
+/// Panics if `cells == 0` or `sessions < cells`.
+pub fn zipf_split(sessions: usize, cells: usize, theta: f64, rng: &mut SimRng) -> Vec<usize> {
+    assert!(cells > 0, "zipf_split: no cells");
+    assert!(
+        sessions >= cells,
+        "zipf_split: {sessions} sessions cannot cover {cells} cells"
+    );
+    let mut counts = vec![0usize; cells];
+    if theta <= 0.0 {
+        for s in 0..sessions {
+            counts[s % cells] += 1;
+        }
+        return counts;
+    }
+    for _ in 0..sessions {
+        let rank = zipf(rng, cells as u64, theta) as usize - 1;
+        counts[rank] += 1;
+    }
+    // Guarantee the tail exists: move sessions from the biggest cell onto
+    // any cell the sampler left empty.
+    for i in 0..cells {
+        while counts[i] == 0 {
+            let donor = (0..cells).max_by_key(|&j| counts[j]).unwrap();
+            counts[donor] -= 1;
+            counts[i] += 1;
+        }
+    }
+    counts
+}
+
+/// Per-cell results of one fleet run.
+#[derive(Clone)]
+pub struct FleetStats {
+    /// One [`RunStats`] per cell, in server order.
+    pub per_cell: Vec<RunStats>,
+    /// The session count each cell was assigned.
+    pub sessions: Vec<usize>,
+}
+
+impl FleetStats {
+    /// Committed transactions per second, summed over the fleet.
+    pub fn total_tps(&self) -> f64 {
+        self.per_cell.iter().map(|s| s.tps()).sum()
+    }
+
+    /// Committed transactions, summed over the fleet.
+    pub fn total_committed(&self) -> u64 {
+        self.per_cell.iter().map(|s| s.committed).sum()
+    }
+
+    /// min/max committed throughput across cells — 1.0 is perfect
+    /// fairness, 0.0 means some cell was starved dry.
+    pub fn fairness_ratio(&self) -> f64 {
+        let max = self.per_cell.iter().map(|s| s.tps()).fold(0.0, f64::max);
+        if max == 0.0 {
+            return 0.0;
+        }
+        let min = self
+            .per_cell
+            .iter()
+            .map(|s| s.tps())
+            .fold(f64::INFINITY, f64::min);
+        min / max
+    }
+
+    /// Commit latencies of every cell merged into one histogram (ns).
+    pub fn merged_latency(&self) -> Histogram {
+        let mut h = Histogram::new();
+        for s in &self.per_cell {
+            h.merge(&s.latency);
+        }
+        h
+    }
+
+    /// One-line summary for harness output.
+    pub fn summary(&self) -> String {
+        let lat = self.merged_latency();
+        format!(
+            "cells={} total_tps={:.1} fairness={:.3} p99={:.2}ms p999={:.2}ms",
+            self.per_cell.len(),
+            self.total_tps(),
+            self.fairness_ratio(),
+            lat.percentile(99.0) as f64 / 1e6,
+            lat.percentile(99.9) as f64 / 1e6,
+        )
+    }
+}
+
+/// Runs one closed-loop driver per server concurrently, with the fleet's
+/// sessions zipf-split over the servers. All drivers share the warmup and
+/// measurement window, so per-cell numbers are directly comparable.
+pub async fn run_fleet(
+    ctx: &SimCtx,
+    servers: &[DbServer],
+    source: Rc<dyn JobSource>,
+    cfg: FleetConfig,
+) -> FleetStats {
+    let sessions = zipf_split(cfg.sessions, servers.len(), cfg.theta, &mut ctx.fork_rng());
+    let results: Rc<RefCell<Vec<Option<RunStats>>>> =
+        Rc::new(RefCell::new(vec![None; servers.len()]));
+    let mut handles = Vec::new();
+    for (i, server) in servers.iter().enumerate() {
+        let run_cfg = RunConfig {
+            clients: sessions[i],
+            warmup: cfg.warmup,
+            measure: cfg.measure,
+            think_time: cfg.think_time,
+        };
+        let ctx2 = ctx.clone();
+        let server = server.clone();
+        let source = Rc::clone(&source);
+        let results = Rc::clone(&results);
+        handles.push(ctx.spawn(async move {
+            let stats = run(&ctx2, &server, source, run_cfg).await;
+            results.borrow_mut()[i] = Some(stats);
+        }));
+    }
+    for h in handles {
+        let _ = h.await;
+    }
+    let per_cell = results
+        .borrow_mut()
+        .iter_mut()
+        .map(|s| s.take().expect("every cell driver completed"))
+        .collect();
+    FleetStats { per_cell, sessions }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::StormSource;
+    use crate::micro;
+    use rapilog_dbengine::{Database, DbConfig};
+    use rapilog_simcore::{DomainId, Sim, SimTime};
+    use rapilog_simdisk::{specs, BlockDevice, Disk};
+    use std::cell::Cell as StdCell;
+
+    #[test]
+    fn zipf_split_is_skewed_total_preserving_and_tail_complete() {
+        let mut rng = SimRng::seed_from_u64(7);
+        let counts = zipf_split(10_000, 8, 0.99, &mut rng);
+        assert_eq!(counts.iter().sum::<usize>(), 10_000);
+        assert!(counts.iter().all(|&c| c > 0), "no empty cell: {counts:?}");
+        assert!(
+            counts[0] > counts[7] * 2,
+            "rank 1 should dominate the tail: {counts:?}"
+        );
+        // Uniform fallback.
+        let counts = zipf_split(100, 4, 0.0, &mut rng);
+        assert_eq!(counts, vec![25; 4]);
+        // Determinism: same seed, same split.
+        let a = zipf_split(500, 4, 0.9, &mut SimRng::seed_from_u64(9));
+        let b = zipf_split(500, 4, 0.9, &mut SimRng::seed_from_u64(9));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn fleet_of_three_cells_runs_concurrently_and_reports_per_cell() {
+        let mut sim = Sim::new(61);
+        let ctx = sim.ctx();
+        let done = Rc::new(StdCell::new(false));
+        let d2 = Rc::clone(&done);
+        sim.spawn(async move {
+            let mut servers = Vec::new();
+            let mut dbs = Vec::new();
+            for _ in 0..3 {
+                let data: Rc<dyn BlockDevice> = Rc::new(Disk::new(&ctx, specs::instant(64 << 20)));
+                let log: Rc<dyn BlockDevice> = Rc::new(Disk::new(&ctx, specs::instant(64 << 20)));
+                let db = Database::create(
+                    &ctx,
+                    DbConfig::default(),
+                    &micro::table_defs(64),
+                    data,
+                    log,
+                    DomainId::ROOT,
+                )
+                .await
+                .unwrap();
+                let table = micro::registers_table(&db).unwrap();
+                for c in 0..64 {
+                    micro::init_client(&db, table, c).await.unwrap();
+                }
+                servers.push(DbServer::new(&ctx, db.clone(), DomainId::ROOT));
+                dbs.push(db);
+            }
+            let cfg = FleetConfig {
+                sessions: 48,
+                theta: 0.99,
+                warmup: SimDuration::from_millis(50),
+                measure: SimDuration::from_millis(200),
+                think_time: Some(SimDuration::from_micros(500)),
+            };
+            let stats = run_fleet(&ctx, &servers, Rc::new(StormSource), cfg).await;
+            assert_eq!(stats.per_cell.len(), 3);
+            assert_eq!(stats.sessions.iter().sum::<usize>(), 48);
+            assert!(stats.total_committed() > 0);
+            let ratio = stats.fairness_ratio();
+            assert!((0.0..=1.0).contains(&ratio), "ratio out of range: {ratio}");
+            assert!(stats.merged_latency().count() == stats.total_committed());
+            for db in dbs {
+                db.stop();
+            }
+            d2.set(true);
+        });
+        sim.run_until(SimTime::from_secs(10));
+        assert!(done.get());
+    }
+}

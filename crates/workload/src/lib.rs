@@ -19,12 +19,16 @@
 //!   exactly like a real kernel panic under a DBMS.
 //! * [`client`] — the measurement driver: N clients, warmup, steady-state
 //!   window, per-transaction latency histograms, tpmC.
+//! * [`fleet`] — fleet-scale load: thousands of sessions zipf-split over
+//!   many cells, one concurrent driver per cell, per-cell fairness stats.
 
 pub mod client;
+pub mod fleet;
 pub mod micro;
 pub mod session;
 pub mod tpcb;
 pub mod tpcc;
 
 pub use client::{RunConfig, RunStats};
+pub use fleet::{run_fleet, zipf_split, FleetConfig, FleetStats};
 pub use session::{Connection, DbServer, JobOutcome};

@@ -38,6 +38,7 @@ struct Request {
 }
 
 /// Server side: owns the database handle, accepts connections.
+#[derive(Clone)]
 pub struct DbServer {
     ctx: SimCtx,
     db: Database,

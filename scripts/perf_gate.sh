@@ -43,8 +43,13 @@ fi
 if [[ "${PERF_GATE_SKIP_RUN:-0}" != "1" ]]; then
     cargo build --release -p rapilog-bench 2>&1 | tail -n 1
     while IFS=$'\t' read -r bench threads; do
+        # Most rows are named after their binary; the exceptions map here.
+        bin="$bench"
+        case "$bench" in
+            tenant_fairness) bin=fig_tenant_fairness ;;
+        esac
         echo "perf_gate: running $bench (QUICK, threads=$threads)"
-        QUICK=1 RAPILOG_BENCH_THREADS="$threads" "./target/release/$bench" >/dev/null
+        QUICK=1 RAPILOG_BENCH_THREADS="$threads" "./target/release/$bin" >/dev/null
     done < <(jq -r '[.bench, (.threads // 1)] | @tsv' "$BASELINE")
 fi
 
@@ -79,7 +84,8 @@ print(f'{\"ok\" if ratio >= floor else \"fail\"} {ratio:.2f}')")
 done < <(jq -r '[.bench, .trials_per_sec, (.threads // 1)] | @tsv' "$BASELINE")
 
 if [[ "$fail" != "0" ]]; then
-    echo "perf_gate: trials/sec regressed >$(python3 -c "print(f'{(1-float('$MIN_RATIO'))*100:.0f}')")% on at least one bench" >&2
+    pct=$(python3 -c "print(f'{(1 - $MIN_RATIO) * 100:.0f}')")
+    echo "perf_gate: trials/sec regressed >${pct}% on at least one bench" >&2
     echo "perf_gate: if intentional, refresh with 'scripts/perf_gate.sh --update' and commit the new baseline" >&2
     exit 1
 fi
