@@ -1,0 +1,161 @@
+//! Crash-failover sweep (CI gate).
+//!
+//! Runs the failover grid — seeds × {sync, async} × {guest crash, power
+//! cut, partition+power-cut, shipment chaos} — one deterministic
+//! primary/standby trial each, and demands:
+//!
+//! * a **clean sweep**: in sync mode the promoted standby serves every
+//!   write the primary ever acknowledged; in async mode the reported
+//!   replication lag exactly equals the committed sectors missing from
+//!   the standby image; in both modes the standby never runs ahead,
+//!   never diverges, and refuses a zombie primary after promotion;
+//! * **potency**: the partition trials produce a real non-zero async lag,
+//!   the chaos links actually drop frames, retransmission actually runs,
+//!   and the split-brain probe actually refuses frames — a sweep whose
+//!   adversary did nothing proves nothing.
+//!
+//! Trials fan out over host threads (`RAPILOG_BENCH_THREADS`, default all
+//! cores); results merge in canonical grid order, so the report is
+//! bit-identical at any thread count. A machine-readable summary row —
+//! wall-clock, trials/sec, p99 commit latency with shipping enabled, worst
+//! recovery time — is upserted into `BENCH_sweeps.json`.
+//!
+//! Exit status is non-zero on any failure, so this binary doubles as the
+//! CI gate (`scripts/check.sh`).
+//!
+//! Environment:
+//! * `SEEDS`   — seed count (default 6)
+//! * `QUICK=1` — shrink to 2 seeds for smoke runs
+//! * `RAPILOG_BENCH_THREADS` — worker threads (default: host parallelism)
+
+use std::time::Instant;
+
+use rapilog_bench::{explore_failovers_parallel, thread_count, Json};
+use rapilog_faultsim::{FailoverExplorerConfig, FailoverReport};
+
+fn env_u64(name: &str, default: u64) -> u64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn summarize(report: &FailoverReport) {
+    println!(
+        "  trials={} acked_writes={} attempted={} counterexamples={}",
+        report.trials,
+        report.total_acked,
+        report.total_attempted,
+        report.counterexamples.len()
+    );
+    println!(
+        "  shipping:  retransmits={} dropped={} duplicated={} reordered={}",
+        report.retransmits, report.ship_dropped, report.ship_duplicated, report.ship_reordered
+    );
+    println!(
+        "  failover:  async_lag_total={} partition_lagged={}/{} zombie_refused={}",
+        report.async_lag_total,
+        report.partition_async_lagged,
+        report.partition_async_trials,
+        report.refused_after_promotion
+    );
+    println!(
+        "  recovery:  max={:.1} ms avg={:.1} ms",
+        report.recovery_us_max as f64 / 1000.0,
+        report.recovery_us_total as f64 / report.trials.max(1) as f64 / 1000.0
+    );
+    if report.commit_latency.count() > 0 {
+        println!(
+            "  ack latency (shipping on): p99={}us p999={}us ({} samples)",
+            report.commit_latency.percentile(99.0),
+            report.commit_latency.percentile(99.9),
+            report.commit_latency.count()
+        );
+    }
+    for ce in &report.counterexamples {
+        println!("  {}", ce.replay_line());
+    }
+}
+
+fn main() {
+    let quick = std::env::var("QUICK").is_ok();
+    let seeds = if quick { 2 } else { env_u64("SEEDS", 6) };
+    let threads = thread_count();
+
+    let mut cfg = FailoverExplorerConfig::rapilog_default();
+    cfg.seeds = (0..seeds).map(|i| 0xFA11 + i * 131).collect();
+    let trials = cfg.seeds.len() * cfg.modes.len() * cfg.kinds.len();
+    println!(
+        "Failover sweep: {} seeds x {} modes x {} kinds = {trials} trials on {threads} threads\n",
+        cfg.seeds.len(),
+        cfg.modes.len(),
+        cfg.kinds.len(),
+    );
+    let wall_start = Instant::now();
+    let report = explore_failovers_parallel(&cfg, threads);
+    let wall = wall_start.elapsed();
+    let trials_per_sec = report.trials as f64 / wall.as_secs_f64();
+    println!("replicated pair, strict drain (must be clean):");
+    summarize(&report);
+    println!(
+        "\n  wall-clock: {:.2} s on {threads} threads ({trials_per_sec:.1} trials/s)",
+        wall.as_secs_f64()
+    );
+
+    let mut failed = false;
+    if !report.clean() {
+        println!("\nFAIL: the failover sweep produced counterexamples");
+        failed = true;
+    }
+    if report.total_acked == 0 {
+        println!("\nFAIL: the sweep audited zero acknowledged writes");
+        failed = true;
+    }
+    if report.partition_async_lagged == 0 {
+        println!(
+            "\nFAIL: no partition trial produced a replication lag — the partition bit nothing"
+        );
+        failed = true;
+    }
+    if report.ship_dropped == 0 {
+        println!("\nFAIL: the chaos links dropped nothing — the sweep tested a perfect network");
+        failed = true;
+    }
+    if report.retransmits == 0 {
+        println!("\nFAIL: the shipper never retransmitted — end-to-end recovery was not exercised");
+        failed = true;
+    }
+    if report.refused_after_promotion == 0 {
+        println!("\nFAIL: the split-brain probe never saw a refusal");
+        failed = true;
+    }
+    if failed {
+        std::process::exit(1);
+    }
+
+    let row = Json::obj([
+        ("bench", Json::str("failover_sweep")),
+        ("quick", Json::Bool(quick)),
+        ("threads", Json::int(threads as u64)),
+        ("trials", Json::int(report.trials)),
+        ("acked_writes", Json::int(report.total_acked)),
+        (
+            "counterexamples",
+            Json::int(report.counterexamples.len() as u64),
+        ),
+        ("async_lag_total", Json::int(report.async_lag_total)),
+        ("retransmits", Json::int(report.retransmits)),
+        (
+            "p99_commit_us",
+            Json::int(report.commit_latency.percentile(99.0)),
+        ),
+        ("recovery_max_us", Json::int(report.recovery_us_max)),
+        ("wall_ms", Json::int(wall.as_millis() as u64)),
+        ("trials_per_sec", Json::Num(trials_per_sec)),
+    ]);
+    rapilog_bench::json::upsert_line("BENCH_sweeps.json", &row).expect("write BENCH_sweeps.json");
+    println!(
+        "\nSWEEP_CLEAN trials={} (row upserted into BENCH_sweeps.json)",
+        report.trials
+    );
+}

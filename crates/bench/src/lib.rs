@@ -29,5 +29,7 @@ pub mod perf;
 pub mod table;
 
 pub use json::Json;
-pub use parallel::{explore_crash_points_parallel, run_parallel, thread_count};
+pub use parallel::{
+    explore_crash_points_parallel, explore_failovers_parallel, run_parallel, thread_count,
+};
 pub use perf::{run_perf, PerfConfig, PerfOutcome, WorkloadSpec};

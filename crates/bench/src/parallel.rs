@@ -19,8 +19,9 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 use rapilog_faultsim::{
-    explore_crash_points, run_trial, Counterexample, ExplorationReport, ExplorerConfig,
-    TrialConfig, TrialResult,
+    explore_crash_points, explore_failovers, run_failover_trial, run_trial, Counterexample,
+    ExplorationReport, ExplorerConfig, FailoverConfig, FailoverExplorerConfig, FailoverReport,
+    FailoverResult, TrialConfig, TrialResult,
 };
 
 /// Number of worker threads to use: `RAPILOG_BENCH_THREADS` if set to a
@@ -113,6 +114,29 @@ pub fn explore_crash_points_parallel(cfg: &ExplorerConfig, threads: usize) -> Ex
     report
 }
 
+/// The failover sweep of [`explore_failovers`], fanned out over `threads`
+/// host threads. Per-trial results are absorbed into the report in
+/// canonical grid order (seed-outer, mode-middle, kind-inner), so the
+/// returned report is identical to the sequential one.
+pub fn explore_failovers_parallel(cfg: &FailoverExplorerConfig, threads: usize) -> FailoverReport {
+    if threads <= 1 {
+        return explore_failovers(cfg);
+    }
+    let grid = cfg.grid();
+    let jobs: Vec<(u64, FailoverConfig)> = grid
+        .iter()
+        .map(|point| (point.seed, cfg.trial(point)))
+        .collect();
+    let results: Vec<FailoverResult> = run_parallel(jobs, threads, |(seed, trial)| {
+        run_failover_trial(seed, trial)
+    });
+    let mut report = FailoverReport::default();
+    for (point, r) in grid.iter().zip(&results) {
+        report.absorb(point, r);
+    }
+    report
+}
+
 /// Compile-time proof that trial inputs and outputs cross threads: every
 /// field is plain data, no `Rc`/`RefCell` escapes a simulation.
 #[allow(dead_code)]
@@ -121,6 +145,9 @@ fn assert_trials_are_send() {
     is_send::<TrialConfig>();
     is_send::<TrialResult>();
     is_send::<ExplorerConfig>();
+    is_send::<FailoverConfig>();
+    is_send::<FailoverResult>();
+    is_send::<FailoverExplorerConfig>();
 }
 
 #[cfg(test)]

@@ -17,13 +17,24 @@
 //!
 //! Table 2 of the reproduction is a campaign of these trials; the
 //! [`scenario`] module is its engine.
+//!
+//! The [`failover`] module extends the campaign across machines: a
+//! replicated primary/standby pair over a faulty simulated network, with
+//! crash-failover scenarios auditing the promoted standby against the
+//! primary's acknowledgement journal (sync mode serves everything acked;
+//! async mode reports an exact replication lag).
 
 pub mod explorer;
+pub mod failover;
 pub mod machine;
 pub mod scenario;
 
 pub use explorer::{
     explore_crash_points, replay_crash_point, Counterexample, ExplorationReport, ExplorerConfig,
+};
+pub use failover::{
+    explore_failovers, mode_label, run_failover_trial, FailoverConfig, FailoverCounterexample,
+    FailoverExplorerConfig, FailoverKind, FailoverPoint, FailoverReport, FailoverResult,
 };
 pub use machine::{Machine, MachineConfig, Setup};
 pub use scenario::{

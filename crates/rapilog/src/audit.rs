@@ -54,6 +54,9 @@ pub struct TenantAudit {
     pub order_violated: bool,
     /// Bytes of this tenant still buffered when the drain failed.
     pub bytes_lost_at_failure: u64,
+    /// Highest sequence the standby cell has acknowledged durable, when
+    /// log shipping is enabled. `None` when nothing has replicated.
+    pub replicated_seq: Option<u64>,
     /// Last committed sequence, for the per-tenant ordering check.
     pub(crate) last_seq: Option<u64>,
 }
@@ -91,6 +94,12 @@ pub struct AuditReport {
     /// I3 tracks the contiguous durable *prefix*, which the drain reports
     /// only as it advances.
     pub ooo_retirements: u64,
+    /// Service-layer request retries after an IPC timeout (the client
+    /// resubmitted and eventually got an answer).
+    pub service_retries: u64,
+    /// Service-layer requests that timed out. Counts every lapsed
+    /// deadline, including ones later recovered by a retry.
+    pub service_timeouts: u64,
     /// Per-tenant sections (empty for single-tenant instances). The global
     /// counters above aggregate across tenants; these attribute them.
     pub tenants: Vec<TenantAudit>,
@@ -248,6 +257,26 @@ impl Audit {
     /// Records one batch retiring ahead of an older pending batch.
     pub fn record_ooo_retirement(&self) {
         self.st.borrow_mut().report.ooo_retirements += 1;
+    }
+
+    /// Records one service-layer retry after an IPC timeout.
+    pub fn record_service_retry(&self) {
+        self.st.borrow_mut().report.service_retries += 1;
+    }
+
+    /// Records one lapsed service-layer request deadline.
+    pub fn record_service_timeout(&self) {
+        self.st.borrow_mut().report.service_timeouts += 1;
+    }
+
+    /// Records the standby acknowledging `tenant`'s prefix up to `seq`.
+    pub fn record_replicated(&self, tenant: u64, seq: u64) {
+        let mut st = self.st.borrow_mut();
+        let idx = st.tenant_idx(tenant);
+        let section = &mut st.report.tenants[idx];
+        if section.replicated_seq.is_none_or(|r| seq > r) {
+            section.replicated_seq = Some(seq);
+        }
     }
 
     /// Records entry into degraded (synchronous-ack) mode.

@@ -44,6 +44,7 @@ use rapilog_simpower::PowerSupply;
 
 use crate::audit::Audit;
 use crate::buffer::{DependableBuffer, Extent};
+use crate::replicate::Replicator;
 use crate::shard::{ShardedBuffer, TenantId};
 use crate::{ModeState, OrderingMode, RapiLogConfig, RetryPolicy};
 
@@ -294,6 +295,9 @@ struct BatchEntry {
     remaining: u64,
     retired: bool,
     payload: Payload,
+    /// The batch's extents, kept for the replication tee. Empty (and
+    /// allocation-free) when log shipping is off.
+    extents: Vec<Extent>,
 }
 
 /// Retirement accounting: batches are registered in sequence order and may
@@ -316,6 +320,7 @@ impl BatchLedger {
         id: u64,
         buffer: &DependableBuffer,
         audit: &Audit,
+        repl: Option<&Replicator>,
     ) -> (Option<Payload>, bool) {
         let idx = self
             .batches
@@ -336,12 +341,18 @@ impl BatchLedger {
         if jumped {
             audit.record_ooo_retirement();
         }
-        // The audit ledger advances only with the contiguous prefix.
+        // The audit ledger advances only with the contiguous prefix — and
+        // so does the replication tee: the standby receives exactly the
+        // durable prefix, in order, never an out-of-order island.
         while self.batches.front().is_some_and(|b| b.retired) {
             let front = self.batches.pop_front().expect("checked non-empty");
             match self.tenant {
                 Some(t) => audit.record_tenant_commit(t.0, front.hi),
                 None => audit.record_commit(front.hi),
+            }
+            if let Some(r) = repl {
+                let tenant = self.tenant.unwrap_or(TenantId::DEFAULT);
+                r.offer(tenant.0, front.lo, front.hi, &front.extents);
             }
         }
         (Some(payload), jumped)
@@ -359,11 +370,15 @@ pub(crate) fn start(
     supply: Option<PowerSupply>,
     audit: Audit,
     mode: Rc<ModeState>,
+    tenant: TenantId,
+    repl: Option<Replicator>,
 ) {
     match cfg.drain.ordering {
-        OrderingMode::Strict => start_strict(ctx, cell, &buffer, disk, cfg, &audit, mode),
+        OrderingMode::Strict => {
+            start_strict(ctx, cell, &buffer, disk, cfg, &audit, mode, tenant, repl)
+        }
         OrderingMode::PartiallyConstrained => {
-            start_windowed(ctx, cell, &buffer, disk, cfg, &audit, mode)
+            start_windowed(ctx, cell, &buffer, disk, cfg, &audit, mode, tenant, repl)
         }
     }
     if let Some(psu) = supply {
@@ -373,7 +388,9 @@ pub(crate) fn start(
 
 /// The paper's original serial drain: one run on media at a time, in exact
 /// sequence order. Kept verbatim — [`OrderingMode::Strict`] must stay
-/// trace-identical release over release.
+/// trace-identical release over release (with shipping off, the replication
+/// tee is a dead branch and emits no events).
+#[allow(clippy::too_many_arguments)]
 fn start_strict(
     ctx: &SimCtx,
     cell: &Cell,
@@ -382,6 +399,8 @@ fn start_strict(
     cfg: RapiLogConfig,
     audit: &Audit,
     mode: Rc<ModeState>,
+    tenant: TenantId,
+    repl: Option<Replicator>,
 ) {
     let drain_buffer = buffer.clone();
     let drain_audit = audit.clone();
@@ -401,6 +420,7 @@ fn start_strict(
                 if batch.is_empty() {
                     break;
                 }
+                let first_seq = batch.first().expect("non-empty batch").seq;
                 let last_seq = batch.last().expect("non-empty batch").seq;
                 let runs = consolidate(&batch);
                 let batch_payload = Payload::Batch {
@@ -456,7 +476,14 @@ fn start_strict(
                     return;
                 }
                 tracer.end(drain_ctx.now(), Layer::Drain, "drain_batch", batch_payload);
-                drain_audit.record_commit(last_seq);
+                if tenant == TenantId::DEFAULT {
+                    drain_audit.record_commit(last_seq);
+                } else {
+                    drain_audit.record_tenant_commit(tenant.0, last_seq);
+                }
+                if let Some(r) = &repl {
+                    r.offer(tenant.0, first_seq, last_seq, &batch);
+                }
                 drain_buffer.complete(last_seq);
             }
         }
@@ -472,6 +499,7 @@ fn start_strict(
 /// applies per run. Disjoint runs ride separate device channels and retire
 /// out of order; [`BatchLedger`] keeps the audit ledger on the contiguous
 /// durable prefix.
+#[allow(clippy::too_many_arguments)]
 fn start_windowed(
     ctx: &SimCtx,
     cell: &Cell,
@@ -480,6 +508,8 @@ fn start_windowed(
     cfg: RapiLogConfig,
     audit: &Audit,
     mode: Rc<ModeState>,
+    tenant: TenantId,
+    repl: Option<Replicator>,
 ) {
     let drain_buffer = buffer.clone();
     let drain_audit = audit.clone();
@@ -493,7 +523,9 @@ fn start_windowed(
         let inflight: Rc<RefCell<Vec<InflightRun>>> = Rc::new(RefCell::new(Vec::new()));
         let ledger = Rc::new(RefCell::new(BatchLedger {
             batches: VecDeque::new(),
-            tenant: None,
+            // A non-default tenant gets its own audit section even on the
+            // single-tenant path.
+            tenant: (tenant != TenantId::DEFAULT).then_some(tenant),
         }));
         let mut next_run_id = 0u64;
         let mut next_batch_id = 0u64;
@@ -525,6 +557,11 @@ fn start_windowed(
                     remaining: runs.len() as u64,
                     retired: false,
                     payload: batch_payload,
+                    extents: if repl.is_some() {
+                        batch.clone()
+                    } else {
+                        Vec::new()
+                    },
                 });
                 for run in runs {
                     // Backpressure: the window cap bounds runs in flight.
@@ -563,6 +600,7 @@ fn start_windowed(
                     let task_ledger = Rc::clone(&ledger);
                     let task_buffer = drain_buffer.clone();
                     let task_tracer = Rc::clone(&tracer);
+                    let task_repl = repl.clone();
                     drain_ctx.spawn(async move {
                         let _permit = permit;
                         for dep in &deps {
@@ -598,6 +636,7 @@ fn start_windowed(
                                     batch_id,
                                     &task_buffer,
                                     &task_audit,
+                                    task_repl.as_ref(),
                                 );
                                 if let Some(payload) = retired {
                                     task_tracer.end(
@@ -660,8 +699,9 @@ pub(crate) fn start_sharded(
     supply: Option<PowerSupply>,
     audit: Audit,
     mode: Rc<ModeState>,
+    repl: Option<Replicator>,
 ) {
-    start_fair_share(ctx, cell, sharded, disk, cfg, &audit, mode);
+    start_fair_share(ctx, cell, sharded, disk, cfg, &audit, mode, repl);
     if let Some(psu) = supply {
         start_power_watcher_sharded(ctx, cell, sharded.clone(), psu, audit);
     }
@@ -684,6 +724,7 @@ pub(crate) fn start_sharded(
 /// runs then land serially in dispatch order, which — because every shard's
 /// batches are dispatched in its own sequence order — preserves the strict
 /// per-tenant discipline.
+#[allow(clippy::too_many_arguments)]
 fn start_fair_share(
     ctx: &SimCtx,
     cell: &Cell,
@@ -692,6 +733,7 @@ fn start_fair_share(
     cfg: RapiLogConfig,
     audit: &Audit,
     mode: Rc<ModeState>,
+    repl: Option<Replicator>,
 ) {
     let drain_sharded = sharded.clone();
     let drain_audit = audit.clone();
@@ -759,6 +801,11 @@ fn start_fair_share(
                         remaining: runs.len() as u64,
                         retired: false,
                         payload: batch_payload,
+                        extents: if repl.is_some() {
+                            batch.clone()
+                        } else {
+                            Vec::new()
+                        },
                     });
                     for run in runs {
                         let permit = window.acquire(1).await;
@@ -796,6 +843,7 @@ fn start_fair_share(
                         let task_buffer = shard_buf.clone();
                         let task_sharded = drain_sharded.clone();
                         let task_tracer = Rc::clone(&tracer);
+                        let task_repl = repl.clone();
                         drain_ctx.spawn(async move {
                             let _permit = permit;
                             for dep in &deps {
@@ -827,6 +875,7 @@ fn start_fair_share(
                                         batch_id,
                                         &task_buffer,
                                         &task_audit,
+                                        task_repl.as_ref(),
                                     );
                                     if let Some(payload) = retired {
                                         task_tracer.end(
@@ -1314,6 +1363,100 @@ mod resilience_tests {
         );
         assert!(!rl.is_degraded(), "healthy again after the burst");
         assert_eq!(rl.occupancy(), 0);
+    }
+
+    #[test]
+    fn second_burst_after_recovery_reenters_degraded_mode_and_acks_synchronously() {
+        let mut sim = Sim::new(25);
+        let ctx = sim.ctx();
+        let disk = Disk::new(&ctx, specs::instant(1 << 24));
+        let retry = RetryPolicy {
+            max_retries: 3,
+            backoff_base: SimDuration::from_micros(100),
+            backoff_cap: SimDuration::from_millis(2),
+            degraded_exit_successes: 4,
+            ..RetryPolicy::default()
+        };
+        let rl = setup(&mut sim, disk.clone(), retry);
+        let dev = rl.device();
+        // Probe state sampled during the second burst: the mode flag and
+        // the ack latency of one write issued while the disk is sick again.
+        let degraded_in_burst2 = Rc::new(StdCell::new(false));
+        let probe_ack_ns = Rc::new(StdCell::new(0u64));
+        let rl2 = rl.clone();
+        let c2 = ctx.clone();
+        {
+            let dev = dev.clone();
+            sim.spawn(async move {
+                for i in 0..400u64 {
+                    dev.write(i % 64, &vec![i as u8; SECTOR_SIZE], true)
+                        .await
+                        .unwrap();
+                    c2.sleep(SimDuration::from_micros(500)).await;
+                }
+            });
+        }
+        // Two sick bursts separated by a long healthy gap: 20–50 ms and
+        // 150–180 ms. The writer stream keeps the drain busy throughout,
+        // so hysteresis recovers the mode between the bursts.
+        let d2 = disk.clone();
+        sim.spawn({
+            let ctx = ctx.clone();
+            async move {
+                ctx.sleep(SimDuration::from_millis(20)).await;
+                d2.set_sick(true);
+                ctx.sleep(SimDuration::from_millis(30)).await;
+                d2.set_sick(false);
+                ctx.sleep(SimDuration::from_millis(100)).await;
+                d2.set_sick(true);
+                ctx.sleep(SimDuration::from_millis(30)).await;
+                d2.set_sick(false);
+            }
+        });
+        // The probe: 10 ms into the second burst, one write must be
+        // re-acknowledged synchronously (it waits out the rest of the
+        // burst for media), proving re-entry is behavioural, not just a
+        // counter.
+        {
+            let dev = dev.clone();
+            let ctx = ctx.clone();
+            let rl = rl.clone();
+            let flag = Rc::clone(&degraded_in_burst2);
+            let ack = Rc::clone(&probe_ack_ns);
+            sim.spawn(async move {
+                ctx.sleep(SimDuration::from_millis(160)).await;
+                flag.set(rl.is_degraded());
+                let t0 = ctx.now();
+                dev.write(500, &vec![0xEE; SECTOR_SIZE], true)
+                    .await
+                    .unwrap();
+                ack.set((ctx.now() - t0).as_nanos());
+            });
+        }
+        sim.run_until(SimTime::from_secs(10));
+        let report = rl2.audit_report();
+        assert!(report.guarantee_held(), "no acked byte was lost");
+        assert!(
+            report.degraded_entries >= 2,
+            "the second burst re-entered degraded mode (entries = {})",
+            report.degraded_entries
+        );
+        assert_eq!(
+            report.degraded_entries, report.degraded_exits,
+            "every entry recovered once its burst passed"
+        );
+        assert!(
+            degraded_in_burst2.get(),
+            "the instance was degraded while the second burst was active"
+        );
+        assert!(
+            probe_ack_ns.get() > 5_000_000,
+            "the probe write re-acked synchronously, waiting out the burst \
+             ({} ns)",
+            probe_ack_ns.get()
+        );
+        assert!(!rl2.is_degraded(), "healthy again after the second burst");
+        assert_eq!(rl2.occupancy(), 0);
     }
 
     #[test]

@@ -58,13 +58,18 @@
 pub mod audit;
 pub mod buffer;
 pub mod drain;
+pub mod replicate;
 pub mod service;
 pub mod shard;
 pub mod vdisk;
 
 pub use audit::{AuditReport, TenantAudit};
 pub use buffer::{BufferStats, DependableBuffer};
-pub use service::LogService;
+pub use replicate::{
+    ReplicationConfig, ReplicationMode, ReplicationReport, Replicator, ShipAck, ShipFrame, Standby,
+    StandbyReport,
+};
+pub use service::{LogClient, LogService, SubmitError};
 pub use shard::{ShardedBuffer, TenantId, TenantSpec};
 pub use vdisk::RapiLogDevice;
 
@@ -76,7 +81,11 @@ pub use vdisk::RapiLogDevice;
 pub mod prelude {
     pub use crate::audit::{AuditReport, TenantAudit};
     pub use crate::buffer::{BufferStats, DependableBuffer};
-    pub use crate::service::LogService;
+    pub use crate::replicate::{
+        ReplicationConfig, ReplicationMode, ReplicationReport, Replicator, ShipAck, ShipFrame,
+        Standby, StandbyReport,
+    };
+    pub use crate::service::{LogClient, LogService, SubmitError};
     pub use crate::shard::{ShardedBuffer, TenantId, TenantSpec};
     pub use crate::vdisk::RapiLogDevice;
     pub use crate::{
@@ -316,6 +325,8 @@ pub struct RapiLogSnapshot {
     /// entry for [`TenantId::DEFAULT`]; the aggregate fields above are the
     /// sums across these.
     pub tenants: Vec<TenantSnapshot>,
+    /// The log shipper's status, when replication is enabled.
+    pub replication: Option<replicate::ReplicationReport>,
 }
 
 /// One tenant's slice of a [`RapiLogSnapshot`].
@@ -368,6 +379,7 @@ pub struct RapiLogBuilder<'a> {
     supply: Option<&'a PowerSupply>,
     cfg: RapiLogConfig,
     tenants: Vec<TenantSpec>,
+    repl: Option<replicate::Replicator>,
 }
 
 impl<'a> RapiLogBuilder<'a> {
@@ -420,6 +432,16 @@ impl<'a> RapiLogBuilder<'a> {
         self
     }
 
+    /// Ships every retired batch to a standby cell through `repl`; see
+    /// [`Replicator`](replicate::Replicator). The builder attaches the
+    /// shipper's send/ack loops to this instance's trusted cell; in
+    /// [`Sync`](replicate::ReplicationMode::Sync) mode, guest
+    /// acknowledgements additionally wait for the standby's ack.
+    pub fn replicate(mut self, repl: &replicate::Replicator) -> Self {
+        self.repl = Some(repl.clone());
+        self
+    }
+
     /// Fixed CPU cost of accepting one write (default: 2 µs).
     pub fn ack_base(mut self, cost: SimDuration) -> Self {
         self.cfg.ack_base = cost;
@@ -463,7 +485,16 @@ impl<'a> RapiLogBuilder<'a> {
         // construction sequence as before sharding existed, so Strict
         // traces stay bit-identical. Two or more go through the shards.
         if self.tenants.len() >= 2 {
-            return Self::build_sharded(ctx, cell, disk, supply, cfg, capacity, &self.tenants);
+            return Self::build_sharded(
+                ctx,
+                cell,
+                disk,
+                supply,
+                cfg,
+                capacity,
+                &self.tenants,
+                self.repl,
+            );
         }
         let tenant_id = self
             .tenants
@@ -476,7 +507,14 @@ impl<'a> RapiLogBuilder<'a> {
             // synchronously and RapiLog adds nothing but also risks
             // nothing. The paper's sizing rule exists exactly so that
             // deployments detect this case up front.
+            assert!(
+                self.repl.is_none(),
+                "log shipping requires a buffered instance; write-through has no drain to tee"
+            );
             let audit = audit::Audit::new(ctx, supply.cloned());
+            if tenant_id != TenantId::DEFAULT {
+                audit.register_tenant(tenant_id.0);
+            }
             let buffer = DependableBuffer::new(0);
             let mode = ModeState::new();
             let device =
@@ -491,9 +529,18 @@ impl<'a> RapiLogBuilder<'a> {
                 audit,
                 mode,
                 disk,
+                replication: None,
             };
         }
         let audit = audit::Audit::new(ctx, supply.cloned());
+        // An explicitly named tenant gets its audit section up front, so
+        // the report still testifies for it even if it never writes.
+        if tenant_id != TenantId::DEFAULT {
+            audit.register_tenant(tenant_id.0);
+        }
+        if let Some(repl) = &self.repl {
+            repl.attach(cell, audit.clone());
+        }
         let buffer = DependableBuffer::new(capacity);
         let mode = ModeState::new();
         let device = RapiLogDevice::new(
@@ -503,6 +550,7 @@ impl<'a> RapiLogBuilder<'a> {
             cfg,
             audit.clone(),
             Rc::clone(&mode),
+            self.repl.clone().map(|r| (tenant_id.0, r)),
         );
         drain::start(
             ctx,
@@ -513,6 +561,8 @@ impl<'a> RapiLogBuilder<'a> {
             supply.cloned(),
             audit.clone(),
             Rc::clone(&mode),
+            tenant_id,
+            self.repl.clone(),
         );
         RapiLog {
             tenants: Rc::new(vec![TenantHandle {
@@ -524,11 +574,13 @@ impl<'a> RapiLogBuilder<'a> {
             audit,
             mode,
             disk,
+            replication: self.repl,
         }
     }
 
     /// The multi-tenant assembly: capacity split into weighted shards, one
     /// guest-facing device per tenant, one fair-share drain over them all.
+    #[allow(clippy::too_many_arguments)]
     fn build_sharded(
         ctx: &SimCtx,
         cell: &Cell,
@@ -537,6 +589,7 @@ impl<'a> RapiLogBuilder<'a> {
         cfg: RapiLogConfig,
         capacity: u64,
         specs: &[TenantSpec],
+        repl: Option<replicate::Replicator>,
     ) -> RapiLog {
         let weights: Vec<u32> = specs.iter().map(|s| s.weight.max(1)).collect();
         let shard_caps = shard::split_capacity(capacity, &weights);
@@ -552,6 +605,10 @@ impl<'a> RapiLogBuilder<'a> {
             // Some tenant's share cannot cover even one sector: the whole
             // instance runs write-through (per-tenant devices, no buffers)
             // rather than buffering for some tenants and lying to others.
+            assert!(
+                repl.is_none(),
+                "log shipping requires a buffered instance; write-through has no drain to tee"
+            );
             let tenants: Vec<TenantHandle> = specs
                 .iter()
                 .map(|spec| TenantHandle {
@@ -571,7 +628,11 @@ impl<'a> RapiLogBuilder<'a> {
                 audit,
                 mode,
                 disk,
+                replication: None,
             };
+        }
+        if let Some(r) = &repl {
+            r.attach(cell, audit.clone());
         }
         let sharded = ShardedBuffer::new(specs, capacity);
         if let Some(psu) = supply {
@@ -600,6 +661,7 @@ impl<'a> RapiLogBuilder<'a> {
                     cfg,
                     audit.clone(),
                     Rc::clone(&mode),
+                    repl.clone().map(|r| (s.id.0, r)),
                 ),
             })
             .collect();
@@ -612,12 +674,14 @@ impl<'a> RapiLogBuilder<'a> {
             supply.cloned(),
             audit.clone(),
             Rc::clone(&mode),
+            repl.clone(),
         );
         RapiLog {
             tenants: Rc::new(tenants),
             audit,
             mode,
             disk,
+            replication: repl,
         }
     }
 }
@@ -638,6 +702,7 @@ pub struct RapiLog {
     audit: audit::Audit,
     mode: Rc<ModeState>,
     disk: Disk,
+    replication: Option<replicate::Replicator>,
 }
 
 impl RapiLog {
@@ -650,6 +715,7 @@ impl RapiLog {
             supply: None,
             cfg: RapiLogConfig::default(),
             tenants: Vec::new(),
+            repl: None,
         }
     }
 
@@ -712,7 +778,13 @@ impl RapiLog {
             degraded: self.mode.is_degraded(),
             disk: self.disk.stats(),
             tenants,
+            replication: self.replication.as_ref().map(|r| r.report()),
         }
+    }
+
+    /// The log shipper's status, when replication is enabled.
+    pub fn replication_report(&self) -> Option<replicate::ReplicationReport> {
+        self.replication.as_ref().map(|r| r.report())
     }
 
     /// True while the instance has fallen back to synchronous
@@ -856,6 +928,56 @@ mod builder_tests {
         assert!(snap.write_through);
         assert_eq!(snap.capacity, 0);
         assert!(!snap.frozen);
+        std::mem::forget(cell);
+    }
+
+    #[test]
+    fn silent_tenant_still_gets_an_audit_section() {
+        let (mut sim, ctx, hv, disk) = fixture(9);
+        let cell = hv.create_cell("rapilog", Trust::Trusted);
+        // Single-tenant instance with an explicit tenant id: the section
+        // must exist (as zero activity) even though the tenant never
+        // writes — silence is a fact the report should state, not omit.
+        let rl = RapiLog::builder(&ctx)
+            .cell(&cell)
+            .disk(disk)
+            .capacity(CapacitySpec::Fixed(1 << 20))
+            .tenants(&[shard::TenantSpec::new(5)])
+            .build();
+        sim.run_until(rapilog_simcore::SimTime::from_millis(10));
+        let report = rl.audit_report();
+        let section = report
+            .tenant(5)
+            .expect("a registered tenant is reported even with zero writes");
+        assert_eq!(section.commits, 0);
+        assert!(section.guarantee_held());
+        assert!(report.guarantee_held());
+        std::mem::forget(cell);
+    }
+
+    #[test]
+    fn silent_tenants_get_sections_on_a_sharded_instance_too() {
+        let (mut sim, ctx, hv, disk) = fixture(10);
+        let cell = hv.create_cell("rapilog", Trust::Trusted);
+        let rl = RapiLog::builder(&ctx)
+            .cell(&cell)
+            .disk(disk)
+            .capacity(CapacitySpec::Fixed(2 << 20))
+            .tenants(&[shard::TenantSpec::new(1), shard::TenantSpec::new(2)])
+            .build();
+        // Only tenant 1 writes; tenant 2 stays silent.
+        let dev = rl.device_for(TenantId(1)).unwrap();
+        sim.spawn(async move {
+            dev.write(0, &vec![3u8; rapilog_simdisk::SECTOR_SIZE], true)
+                .await
+                .unwrap();
+        });
+        sim.run_until(rapilog_simcore::SimTime::from_secs(1));
+        let report = rl.audit_report();
+        assert!(report.tenant(1).unwrap().commits > 0);
+        let silent = report.tenant(2).expect("silent tenant still reported");
+        assert_eq!(silent.commits, 0);
+        assert!(report.guarantee_held());
         std::mem::forget(cell);
     }
 

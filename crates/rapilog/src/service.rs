@@ -19,15 +19,19 @@
 //! The reply is one status byte: [`STATUS_OK`], [`STATUS_UNKNOWN_TENANT`],
 //! [`STATUS_MALFORMED`] or [`STATUS_WRITE_ERROR`].
 
+use std::cell::RefCell;
 use std::rc::Rc;
 
 use rapilog_microvisor::cell::Cell;
 use rapilog_microvisor::ipc::{CapRights, Endpoint, EndpointCap};
-use rapilog_simcore::SimCtx;
+use rapilog_simcore::rng::SimRng;
+use rapilog_simcore::{SimCtx, SimDuration};
 use rapilog_simdisk::{BlockDevice, SECTOR_SIZE};
 
+use crate::audit::Audit;
+use crate::drain::backoff_delay;
 use crate::shard::TenantId;
-use crate::RapiLog;
+use crate::{RapiLog, RetryPolicy};
 
 /// Submission accepted: the payload is in the tenant's dependable buffer
 /// (or on media, in write-through / degraded mode).
@@ -49,6 +53,7 @@ pub const STATUS_WRITE_ERROR: u8 = 3;
 pub struct LogService {
     ep: Rc<Endpoint>,
     tenants: Vec<TenantId>,
+    audit: Audit,
 }
 
 impl LogService {
@@ -62,6 +67,7 @@ impl LogService {
         let service = LogService {
             ep: Rc::clone(&ep),
             tenants: rapilog.tenant_ids(),
+            audit: rapilog.audit.clone(),
         };
         let loop_ctx = ctx.clone();
         cell.spawn(async move {
@@ -93,6 +99,104 @@ impl LogService {
     /// The tenants this service routes for, in shard order.
     pub fn tenant_ids(&self) -> &[TenantId] {
         &self.tenants
+    }
+
+    /// Builds a guest-side client for `tenant` with a bounded per-request
+    /// `timeout` and retry policy — the graceful-degradation wrapper around
+    /// the raw capability: a stalled IPC ring costs a bounded wait, never a
+    /// hung session. See [`LogClient`].
+    pub fn client(
+        &self,
+        ctx: &SimCtx,
+        tenant: TenantId,
+        timeout: SimDuration,
+        policy: RetryPolicy,
+    ) -> LogClient {
+        LogClient {
+            ctx: ctx.clone(),
+            cap: self.cap_for(tenant),
+            audit: self.audit.clone(),
+            timeout,
+            policy,
+            rng: RefCell::new(ctx.fork_rng()),
+        }
+    }
+}
+
+/// Why a [`LogClient::submit`] gave up.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SubmitError {
+    /// Every attempt's deadline lapsed without a reply: the service is
+    /// stalled (wedged trusted cell, dead ring). `attempts` is the total
+    /// number of requests sent.
+    TimedOut {
+        /// Requests sent before giving up (1 + retries).
+        attempts: u32,
+    },
+    /// The service answered with a non-OK status byte.
+    Refused(u8),
+    /// The endpoint is gone — the trusted cell was torn down.
+    ServerGone,
+}
+
+/// A guest-side submission handle with a bounded request timeout and
+/// capped exponential backoff (reusing [`RetryPolicy`]).
+///
+/// The raw [`EndpointCap::call`] blocks until the server replies — honest
+/// IPC semantics, but a wedged trusted cell would hang the guest session
+/// forever. The client bounds each attempt with the session timeout and
+/// retries with backoff up to the policy's budget, so a stalled ring
+/// degrades into a bounded, observable error instead of a hang. Timeouts
+/// and retries are counted in the instance's audit report
+/// (`service_timeouts` / `service_retries`), visible in every snapshot.
+///
+/// A retry may duplicate a request whose first attempt was actually
+/// served (the reply raced the deadline): submissions are at-least-once.
+/// That is safe here because a log submission is idempotent — rewriting
+/// the same payload to the same sector is a no-op on media state.
+pub struct LogClient {
+    ctx: SimCtx,
+    cap: EndpointCap,
+    audit: Audit,
+    timeout: SimDuration,
+    policy: RetryPolicy,
+    rng: RefCell<SimRng>,
+}
+
+impl LogClient {
+    /// Submits one log write, waiting at most `timeout` per attempt and
+    /// retrying per the policy.
+    pub async fn submit(&self, sector: u64, payload: &[u8]) -> Result<(), SubmitError> {
+        let msg = encode_submission(sector, payload);
+        let mut attempt: u32 = 0;
+        loop {
+            match self
+                .ctx
+                .timeout(self.timeout, self.cap.call(msg.clone()))
+                .await
+            {
+                Some(Ok(reply)) => {
+                    return match reply.first().copied() {
+                        Some(STATUS_OK) => Ok(()),
+                        Some(status) => Err(SubmitError::Refused(status)),
+                        None => Err(SubmitError::Refused(STATUS_MALFORMED)),
+                    };
+                }
+                Some(Err(_)) => return Err(SubmitError::ServerGone),
+                None => {
+                    self.audit.record_service_timeout();
+                    if !self.policy.enabled || attempt >= self.policy.max_retries {
+                        return Err(SubmitError::TimedOut {
+                            attempts: attempt + 1,
+                        });
+                    }
+                    self.audit.record_service_retry();
+                    let delay = backoff_delay(&self.policy, attempt, &mut self.rng.borrow_mut());
+                    self.ctx.sleep(delay).await;
+                    attempt += 1;
+                }
+            }
+        }
     }
 }
 
@@ -204,6 +308,139 @@ mod tests {
         sim.run_until(rapilog_simcore::SimTime::from_secs(1));
         assert!(done.get());
         assert_eq!(rl.stats().accepted_writes, 0);
+        std::mem::forget(cell);
+    }
+
+    fn quick_policy(max_retries: u32) -> RetryPolicy {
+        RetryPolicy {
+            max_retries,
+            backoff_base: SimDuration::from_micros(100),
+            backoff_cap: SimDuration::from_millis(2),
+            jitter: SimDuration::ZERO,
+            ..RetryPolicy::default()
+        }
+    }
+
+    #[test]
+    fn client_bounds_a_stalled_service_and_counts_timeouts() {
+        let mut sim = Sim::new(31);
+        let ctx = sim.ctx();
+        let audit = Audit::new(&ctx, None);
+        // A wedged service: it accepts every request and keeps the reply
+        // channel alive but never answers — the raw cap.call would hang
+        // this session forever.
+        let ep = Rc::new(Endpoint::new());
+        let held = Rc::new(RefCell::new(Vec::new()));
+        {
+            let ep = Rc::clone(&ep);
+            let held = Rc::clone(&held);
+            sim.spawn(async move {
+                while let Some(msg) = ep.recv().await {
+                    held.borrow_mut().push(msg.reply);
+                }
+            });
+        }
+        let client = LogClient {
+            ctx: ctx.clone(),
+            cap: ep.mint(1, CapRights::SEND),
+            audit: audit.clone(),
+            timeout: SimDuration::from_micros(500),
+            policy: quick_policy(2),
+            rng: RefCell::new(ctx.fork_rng()),
+        };
+        let outcome = Rc::new(StdCell::new(None));
+        let o2 = Rc::clone(&outcome);
+        sim.spawn(async move {
+            let r = client.submit(0, &vec![7u8; SECTOR_SIZE]).await;
+            o2.set(Some(r));
+        });
+        sim.run_until(rapilog_simcore::SimTime::from_secs(1));
+        assert_eq!(
+            outcome.get(),
+            Some(Err(SubmitError::TimedOut { attempts: 3 })),
+            "one initial attempt plus two retries, then a bounded error"
+        );
+        let report = audit.report();
+        assert_eq!(report.service_timeouts, 3, "every lapsed deadline counted");
+        assert_eq!(report.service_retries, 2);
+    }
+
+    #[test]
+    fn client_recovers_when_the_service_unstalls_mid_retry() {
+        let mut sim = Sim::new(32);
+        let ctx = sim.ctx();
+        let audit = Audit::new(&ctx, None);
+        // The service swallows the first two requests, then serves.
+        let ep = Rc::new(Endpoint::new());
+        let held = Rc::new(RefCell::new(Vec::new()));
+        {
+            let ep = Rc::clone(&ep);
+            let held = Rc::clone(&held);
+            sim.spawn(async move {
+                let mut seen = 0u32;
+                while let Some(msg) = ep.recv().await {
+                    seen += 1;
+                    if seen <= 2 {
+                        held.borrow_mut().push(msg.reply);
+                    } else if let Some(reply) = msg.reply {
+                        reply.send(vec![STATUS_OK]);
+                    }
+                }
+            });
+        }
+        let client = LogClient {
+            ctx: ctx.clone(),
+            cap: ep.mint(1, CapRights::SEND),
+            audit: audit.clone(),
+            timeout: SimDuration::from_micros(500),
+            policy: quick_policy(8),
+            rng: RefCell::new(ctx.fork_rng()),
+        };
+        let outcome = Rc::new(StdCell::new(None));
+        let o2 = Rc::clone(&outcome);
+        sim.spawn(async move {
+            let r = client.submit(0, &vec![7u8; SECTOR_SIZE]).await;
+            o2.set(Some(r));
+        });
+        sim.run_until(rapilog_simcore::SimTime::from_secs(1));
+        assert_eq!(outcome.get(), Some(Ok(())));
+        let report = audit.report();
+        assert_eq!(report.service_retries, 2, "two resubmissions recovered");
+        assert_eq!(report.service_timeouts, 2);
+    }
+
+    #[test]
+    fn client_counters_surface_in_the_instance_snapshot() {
+        let mut sim = Sim::new(33);
+        let ctx = sim.ctx();
+        let hv = Hypervisor::new(&ctx);
+        let cell = hv.create_cell("rapilog", Trust::Trusted);
+        let disk = Disk::new(&ctx, specs::ssd_sata(1 << 30));
+        let rl = RapiLog::builder(&ctx)
+            .cell(&cell)
+            .disk(disk)
+            .capacity(CapacitySpec::Fixed(8 << 20))
+            .build();
+        let svc = LogService::start(&ctx, &cell, rl.clone());
+        let client = svc.client(
+            &ctx,
+            TenantId::DEFAULT,
+            SimDuration::from_millis(5),
+            quick_policy(2),
+        );
+        let done = Rc::new(StdCell::new(false));
+        let d2 = Rc::clone(&done);
+        sim.spawn(async move {
+            // A healthy service answers well inside the deadline.
+            client.submit(0, &vec![1u8; SECTOR_SIZE]).await.unwrap();
+            d2.set(true);
+        });
+        sim.run_until(rapilog_simcore::SimTime::from_secs(1));
+        assert!(done.get());
+        let snap = rl.snapshot();
+        assert_eq!(snap.audit.service_timeouts, 0);
+        assert_eq!(snap.audit.service_retries, 0);
+        assert_eq!(snap.buffer.accepted_writes, 1);
         std::mem::forget(cell);
     }
 

@@ -30,6 +30,7 @@ use rapilog_simdisk::{
 
 use crate::audit::Audit;
 use crate::buffer::{DependableBuffer, PushError};
+use crate::replicate::{ReplicationMode, Replicator};
 use crate::{ModeState, RapiLogConfig};
 
 /// The virtual block device backed by the dependable buffer.
@@ -44,6 +45,10 @@ pub struct RapiLogDevice {
     audit: Audit,
     /// Shared with the drain: while degraded, acks wait for media.
     mode: Rc<ModeState>,
+    /// Sync-replication gate: the tenant this device writes as, plus the
+    /// shipper whose standby ack the write must wait for. `None` when
+    /// shipping is off or asynchronous.
+    repl: Option<(u64, Replicator)>,
     geometry: Geometry,
     tracer: Rc<Tracer>,
     queue: Rc<IoQueue>,
@@ -57,8 +62,10 @@ impl RapiLogDevice {
         cfg: RapiLogConfig,
         audit: Audit,
         mode: Rc<ModeState>,
+        repl: Option<(u64, Replicator)>,
     ) -> RapiLogDevice {
         let geometry = backing.geometry();
+        let repl = repl.filter(|(_, r)| r.mode() == ReplicationMode::Sync);
         RapiLogDevice {
             ctx: ctx.clone(),
             buffer: Some(buffer),
@@ -66,6 +73,7 @@ impl RapiLogDevice {
             cfg,
             audit,
             mode,
+            repl,
             geometry,
             tracer: ctx.tracer(),
             queue: Rc::new(IoQueue::new()),
@@ -90,6 +98,7 @@ impl RapiLogDevice {
             audit,
             // Write-through is already synchronous; it never degrades.
             mode: ModeState::new(),
+            repl: None,
             geometry,
             tracer: ctx.tracer(),
             queue: Rc::new(IoQueue::new()),
@@ -213,6 +222,31 @@ impl RapiLogDevice {
                     Payload::Mark { value: seq },
                 );
                 if !committed {
+                    return Err(IoError::PowerLoss);
+                }
+            }
+        }
+        // Synchronous replication: the acknowledgement is a promise about
+        // the *standby* too, so hold it until the standby has acked this
+        // write's sequence. A halted shipper (primary power death) fails
+        // the write instead — a dying box must not promise remote
+        // durability it can no longer deliver.
+        if let Some((tenant, repl)) = &self.repl {
+            if let Some(seq) = last_seq {
+                self.tracer.begin(
+                    self.ctx.now(),
+                    Layer::Net,
+                    "repl_wait",
+                    Payload::Mark { value: seq },
+                );
+                let replicated = repl.wait_replicated(*tenant, seq).await;
+                self.tracer.end(
+                    self.ctx.now(),
+                    Layer::Net,
+                    "repl_wait",
+                    Payload::Mark { value: seq },
+                );
+                if !replicated {
                     return Err(IoError::PowerLoss);
                 }
             }

@@ -58,11 +58,13 @@ pub enum Layer {
     Power,
     /// Fault injector: crashes, power cuts, recovery.
     Fault,
+    /// Simulated network: link sends, drops, duplicates, partitions.
+    Net,
 }
 
 impl Layer {
     /// Every layer, in track order.
-    pub const ALL: [Layer; 8] = [
+    pub const ALL: [Layer; 9] = [
         Layer::App,
         Layer::Engine,
         Layer::Wal,
@@ -71,6 +73,7 @@ impl Layer {
         Layer::Disk,
         Layer::Power,
         Layer::Fault,
+        Layer::Net,
     ];
 
     /// Human-readable (and Chrome thread) name.
@@ -84,6 +87,7 @@ impl Layer {
             Layer::Disk => "disk",
             Layer::Power => "power",
             Layer::Fault => "fault",
+            Layer::Net => "net",
         }
     }
 
@@ -98,6 +102,7 @@ impl Layer {
             Layer::Disk => 6,
             Layer::Power => 7,
             Layer::Fault => 8,
+            Layer::Net => 9,
         }
     }
 }

@@ -19,6 +19,9 @@ cargo fmt --all -- --check
 echo "==> crash-point sweep (200 trials + broken-drain control)"
 ./target/release/crashpoint_sweep
 
+echo "==> failover sweep (replicated pair: sync/async x 4 failure kinds)"
+./target/release/failover_sweep
+
 echo "==> hot-path bench + allocation budget (check mode)"
 BENCH_CHECK=1 cargo bench -q -p rapilog-bench --bench hotpaths
 
