@@ -6,7 +6,9 @@
 //!    SSD; 10³ closed-loop sessions (commit storm) are zipf-split over the
 //!    cells ([`zipf_split`]'s YCSB-style skew), all drivers run
 //!    concurrently in one simulation. Reported: total tps, per-cell tps,
-//!    and the merged p99/p999 commit latency.
+//!    the merged p99/p999 commit latency, and the *session-normalized*
+//!    fairness (per-session tps min/max — raw per-cell tps under a zipf
+//!    split only reflects the skew, not the scheduler).
 //! 2. **Saturation fairness** — the same four-tenant instance on a 7200
 //!    rpm disk, every shard driven past its fair share by dedicated
 //!    writers, so per-tenant drained bytes measure exactly what the
@@ -268,7 +270,7 @@ fn main() {
         ),
         ("committed", Json::int(committed)),
         ("fleet_tps", Json::Num(fleet.total_tps())),
-        ("fleet_fairness", Json::Num(fleet.fairness_ratio())),
+        ("fleet_fairness", Json::Num(fleet.session_fairness())),
         ("fairness", Json::Num(fairness)),
         ("p99_commit_us", Json::int(lat.percentile(99.0) / 1_000)),
         ("p999_commit_us", Json::int(lat.percentile(99.9) / 1_000)),

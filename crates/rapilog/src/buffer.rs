@@ -27,6 +27,7 @@ use std::rc::Rc;
 use rapilog_simcore::bytes::SectorBuf;
 use rapilog_simcore::hash::FastMap;
 use rapilog_simcore::sync::Notify;
+use rapilog_simcore::SimCtx;
 use rapilog_simdisk::SECTOR_SIZE;
 
 /// One accepted write.
@@ -36,6 +37,10 @@ pub struct Extent {
     pub seq: u64,
     /// First sector of the run.
     pub sector: u64,
+    /// Admission timestamp in sim-nanoseconds (0 when the buffer has no
+    /// clock attached, e.g. unit tests) — lets the drain's ledger measure
+    /// admission-to-durable commit latency per extent.
+    pub admit_ns: u64,
     /// The bytes (a positive multiple of the sector size), shared with the
     /// admission-time writer and the read-your-writes overlay.
     pub data: SectorBuf,
@@ -69,6 +74,11 @@ struct BufSt {
     queue: VecDeque<Extent>,
     /// Extents popped by the drain, oldest first, awaiting `complete`.
     inflight: VecDeque<InflightExtent>,
+    /// Bytes in `queue` only (occupancy minus in-flight) — the adaptive
+    /// batching controller's backlog signal.
+    queued_bytes: u64,
+    /// Stamps `Extent::admit_ns`; attached by the builder.
+    clock: Option<SimCtx>,
     occupancy: u64,
     capacity: u64,
     next_seq: u64,
@@ -138,6 +148,8 @@ impl DependableBuffer {
             st: Rc::new(RefCell::new(BufSt {
                 queue: VecDeque::new(),
                 inflight: VecDeque::new(),
+                queued_bytes: 0,
+                clock: None,
                 occupancy: 0,
                 capacity,
                 next_seq: 0,
@@ -154,6 +166,19 @@ impl DependableBuffer {
     /// True if at least one extent is queued (not counting in-flight ones).
     pub(crate) fn has_queued(&self) -> bool {
         !self.st.borrow().queue.is_empty()
+    }
+
+    /// Bytes queued and not yet popped by the drain — the backlog the
+    /// adaptive batching controller reacts to.
+    pub(crate) fn queued_bytes(&self) -> u64 {
+        self.st.borrow().queued_bytes
+    }
+
+    /// Attaches the sim clock so admissions are stamped with `admit_ns`.
+    /// Without a clock (unit tests building the buffer directly) extents
+    /// carry `admit_ns == 0` and commit latency simply isn't measured.
+    pub(crate) fn set_clock(&self, ctx: &SimCtx) {
+        self.st.borrow_mut().clock = Some(ctx.clone());
     }
 
     /// The admission cap.
@@ -222,7 +247,18 @@ impl DependableBuffer {
                         let view = data.slice(i * SECTOR_SIZE..(i + 1) * SECTOR_SIZE);
                         st.overlay.insert(sector + i as u64, (seq, view));
                     }
-                    st.queue.push_back(Extent { seq, sector, data });
+                    st.queued_bytes += len;
+                    let admit_ns = st
+                        .clock
+                        .as_ref()
+                        .map(|c| c.now().as_nanos())
+                        .unwrap_or_default();
+                    st.queue.push_back(Extent {
+                        seq,
+                        sector,
+                        admit_ns,
+                        data,
+                    });
                     drop(st);
                     self.avail.notify_one();
                     return Ok(seq);
@@ -259,6 +295,7 @@ impl DependableBuffer {
             }
             let e = st.queue.pop_front().expect("peeked head vanished");
             total += e.data.len();
+            st.queued_bytes -= e.data.len() as u64;
             st.inflight.push_back(InflightExtent {
                 seq: e.seq,
                 sector: e.sector,
@@ -310,6 +347,7 @@ impl DependableBuffer {
                 }
                 if seq >= lo {
                     let e = st.queue.remove(i).expect("indexed entry vanished");
+                    st.queued_bytes -= e.data.len() as u64;
                     st.release(e.seq, e.sector, e.data.len() as u64);
                 } else {
                     i += 1;

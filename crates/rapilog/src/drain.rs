@@ -36,7 +36,8 @@ use std::rc::Rc;
 
 use rapilog_microvisor::cell::Cell;
 use rapilog_simcore::rng::SimRng;
-use rapilog_simcore::sync::{Event, Semaphore};
+use rapilog_simcore::stats::Histogram;
+use rapilog_simcore::sync::{Event, SemPermit, Semaphore};
 use rapilog_simcore::trace::{Layer, Payload};
 use rapilog_simcore::{SimCtx, SimDuration};
 use rapilog_simdisk::{BlockDevice, Disk, IoError, IoReq, IoRun, SECTOR_SIZE};
@@ -46,7 +47,10 @@ use crate::audit::Audit;
 use crate::buffer::{DependableBuffer, Extent};
 use crate::replicate::Replicator;
 use crate::shard::{ShardedBuffer, TenantId};
-use crate::{ModeState, OrderingMode, RapiLogConfig, RetryPolicy};
+use crate::{
+    AdaptiveBatchConfig, BatchPolicy, DrainConfig, DrainStats, ModeState, OrderingMode,
+    RapiLogConfig, RetryPolicy,
+};
 
 /// Truncates `run` to its first `keep_sectors` sectors, slicing the
 /// boundary segment if the cut falls inside it (an O(1) re-view, not a
@@ -295,6 +299,13 @@ struct BatchEntry {
     remaining: u64,
     retired: bool,
     payload: Payload,
+    /// Total payload bytes — the controller's bandwidth numerator.
+    bytes: u64,
+    /// When the batch was popped, for the service-time EWMA.
+    dispatched_ns: u64,
+    /// Per-extent admission stamps, consumed for commit-latency samples
+    /// when the batch reaches the contiguous durable prefix.
+    admits: Vec<u64>,
     /// The batch's extents, kept for the replication tee. Empty (and
     /// allocation-free) when log shipping is off.
     extents: Vec<Extent>,
@@ -315,12 +326,22 @@ impl BatchLedger {
     /// batches newly retired plus the sequence numbers whose durable-prefix
     /// commits should be recorded, and whether this retirement jumped ahead
     /// of an older still-pending batch.
+    ///
+    /// Retirement is also the controller's sensor: the batch's dispatch →
+    /// retirement service time feeds [`DrainController::observe_batch`]
+    /// (with `backlog`, the bytes still queued behind it), and every extent
+    /// reaching the contiguous durable prefix records its admission →
+    /// commit latency.
+    #[allow(clippy::too_many_arguments)]
     fn run_done(
         &mut self,
         id: u64,
         buffer: &DependableBuffer,
         audit: &Audit,
         repl: Option<&Replicator>,
+        ctrl: &DrainController,
+        now_ns: u64,
+        backlog: u64,
     ) -> (Option<Payload>, bool) {
         let idx = self
             .batches
@@ -334,6 +355,11 @@ impl BatchLedger {
         }
         entry.retired = true;
         let payload = entry.payload;
+        ctrl.observe_batch(
+            entry.bytes,
+            now_ns.saturating_sub(entry.dispatched_ns),
+            backlog,
+        );
         // Space (and the read overlay) release immediately: the bytes are
         // on media whether or not older batches still fly.
         buffer.complete_seqs(entry.lo, entry.hi);
@@ -346,6 +372,11 @@ impl BatchLedger {
         // durable prefix, in order, never an out-of-order island.
         while self.batches.front().is_some_and(|b| b.retired) {
             let front = self.batches.pop_front().expect("checked non-empty");
+            for &admit_ns in &front.admits {
+                if admit_ns > 0 {
+                    ctrl.record_commit_latency(now_ns.saturating_sub(admit_ns));
+                }
+            }
             match self.tenant {
                 Some(t) => audit.record_tenant_commit(t.0, front.hi),
                 None => audit.record_commit(front.hi),
@@ -356,6 +387,276 @@ impl BatchLedger {
             }
         }
         (Some(payload), jumped)
+    }
+}
+
+/// The adaptive group-commit controller: one per instance, shared by the
+/// drain loop, every run task, and [`RapiLog::snapshot`](crate::RapiLog).
+///
+/// The controller owns the in-flight window semaphore and the batch-size
+/// target the drain pops with. Under [`BatchPolicy::Fixed`] (or
+/// [`OrderingMode::Strict`], which pins batching regardless of policy) it
+/// is inert: the target stays at `max_batch`, the window at its configured
+/// depth, and `observe_batch` only updates the EWMAs and commit-latency
+/// histogram for observability — no decision, no trace event, so Fixed and
+/// Strict traces stay bit-identical to previous releases.
+///
+/// Under [`BatchPolicy::Adaptive`] + `PartiallyConstrained`, each batch
+/// retirement updates an integer EWMA (α = ¼) of per-batch service time
+/// and achieved bandwidth, then walks the target toward the
+/// latency/bandwidth knee (see DESIGN.md §15):
+///
+/// * **shrink** (halve) when the service-time EWMA exceeds the latency
+///   budget — the batch is too big for the device's current behaviour;
+/// * **decay** (to `min_batch`) when the queue behind the retiring batch
+///   is empty — light load, so the next lone commit rides a small run;
+/// * **grow** (double) when the backlog would fill ≥ 4 targets, the
+///   service EWMA sits below half the budget, *and* the bandwidth EWMA
+///   improved ≥ 2% since the last grow — past the knee, marginal
+///   bandwidth gain vanishes and growth stops on its own.
+///
+/// Window autotuning rides the same signal: with backlog for more than the
+/// current depth and latency inside budget, the window widens one permit at
+/// a time toward the device's [`Geometry::queue_depth`]; when the budget is
+/// exceeded it narrows back toward the configured depth by parking permits
+/// (never below — the configured depth is the operator's floor).
+pub(crate) struct DrainController {
+    ctx: SimCtx,
+    adaptive: Option<AdaptiveBatchConfig>,
+    max_batch: usize,
+    min_batch: usize,
+    target: StdCell<usize>,
+    base_depth: usize,
+    max_depth: usize,
+    depth: StdCell<usize>,
+    window: Rc<Semaphore>,
+    /// Permits withdrawn from the window by narrowing, held until a widen
+    /// releases one again.
+    parked: RefCell<Vec<SemPermit>>,
+    ewma_service_ns: StdCell<u64>,
+    ewma_bps: StdCell<u64>,
+    /// Bandwidth EWMA captured at the last grow — the marginal-gain
+    /// reference; 0 means "no reference, first grow is free".
+    grow_ref_bps: StdCell<u64>,
+    batch_grows: StdCell<u64>,
+    batch_shrinks: StdCell<u64>,
+    window_widens: StdCell<u64>,
+    window_narrows: StdCell<u64>,
+    hold_fires: StdCell<u64>,
+    latency: RefCell<Histogram>,
+}
+
+/// Integer EWMA with α = ¼: `e + (x − e)/4`, seeding from the first
+/// sample. Signed arithmetic so the estimate tracks downward too.
+fn ewma_update(e: u64, x: u64) -> u64 {
+    if e == 0 {
+        x
+    } else {
+        (e as i64 + ((x as i64 - e as i64) >> 2)).max(0) as u64
+    }
+}
+
+impl DrainController {
+    /// Builds the controller for one instance. `disk` supplies the
+    /// geometry cap for window autotuning; the drain config supplies
+    /// everything else. Always constructed (a Fixed/Strict/write-through
+    /// instance just never moves), so `snapshot().drain` is uniform.
+    pub(crate) fn new(ctx: &SimCtx, cfg: &DrainConfig, disk: &Disk) -> Rc<DrainController> {
+        let base_depth = match cfg.ordering {
+            OrderingMode::Strict => 1,
+            OrderingMode::PartiallyConstrained => cfg.window_depth.max(1),
+        };
+        // Strict pins the batch target fixed: the serial drain's trace is a
+        // compatibility promise, and a moving target would break it.
+        let adaptive = match (cfg.ordering, cfg.batch) {
+            (OrderingMode::PartiallyConstrained, BatchPolicy::Adaptive(a)) => Some(a),
+            _ => None,
+        };
+        let max_depth = match adaptive {
+            Some(_) => (disk.geometry().queue_depth as usize).max(base_depth),
+            None => base_depth,
+        };
+        let min_batch = adaptive
+            .map(|a| a.min_batch.max(SECTOR_SIZE).min(cfg.max_batch))
+            .unwrap_or(cfg.max_batch);
+        // Adaptive starts small and earns its way up; Fixed starts (and
+        // stays) at max_batch — today's behaviour.
+        let target = if adaptive.is_some() {
+            min_batch
+        } else {
+            cfg.max_batch
+        };
+        Rc::new(DrainController {
+            ctx: ctx.clone(),
+            adaptive,
+            max_batch: cfg.max_batch,
+            min_batch,
+            target: StdCell::new(target),
+            base_depth,
+            max_depth,
+            depth: StdCell::new(base_depth),
+            window: Rc::new(Semaphore::new(base_depth)),
+            parked: RefCell::new(Vec::new()),
+            ewma_service_ns: StdCell::new(0),
+            ewma_bps: StdCell::new(0),
+            grow_ref_bps: StdCell::new(0),
+            batch_grows: StdCell::new(0),
+            batch_shrinks: StdCell::new(0),
+            window_widens: StdCell::new(0),
+            window_narrows: StdCell::new(0),
+            hold_fires: StdCell::new(0),
+            latency: RefCell::new(Histogram::new()),
+        })
+    }
+
+    /// The in-flight window the drain loop acquires permits from. The
+    /// controller owns it so narrowing can park permits.
+    pub(crate) fn window(&self) -> Rc<Semaphore> {
+        Rc::clone(&self.window)
+    }
+
+    /// Bytes the next `pop_batch` should aim for.
+    pub(crate) fn pop_target(&self) -> usize {
+        self.target.get()
+    }
+
+    /// The adaptive tuning, when the controller is live (Adaptive policy
+    /// under PartiallyConstrained ordering).
+    pub(crate) fn adaptive_cfg(&self) -> Option<AdaptiveBatchConfig> {
+        self.adaptive
+    }
+
+    /// Counts (and traces) one hold-timer expiry in the drain loop.
+    pub(crate) fn note_hold_fire(&self) {
+        self.hold_fires.set(self.hold_fires.get() + 1);
+        self.ctx.tracer().instant(
+            self.ctx.now(),
+            Layer::Drain,
+            "hold_fire",
+            Payload::Mark {
+                value: self.hold_fires.get(),
+            },
+        );
+    }
+
+    /// Feeds one batch retirement into the EWMAs and, when adaptive, walks
+    /// the batch target and window depth (see the type-level doc for the
+    /// control law). `service_ns` spans dispatch (pop) to retirement (last
+    /// run landed); `backlog` is the bytes still queued at retirement.
+    pub(crate) fn observe_batch(&self, bytes: u64, service_ns: u64, backlog: u64) {
+        let service_ns = service_ns.max(1);
+        let bps = bytes.saturating_mul(1_000_000_000) / service_ns;
+        let svc = ewma_update(self.ewma_service_ns.get(), service_ns);
+        let ebps = ewma_update(self.ewma_bps.get(), bps);
+        self.ewma_service_ns.set(svc);
+        self.ewma_bps.set(ebps);
+        let Some(a) = self.adaptive else {
+            return;
+        };
+        let budget = a.latency_budget.as_nanos().max(1);
+        let tgt = self.target.get();
+        if svc > budget && tgt > self.min_batch {
+            // Over budget: the batch is too big for what the device is
+            // currently delivering. Halve and re-reference marginal gain.
+            self.retarget(tgt / 2, false);
+        } else if backlog == 0 && tgt > self.min_batch {
+            // Light load: nothing waiting behind the batch that just
+            // landed. Decay to the floor so the next lone commit rides a
+            // small, fast run instead of a saturation-sized one.
+            self.retarget(self.min_batch, false);
+        } else if tgt < self.max_batch && backlog >= 4 * tgt as u64 && svc <= budget / 2 {
+            // Saturation headroom: only grow while the bandwidth EWMA says
+            // the last grow actually bought throughput (≥ 2% — the knee).
+            let marginal_ok = match self.grow_ref_bps.get() {
+                0 => true,
+                r => ebps > r + r / 50,
+            };
+            if marginal_ok {
+                self.grow_ref_bps.set(ebps);
+                self.retarget((tgt * 2).min(self.max_batch), true);
+            }
+        }
+        // Window autotuning on the same retirement signal.
+        let depth = self.depth.get();
+        if svc > budget && depth > self.base_depth {
+            // Retirement latency degraded: narrow by parking a permit (if
+            // one is free right now; otherwise retry on a later batch).
+            if let Some(permit) = self.window.try_acquire(1) {
+                self.parked.borrow_mut().push(permit);
+                self.depth.set(depth - 1);
+                self.window_narrows.set(self.window_narrows.get() + 1);
+                self.trace_depth("window_narrow");
+            }
+        } else if depth < self.max_depth
+            && svc <= budget
+            && backlog >= (tgt as u64).saturating_mul(depth as u64 + 1)
+        {
+            // Backlog for more than the current depth and latency inside
+            // budget: widen toward the device's queue depth.
+            match self.parked.borrow_mut().pop() {
+                Some(permit) => drop(permit),
+                None => self.window.add_permits(1),
+            }
+            self.depth.set(depth + 1);
+            self.window_widens.set(self.window_widens.get() + 1);
+            self.trace_depth("window_widen");
+        }
+    }
+
+    /// Applies a new batch target, counting and tracing the move.
+    fn retarget(&self, new_target: usize, grew: bool) {
+        self.target.set(new_target);
+        if grew {
+            self.batch_grows.set(self.batch_grows.get() + 1);
+        } else {
+            self.batch_shrinks.set(self.batch_shrinks.get() + 1);
+            self.grow_ref_bps.set(0);
+        }
+        self.ctx.tracer().instant(
+            self.ctx.now(),
+            Layer::Drain,
+            "batch_target",
+            Payload::Mark {
+                value: new_target as u64,
+            },
+        );
+    }
+
+    fn trace_depth(&self, name: &'static str) {
+        self.ctx.tracer().instant(
+            self.ctx.now(),
+            Layer::Drain,
+            name,
+            Payload::Mark {
+                value: self.depth.get() as u64,
+            },
+        );
+    }
+
+    /// Records one extent's admission → durable-prefix-commit latency.
+    pub(crate) fn record_commit_latency(&self, ns: u64) {
+        self.latency.borrow_mut().record(ns);
+    }
+
+    /// Point-in-time view for [`RapiLogSnapshot::drain`](crate::RapiLogSnapshot).
+    pub(crate) fn stats(&self) -> DrainStats {
+        let lat = self.latency.borrow();
+        DrainStats {
+            batch_target: self.target.get() as u64,
+            window_depth: self.depth.get() as u64,
+            window_base: self.base_depth as u64,
+            window_max: self.max_depth as u64,
+            ewma_service_ns: self.ewma_service_ns.get(),
+            ewma_bytes_per_sec: self.ewma_bps.get(),
+            batch_grows: self.batch_grows.get(),
+            batch_shrinks: self.batch_shrinks.get(),
+            window_widens: self.window_widens.get(),
+            window_narrows: self.window_narrows.get(),
+            hold_fires: self.hold_fires.get(),
+            commit_p50_ns: lat.percentile(50.0),
+            commit_p99_ns: lat.percentile(99.0),
+            commits_measured: lat.count(),
+        }
     }
 }
 
@@ -372,14 +673,15 @@ pub(crate) fn start(
     mode: Rc<ModeState>,
     tenant: TenantId,
     repl: Option<Replicator>,
+    ctrl: Rc<DrainController>,
 ) {
     match cfg.drain.ordering {
         OrderingMode::Strict => {
             start_strict(ctx, cell, &buffer, disk, cfg, &audit, mode, tenant, repl)
         }
-        OrderingMode::PartiallyConstrained => {
-            start_windowed(ctx, cell, &buffer, disk, cfg, &audit, mode, tenant, repl)
-        }
+        OrderingMode::PartiallyConstrained => start_windowed(
+            ctx, cell, &buffer, disk, cfg, &audit, mode, tenant, repl, ctrl,
+        ),
     }
     if let Some(psu) = supply {
         start_power_watcher(ctx, cell, buffer, psu, audit);
@@ -499,6 +801,16 @@ fn start_strict(
 /// applies per run. Disjoint runs ride separate device channels and retire
 /// out of order; [`BatchLedger`] keeps the audit ledger on the contiguous
 /// durable prefix.
+///
+/// The pop target and the window both belong to the [`DrainController`]:
+/// under [`BatchPolicy::Fixed`] they are constants (`max_batch`,
+/// `window_depth`) and the loop behaves — and traces — exactly as before;
+/// under [`BatchPolicy::Adaptive`] they move with the observed operating
+/// point, and a **hold timer** arms when the window is saturated but the
+/// backlog would make a fractional batch: the loop waits up to `max_hold`
+/// for more bytes to coalesce (free, since no permit is available anyway),
+/// then pops whatever arrived. With a free permit the pop is immediate, so
+/// a lone commit at idle never waits on the timer.
 #[allow(clippy::too_many_arguments)]
 fn start_windowed(
     ctx: &SimCtx,
@@ -510,6 +822,7 @@ fn start_windowed(
     mode: Rc<ModeState>,
     tenant: TenantId,
     repl: Option<Replicator>,
+    ctrl: Rc<DrainController>,
 ) {
     let drain_buffer = buffer.clone();
     let drain_audit = audit.clone();
@@ -517,7 +830,7 @@ fn start_windowed(
     let tracer = ctx.tracer();
     cell.spawn(async move {
         let policy = cfg.drain.retry;
-        let window = Rc::new(Semaphore::new(cfg.drain.window_depth.max(1)));
+        let window = ctrl.window();
         let consecutive_ok = Rc::new(StdCell::new(0u32));
         let failed = Rc::new(StdCell::new(false));
         let inflight: Rc<RefCell<Vec<InflightRun>>> = Rc::new(RefCell::new(Vec::new()));
@@ -535,17 +848,30 @@ fn start_windowed(
                 if failed.get() {
                     return;
                 }
-                let batch = drain_buffer.pop_batch(cfg.drain.max_batch);
+                // Adaptive hold: the window is saturated (the batch could
+                // not dispatch yet anyway) and the queue holds less than
+                // one target — wait briefly for the batch to fill out.
+                if let Some(a) = ctrl.adaptive_cfg() {
+                    if window.available() == 0
+                        && drain_buffer.queued_bytes() < ctrl.pop_target() as u64
+                        && !drain_buffer.is_frozen()
+                    {
+                        drain_ctx.sleep(a.max_hold).await;
+                        ctrl.note_hold_fire();
+                    }
+                }
+                let batch = drain_buffer.pop_batch(ctrl.pop_target());
                 if batch.is_empty() {
                     break;
                 }
                 let lo = batch.first().expect("non-empty batch").seq;
                 let hi = batch.last().expect("non-empty batch").seq;
                 let runs = consolidate(&batch);
+                let bytes: u64 = runs.iter().map(|r| r.bytes() as u64).sum();
                 let batch_payload = Payload::Batch {
                     extents: batch.len() as u64,
                     runs: runs.len() as u64,
-                    bytes: runs.iter().map(|r| r.bytes() as u64).sum(),
+                    bytes,
                 };
                 tracer.begin(drain_ctx.now(), Layer::Drain, "drain_batch", batch_payload);
                 let batch_id = next_batch_id;
@@ -557,6 +883,9 @@ fn start_windowed(
                     remaining: runs.len() as u64,
                     retired: false,
                     payload: batch_payload,
+                    bytes,
+                    dispatched_ns: drain_ctx.now().as_nanos(),
+                    admits: batch.iter().map(|e| e.admit_ns).collect(),
                     extents: if repl.is_some() {
                         batch.clone()
                     } else {
@@ -601,6 +930,7 @@ fn start_windowed(
                     let task_buffer = drain_buffer.clone();
                     let task_tracer = Rc::clone(&tracer);
                     let task_repl = repl.clone();
+                    let task_ctrl = Rc::clone(&ctrl);
                     drain_ctx.spawn(async move {
                         let _permit = permit;
                         for dep in &deps {
@@ -637,6 +967,9 @@ fn start_windowed(
                                     &task_buffer,
                                     &task_audit,
                                     task_repl.as_ref(),
+                                    &task_ctrl,
+                                    task_ctx.now().as_nanos(),
+                                    task_buffer.queued_bytes(),
                                 );
                                 if let Some(payload) = retired {
                                     task_tracer.end(
@@ -700,8 +1033,9 @@ pub(crate) fn start_sharded(
     audit: Audit,
     mode: Rc<ModeState>,
     repl: Option<Replicator>,
+    ctrl: Rc<DrainController>,
 ) {
-    start_fair_share(ctx, cell, sharded, disk, cfg, &audit, mode, repl);
+    start_fair_share(ctx, cell, sharded, disk, cfg, &audit, mode, repl, ctrl);
     if let Some(psu) = supply {
         start_power_watcher_sharded(ctx, cell, sharded.clone(), psu, audit);
     }
@@ -724,6 +1058,15 @@ pub(crate) fn start_sharded(
 /// runs then land serially in dispatch order, which — because every shard's
 /// batches are dispatched in its own sequence order — preserves the strict
 /// per-tenant discipline.
+///
+/// All tenants' ledgers feed the **one shared** [`DrainController`]: there
+/// is one disk, so there is one latency/bandwidth operating point, and the
+/// adaptive pop target scales every tenant's quantum together (quantum =
+/// target × weight, so relative fair shares are untouched). The controller
+/// sees the *aggregate* queued backlog across shards. The hold timer is
+/// not armed here — with multiple tenants the round-robin cursor already
+/// interleaves pops, and delaying one tenant's pop would hold the cursor
+/// against the others.
 #[allow(clippy::too_many_arguments)]
 fn start_fair_share(
     ctx: &SimCtx,
@@ -734,6 +1077,7 @@ fn start_fair_share(
     audit: &Audit,
     mode: Rc<ModeState>,
     repl: Option<Replicator>,
+    ctrl: Rc<DrainController>,
 ) {
     let drain_sharded = sharded.clone();
     let drain_audit = audit.clone();
@@ -741,11 +1085,7 @@ fn start_fair_share(
     let tracer = ctx.tracer();
     cell.spawn(async move {
         let policy = cfg.drain.retry;
-        let depth = match cfg.drain.ordering {
-            OrderingMode::Strict => 1,
-            OrderingMode::PartiallyConstrained => cfg.drain.window_depth.max(1),
-        };
-        let window = Rc::new(Semaphore::new(depth));
+        let window = ctrl.window();
         let consecutive_ok = Rc::new(StdCell::new(0u32));
         let failed = Rc::new(StdCell::new(false));
         let inflight: Rc<RefCell<Vec<InflightRun>>> = Rc::new(RefCell::new(Vec::new()));
@@ -777,7 +1117,7 @@ fn start_fair_share(
                 for off in 0..n {
                     let idx = (cursor + off) % n;
                     let (_, weight, ref shard_buf) = shard_info[idx];
-                    let quantum = cfg.drain.max_batch.saturating_mul(weight as usize);
+                    let quantum = ctrl.pop_target().saturating_mul(weight as usize);
                     let batch = shard_buf.pop_batch(quantum);
                     if batch.is_empty() {
                         continue;
@@ -786,10 +1126,11 @@ fn start_fair_share(
                     let lo = batch.first().expect("non-empty batch").seq;
                     let hi = batch.last().expect("non-empty batch").seq;
                     let runs = consolidate(&batch);
+                    let bytes: u64 = runs.iter().map(|r| r.bytes() as u64).sum();
                     let batch_payload = Payload::Batch {
                         extents: batch.len() as u64,
                         runs: runs.len() as u64,
-                        bytes: runs.iter().map(|r| r.bytes() as u64).sum(),
+                        bytes,
                     };
                     tracer.begin(drain_ctx.now(), Layer::Drain, "drain_batch", batch_payload);
                     let batch_id = next_batch_id;
@@ -801,6 +1142,9 @@ fn start_fair_share(
                         remaining: runs.len() as u64,
                         retired: false,
                         payload: batch_payload,
+                        bytes,
+                        dispatched_ns: drain_ctx.now().as_nanos(),
+                        admits: batch.iter().map(|e| e.admit_ns).collect(),
                         extents: if repl.is_some() {
                             batch.clone()
                         } else {
@@ -844,6 +1188,7 @@ fn start_fair_share(
                         let task_sharded = drain_sharded.clone();
                         let task_tracer = Rc::clone(&tracer);
                         let task_repl = repl.clone();
+                        let task_ctrl = Rc::clone(&ctrl);
                         drain_ctx.spawn(async move {
                             let _permit = permit;
                             for dep in &deps {
@@ -876,6 +1221,9 @@ fn start_fair_share(
                                         &task_buffer,
                                         &task_audit,
                                         task_repl.as_ref(),
+                                        &task_ctrl,
+                                        task_ctx.now().as_nanos(),
+                                        task_sharded.total_queued_bytes(),
                                     );
                                     if let Some(payload) = retired {
                                         task_tracer.end(
@@ -1044,6 +1392,7 @@ mod tests {
         Extent {
             seq,
             sector,
+            admit_ns: 0,
             data: SectorBuf::from_vec(vec![seq as u8; sectors * SECTOR_SIZE]),
         }
     }
@@ -1534,15 +1883,18 @@ mod resilience_tests {
 
 #[cfg(test)]
 mod window_tests {
-    use super::{consolidate, dep_edges};
+    use super::{consolidate, dep_edges, BatchEntry, BatchLedger, DrainController};
+    use crate::audit::Audit;
     use crate::buffer::Extent;
     use crate::prelude::*;
     use rapilog_microvisor::{Hypervisor, Trust};
     use rapilog_simcore::bytes::SectorBuf;
     use rapilog_simcore::rng::SimRng;
-    use rapilog_simcore::{Sim, SimTime};
+    use rapilog_simcore::trace::Payload;
+    use rapilog_simcore::{Sim, SimDuration, SimTime};
     use rapilog_simdisk::{specs, BlockDevice, Disk, DiskSpec, SectorStore, SECTOR_SIZE};
     use std::cell::Cell as StdCell;
+    use std::collections::VecDeque;
     use std::rc::Rc;
 
     fn setup(sim: &mut Sim, spec: DiskSpec, drain: DrainConfig) -> (RapiLog, Disk) {
@@ -1801,6 +2153,7 @@ mod window_tests {
                 extents.push(Extent {
                     seq,
                     sector,
+                    admit_ns: 0,
                     data: SectorBuf::from_vec(vec![(seq + 1) as u8; sectors * SECTOR_SIZE]),
                 });
             }
@@ -1828,22 +2181,154 @@ mod window_tests {
         }
     }
 
+    // ---- adaptive-resize ledger property test ----
+
+    #[test]
+    fn adaptive_resizing_never_breaks_the_durable_prefix_or_leaks_space() {
+        // Property: popping with a batch target that shrinks and grows
+        // mid-stream (what the adaptive controller does), then retiring the
+        // resulting batches' runs in ANY order, must still (a) feed the
+        // audit only a contiguous, monotonic durable prefix — one commit
+        // per batch, in sequence order — and (b) release every byte back
+        // through `complete_seqs` (occupancy returns to zero, nothing
+        // double-released or stranded).
+        for seed in 0..12u64 {
+            let mut sim = Sim::new(seed);
+            let ctx = sim.ctx();
+            let disk = Disk::new(&ctx, rapilog_simdisk::specs::hdd_7200(1 << 30));
+            let cfg = DrainConfig::new()
+                .ordering(OrderingMode::PartiallyConstrained)
+                .window_depth(2)
+                .batch_policy(BatchPolicy::Adaptive(AdaptiveBatchConfig::default()));
+            let ctrl = DrainController::new(&ctx, &cfg, &disk);
+            let audit = Audit::new(&ctx, None);
+            let buffer = DependableBuffer::new(64 << 20);
+            buffer.set_clock(&ctx);
+            let batches_seen = Rc::new(StdCell::new(0u64));
+            let done = Rc::new(StdCell::new(false));
+            let t_buffer = buffer.clone();
+            let t_audit = audit.clone();
+            let t_ctrl = Rc::clone(&ctrl);
+            let t_batches = Rc::clone(&batches_seen);
+            let t_done = Rc::clone(&done);
+            let t_ctx = ctx.clone();
+            sim.spawn(async move {
+                let mut rng = SimRng::seed_from_u64(0xADA7 + seed);
+                let mut ledger = BatchLedger {
+                    batches: VecDeque::new(),
+                    tenant: None,
+                };
+                // (batch id, runs still to retire) for the random scheduler.
+                let mut pending: Vec<(u64, u64)> = Vec::new();
+                let mut next_seq_sector = 0u64;
+                let mut next_batch_id = 0u64;
+                // Several push/pop rounds so resized pops interleave with
+                // arrivals, as they do mid-stream in the real drain. The
+                // sleep moves the clock off zero so admission stamps are
+                // distinguishable from "no clock attached".
+                for _round in 0..6 {
+                    t_ctx.sleep(SimDuration::from_micros(10)).await;
+                    for _ in 0..(8 + rng.next_u64() % 12) {
+                        let sectors = 1 + (rng.next_u64() % 3) as usize;
+                        let data = SectorBuf::from_vec(vec![7u8; sectors * SECTOR_SIZE]);
+                        t_buffer.push(next_seq_sector * 8, data).await.unwrap();
+                        next_seq_sector += 1;
+                    }
+                    loop {
+                        // The resizing under test: every pop uses a fresh
+                        // random target between 1 and 8 sectors.
+                        let target = SECTOR_SIZE * (1 + (rng.next_u64() % 8) as usize);
+                        let batch = t_buffer.pop_batch(target);
+                        if batch.is_empty() {
+                            break;
+                        }
+                        let runs = consolidate(&batch);
+                        ledger.batches.push_back(BatchEntry {
+                            id: next_batch_id,
+                            lo: batch.first().unwrap().seq,
+                            hi: batch.last().unwrap().seq,
+                            remaining: runs.len() as u64,
+                            retired: false,
+                            payload: Payload::Batch {
+                                extents: batch.len() as u64,
+                                runs: runs.len() as u64,
+                                bytes: runs.iter().map(|r| r.bytes() as u64).sum(),
+                            },
+                            bytes: runs.iter().map(|r| r.bytes() as u64).sum(),
+                            dispatched_ns: t_ctx.now().as_nanos(),
+                            admits: batch.iter().map(|e| e.admit_ns).collect(),
+                            extents: Vec::new(),
+                        });
+                        pending.push((next_batch_id, runs.len() as u64));
+                        next_batch_id += 1;
+                    }
+                    // Retire this round's runs in a random global order.
+                    while !pending.is_empty() {
+                        let pick = (rng.next_u64() as usize) % pending.len();
+                        let (id, left) = pending[pick];
+                        if left == 1 {
+                            pending.swap_remove(pick);
+                        } else {
+                            pending[pick].1 -= 1;
+                        }
+                        let _ = ledger.run_done(
+                            id,
+                            &t_buffer,
+                            &t_audit,
+                            None,
+                            &t_ctrl,
+                            t_ctx.now().as_nanos(),
+                            t_buffer.queued_bytes(),
+                        );
+                    }
+                }
+                assert!(ledger.batches.is_empty(), "every batch must retire");
+                t_batches.set(next_batch_id);
+                t_done.set(true);
+            });
+            sim.run();
+            assert!(done.get(), "seed {seed}: scenario must complete");
+            assert_eq!(
+                buffer.occupancy(),
+                0,
+                "seed {seed}: complete_seqs leaked space"
+            );
+            let report = audit.report();
+            assert!(
+                !report.order_violated,
+                "seed {seed}: durable prefix went non-contiguous"
+            );
+            assert_eq!(
+                report.commits,
+                batches_seen.get(),
+                "seed {seed}: exactly one prefix commit per batch"
+            );
+            assert!(
+                ctrl.stats().commits_measured > 0,
+                "seed {seed}: admission stamps must feed the latency histogram"
+            );
+        }
+    }
+
     #[test]
     fn dep_edges_order_overlaps_and_free_disjoint_runs() {
         let runs = consolidate(&[
             Extent {
                 seq: 0,
                 sector: 0,
+                admit_ns: 0,
                 data: SectorBuf::from_vec(vec![1; 4 * SECTOR_SIZE]),
             },
             Extent {
                 seq: 1,
                 sector: 1,
+                admit_ns: 0,
                 data: SectorBuf::from_vec(vec![2; SECTOR_SIZE]),
             },
             Extent {
                 seq: 2,
                 sector: 100,
+                admit_ns: 0,
                 data: SectorBuf::from_vec(vec![3; SECTOR_SIZE]),
             },
         ]);

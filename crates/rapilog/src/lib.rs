@@ -89,8 +89,8 @@ pub mod prelude {
     pub use crate::shard::{ShardedBuffer, TenantId, TenantSpec};
     pub use crate::vdisk::RapiLogDevice;
     pub use crate::{
-        CapacitySpec, DrainConfig, OrderingMode, RapiLog, RapiLogBuilder, RapiLogConfig,
-        RapiLogSnapshot, RetryPolicy, TenantSnapshot,
+        AdaptiveBatchConfig, BatchPolicy, CapacitySpec, DrainConfig, DrainStats, OrderingMode,
+        RapiLog, RapiLogBuilder, RapiLogConfig, RapiLogSnapshot, RetryPolicy, TenantSnapshot,
     };
 }
 
@@ -177,17 +177,69 @@ pub enum OrderingMode {
     PartiallyConstrained,
 }
 
+/// Tuning for [`BatchPolicy::Adaptive`]: the bounds and deadlines of the
+/// controller that sizes group commits to the observed drain operating
+/// point (see DESIGN.md §15 for the control law).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AdaptiveBatchConfig {
+    /// Floor for the batch target — the size the controller decays to
+    /// under light load so a small commit never rides a giant run.
+    pub min_batch: usize,
+    /// Ceiling on one batch's acceptable drain service time. The target
+    /// grows only while the service-time EWMA sits well below this budget
+    /// (and marginal bandwidth still improves), and shrinks as soon as the
+    /// EWMA exceeds it.
+    pub latency_budget: SimDuration,
+    /// Longest the drain loop may hold a pop to coalesce a fuller batch.
+    /// The hold timer only arms while the in-flight window is saturated
+    /// (the held bytes could not dispatch anyway); an idle window pops
+    /// immediately, so a lone commit never waits at all.
+    pub max_hold: SimDuration,
+}
+
+impl Default for AdaptiveBatchConfig {
+    fn default() -> Self {
+        AdaptiveBatchConfig {
+            min_batch: 64 * 1024,
+            latency_budget: SimDuration::from_millis(2),
+            max_hold: SimDuration::from_micros(100),
+        }
+    }
+}
+
+/// How the drain sizes its group-commit batches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BatchPolicy {
+    /// Every pop takes up to [`DrainConfig::max_batch`] bytes — today's
+    /// behaviour, bit-identical trace for trace to previous releases.
+    #[default]
+    Fixed,
+    /// An EWMA controller tracks per-batch drain service time and achieved
+    /// bandwidth from batch-retirement events and resizes the next pop to
+    /// sit at the latency/bandwidth knee: growing while marginal bandwidth
+    /// gain holds and the latency budget allows, decaying to
+    /// [`AdaptiveBatchConfig::min_batch`] under light load. Under
+    /// [`OrderingMode::PartiallyConstrained`] it also autotunes the
+    /// in-flight window between [`DrainConfig::window_depth`] and the
+    /// device's [`Geometry::queue_depth`](rapilog_simdisk::Geometry).
+    /// [`OrderingMode::Strict`] pins the batch target to `max_batch` and
+    /// ignores the controller entirely, preserving the serial drain's
+    /// trace bit for bit.
+    Adaptive(AdaptiveBatchConfig),
+}
+
 /// Drain tuning: batching, fault handling and the in-flight window.
 ///
 /// Built fluently and handed to
 /// [`RapiLogBuilder::drain_config`]:
 ///
 /// ```
-/// use rapilog::{DrainConfig, OrderingMode};
+/// use rapilog::{BatchPolicy, DrainConfig, OrderingMode};
 /// let cfg = DrainConfig::new()
 ///     .max_batch(1 << 20)
 ///     .window_depth(8)
-///     .ordering(OrderingMode::PartiallyConstrained);
+///     .ordering(OrderingMode::PartiallyConstrained)
+///     .batch_policy(BatchPolicy::Adaptive(Default::default()));
 /// assert_eq!(cfg.window_depth, 8);
 /// ```
 #[derive(Debug, Clone, Copy)]
@@ -202,6 +254,8 @@ pub struct DrainConfig {
     pub window_depth: usize,
     /// Media write ordering discipline.
     pub ordering: OrderingMode,
+    /// Group-commit batch sizing policy.
+    pub batch: BatchPolicy,
 }
 
 impl Default for DrainConfig {
@@ -211,6 +265,7 @@ impl Default for DrainConfig {
             max_batch: 2 * 1024 * 1024,
             window_depth: 4,
             ordering: OrderingMode::Strict,
+            batch: BatchPolicy::Fixed,
         }
     }
 }
@@ -233,8 +288,13 @@ impl DrainConfig {
         self
     }
 
-    /// Runs kept in flight under the windowed drain (default: 4; clamped
-    /// to at least 1).
+    /// Runs kept in flight under the windowed drain (default: 4).
+    ///
+    /// A depth of 0 is meaningless — the window could never dispatch — so
+    /// the setter **silently clamps to 1** rather than erroring: the field
+    /// stays plain-old-data and a clamped window is exactly the strict
+    /// serial discipline, which is always safe. Pass the device's channel
+    /// count (or more) to actually exploit a multi-queue disk.
     pub fn window_depth(mut self, depth: usize) -> Self {
         self.window_depth = depth.max(1);
         self
@@ -243,6 +303,12 @@ impl DrainConfig {
     /// Media write ordering discipline (default: [`OrderingMode::Strict`]).
     pub fn ordering(mut self, mode: OrderingMode) -> Self {
         self.ordering = mode;
+        self
+    }
+
+    /// Group-commit batch sizing policy (default: [`BatchPolicy::Fixed`]).
+    pub fn batch_policy(mut self, policy: BatchPolicy) -> Self {
+        self.batch = policy;
         self
     }
 }
@@ -327,6 +393,45 @@ pub struct RapiLogSnapshot {
     pub tenants: Vec<TenantSnapshot>,
     /// The log shipper's status, when replication is enabled.
     pub replication: Option<replicate::ReplicationReport>,
+    /// The batching controller's state: current batch target, window
+    /// depth, EWMAs and commit-latency percentiles.
+    pub drain: DrainStats,
+}
+
+/// The drain controller's point-in-time view: what the batching policy is
+/// currently doing and what it has observed. Populated for every instance;
+/// under [`BatchPolicy::Fixed`] the target and window never move but the
+/// EWMA and commit-latency fields still measure the drain.
+#[derive(Debug, Clone, Default)]
+pub struct DrainStats {
+    /// Bytes the next `pop_batch` will aim for.
+    pub batch_target: u64,
+    /// Current in-flight window depth (permits the drain may hold).
+    pub window_depth: u64,
+    /// The configured depth the window never narrows below.
+    pub window_base: u64,
+    /// The device-geometry cap the window never widens past.
+    pub window_max: u64,
+    /// EWMA of per-batch drain service time (dispatch → retirement), ns.
+    pub ewma_service_ns: u64,
+    /// EWMA of achieved drain bandwidth, bytes per second.
+    pub ewma_bytes_per_sec: u64,
+    /// Times the controller doubled the batch target.
+    pub batch_grows: u64,
+    /// Times the controller halved the batch target.
+    pub batch_shrinks: u64,
+    /// Times the window widened by one permit.
+    pub window_widens: u64,
+    /// Times the window narrowed by one permit.
+    pub window_narrows: u64,
+    /// Times the hold timer armed and expired before a pop.
+    pub hold_fires: u64,
+    /// Median commit latency (admission → contiguous durable prefix), ns.
+    pub commit_p50_ns: u64,
+    /// 99th-percentile commit latency, ns.
+    pub commit_p99_ns: u64,
+    /// Extents measured into the commit-latency histogram.
+    pub commits_measured: u64,
 }
 
 /// One tenant's slice of a [`RapiLogSnapshot`].
@@ -501,6 +606,7 @@ impl<'a> RapiLogBuilder<'a> {
             .first()
             .map(|s| s.id)
             .unwrap_or(TenantId::DEFAULT);
+        let drain_ctrl = drain::DrainController::new(ctx, &cfg.drain, &disk);
         if capacity < rapilog_simdisk::SECTOR_SIZE as u64 {
             // The residual window cannot cover even one sector's drain:
             // fall back to write-through — the device forwards every write
@@ -530,6 +636,7 @@ impl<'a> RapiLogBuilder<'a> {
                 mode,
                 disk,
                 replication: None,
+                drain_ctrl,
             };
         }
         let audit = audit::Audit::new(ctx, supply.cloned());
@@ -542,6 +649,7 @@ impl<'a> RapiLogBuilder<'a> {
             repl.attach(cell, audit.clone());
         }
         let buffer = DependableBuffer::new(capacity);
+        buffer.set_clock(ctx);
         let mode = ModeState::new();
         let device = RapiLogDevice::new(
             ctx,
@@ -563,6 +671,7 @@ impl<'a> RapiLogBuilder<'a> {
             Rc::clone(&mode),
             tenant_id,
             self.repl.clone(),
+            Rc::clone(&drain_ctrl),
         );
         RapiLog {
             tenants: Rc::new(vec![TenantHandle {
@@ -575,6 +684,7 @@ impl<'a> RapiLogBuilder<'a> {
             mode,
             disk,
             replication: self.repl,
+            drain_ctrl,
         }
     }
 
@@ -598,6 +708,7 @@ impl<'a> RapiLogBuilder<'a> {
             audit.register_tenant(spec.id.0);
         }
         let mode = ModeState::new();
+        let drain_ctrl = drain::DrainController::new(ctx, &cfg.drain, &disk);
         if shard_caps
             .iter()
             .any(|&c| c < rapilog_simdisk::SECTOR_SIZE as u64)
@@ -629,12 +740,16 @@ impl<'a> RapiLogBuilder<'a> {
                 mode,
                 disk,
                 replication: None,
+                drain_ctrl,
             };
         }
         if let Some(r) = &repl {
             r.attach(cell, audit.clone());
         }
         let sharded = ShardedBuffer::new(specs, capacity);
+        for s in sharded.shards() {
+            s.buf.set_clock(ctx);
+        }
         if let Some(psu) = supply {
             // The sizing rule must hold for the AGGREGATE: the emergency
             // drain empties every shard within one residual window.
@@ -675,6 +790,7 @@ impl<'a> RapiLogBuilder<'a> {
             audit.clone(),
             Rc::clone(&mode),
             repl.clone(),
+            Rc::clone(&drain_ctrl),
         );
         RapiLog {
             tenants: Rc::new(tenants),
@@ -682,6 +798,7 @@ impl<'a> RapiLogBuilder<'a> {
             mode,
             disk,
             replication: repl,
+            drain_ctrl,
         }
     }
 }
@@ -703,6 +820,7 @@ pub struct RapiLog {
     mode: Rc<ModeState>,
     disk: Disk,
     replication: Option<replicate::Replicator>,
+    drain_ctrl: Rc<drain::DrainController>,
 }
 
 impl RapiLog {
@@ -779,6 +897,7 @@ impl RapiLog {
             disk: self.disk.stats(),
             tenants,
             replication: self.replication.as_ref().map(|r| r.report()),
+            drain: self.drain_ctrl.stats(),
         }
     }
 
@@ -838,6 +957,18 @@ mod builder_tests {
         let hv = Hypervisor::new(&ctx);
         let disk = Disk::new(&ctx, specs::hdd_7200(1 << 30));
         (sim, ctx, hv, disk)
+    }
+
+    #[test]
+    fn window_depth_zero_clamps_to_one() {
+        // Pins the documented clamp: a zero window could never dispatch,
+        // so the setter coerces it to the always-safe serial depth of 1.
+        let cfg = DrainConfig::new().window_depth(0);
+        assert_eq!(cfg.window_depth, 1);
+        let cfg = DrainConfig::new().window_depth(1);
+        assert_eq!(cfg.window_depth, 1);
+        let cfg = DrainConfig::new().window_depth(7);
+        assert_eq!(cfg.window_depth, 7);
     }
 
     #[test]

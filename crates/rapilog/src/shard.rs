@@ -167,6 +167,12 @@ impl ShardedBuffer {
         self.shards.iter().map(|s| s.buf.occupancy()).sum()
     }
 
+    /// Sum of queued (not yet popped) bytes across shards — the aggregate
+    /// backlog the shared adaptive batching controller reacts to.
+    pub(crate) fn total_queued_bytes(&self) -> u64 {
+        self.shards.iter().map(|s| s.buf.queued_bytes()).sum()
+    }
+
     /// Per-shard capacities, in shard order.
     pub fn capacities(&self) -> Vec<u64> {
         self.shards.iter().map(|s| s.buf.capacity()).collect()

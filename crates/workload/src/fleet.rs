@@ -8,10 +8,14 @@
 //! [`run_fleet`] runs one closed-loop [`client`](crate::client) driver per
 //! cell concurrently — 10³–10⁵ sessions in one deterministic simulation.
 //!
-//! [`FleetStats::fairness_ratio`] is the headline number for the
-//! fair-share drain: min/max committed throughput across cells. Under
-//! equal weights and per-cell saturation it must stay near 1; a collapsed
-//! ratio means one tenant's log traffic starved another's.
+//! [`FleetStats::session_fairness`] is the headline number for the
+//! fair-share drain under skewed load: min/max of per-*session*
+//! throughput across cells. Because the zipf split gives cells very
+//! different session counts, raw per-cell throughput
+//! ([`FleetStats::fairness_ratio`]) mostly measures the skew itself —
+//! normalizing by sessions isolates what the scheduler actually controls,
+//! whether every session gets served at the same rate. Near 1 is fair; a
+//! collapsed ratio means some cell's sessions were starved.
 
 use std::cell::RefCell;
 use std::rc::Rc;
@@ -109,6 +113,11 @@ impl FleetStats {
 
     /// min/max committed throughput across cells — 1.0 is perfect
     /// fairness, 0.0 means some cell was starved dry.
+    ///
+    /// Under a skewed session split this mostly reflects the skew (a cell
+    /// with 10× the sessions commits ~10× as much even when every session
+    /// is served identically); use [`session_fairness`](Self::session_fairness)
+    /// to judge the scheduler under zipf load.
     pub fn fairness_ratio(&self) -> f64 {
         let max = self.per_cell.iter().map(|s| s.tps()).fold(0.0, f64::max);
         if max == 0.0 {
@@ -119,6 +128,25 @@ impl FleetStats {
             .iter()
             .map(|s| s.tps())
             .fold(f64::INFINITY, f64::min);
+        min / max
+    }
+
+    /// min/max of per-session committed throughput (cell tps ÷ the cell's
+    /// session count) — load-independent fairness. 1.0 means every
+    /// session in the fleet was served at the same rate no matter which
+    /// cell it landed on; the zipf skew cancels out.
+    pub fn session_fairness(&self) -> f64 {
+        let per_session: Vec<f64> = self
+            .per_cell
+            .iter()
+            .zip(&self.sessions)
+            .map(|(s, &n)| s.tps() / n.max(1) as f64)
+            .collect();
+        let max = per_session.iter().copied().fold(0.0, f64::max);
+        if max == 0.0 {
+            return 0.0;
+        }
+        let min = per_session.iter().copied().fold(f64::INFINITY, f64::min);
         min / max
     }
 
@@ -135,10 +163,10 @@ impl FleetStats {
     pub fn summary(&self) -> String {
         let lat = self.merged_latency();
         format!(
-            "cells={} total_tps={:.1} fairness={:.3} p99={:.2}ms p999={:.2}ms",
+            "cells={} total_tps={:.1} session_fairness={:.3} p99={:.2}ms p999={:.2}ms",
             self.per_cell.len(),
             self.total_tps(),
-            self.fairness_ratio(),
+            self.session_fairness(),
             lat.percentile(99.0) as f64 / 1e6,
             lat.percentile(99.9) as f64 / 1e6,
         )
@@ -215,6 +243,34 @@ mod tests {
     }
 
     #[test]
+    fn session_fairness_cancels_zipf_skew() {
+        let mk = |committed: u64| RunStats {
+            committed,
+            aborted: 0,
+            lock_timeouts: 0,
+            connection_lost: 0,
+            latency: Histogram::new(),
+            kind_commits: [0; 5],
+            elapsed: SimDuration::from_secs(1),
+        };
+        // One cell carries 10x the sessions and commits 10x as much: every
+        // session is served identically, yet the raw ratio collapses to
+        // 0.1. The session-normalized ratio must report the truth.
+        let stats = FleetStats {
+            per_cell: vec![mk(1000), mk(100)],
+            sessions: vec![100, 10],
+        };
+        assert!(stats.fairness_ratio() < 0.2);
+        assert!((stats.session_fairness() - 1.0).abs() < 1e-9);
+        // And genuine starvation still shows: same sessions, one cell dry.
+        let starved = FleetStats {
+            per_cell: vec![mk(1000), mk(100)],
+            sessions: vec![10, 10],
+        };
+        assert!(starved.session_fairness() < 0.2);
+    }
+
+    #[test]
     fn fleet_of_three_cells_runs_concurrently_and_reports_per_cell() {
         let mut sim = Sim::new(61);
         let ctx = sim.ctx();
@@ -256,6 +312,11 @@ mod tests {
             assert!(stats.total_committed() > 0);
             let ratio = stats.fairness_ratio();
             assert!((0.0..=1.0).contains(&ratio), "ratio out of range: {ratio}");
+            let sf = stats.session_fairness();
+            assert!(
+                (0.0..=1.0).contains(&sf),
+                "session ratio out of range: {sf}"
+            );
             assert!(stats.merged_latency().count() == stats.total_committed());
             for db in dbs {
                 db.stop();

@@ -15,6 +15,7 @@ $B/abl_buffer_sweep       > results/abl_buffer.txt 2>&1
 $B/abl_disk_sweep         > results/abl_disk.txt 2>&1
 $B/abl_ckpt_sweep         > results/abl_ckpt.txt 2>&1
 $B/abl_ssd_channels       > results/abl_ssd_channels.txt 2>&1
+$B/abl_adaptive_batching  > results/abl_adaptive_batching.txt 2>&1
 TRIALS=${TRIALS:-40} $B/table2_durability > results/table2.txt 2>&1
 $B/table4_disk_faults     > results/table4.txt 2>&1
 $B/crashpoint_sweep       > results/crashpoints.txt 2>&1

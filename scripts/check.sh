@@ -22,6 +22,9 @@ echo "==> crash-point sweep (200 trials + broken-drain control)"
 echo "==> failover sweep (replicated pair: sync/async x 4 failure kinds)"
 ./target/release/failover_sweep
 
+echo "==> adaptive batching ablation (saturation + tail-latency gates, QUICK)"
+QUICK=1 ./target/release/abl_adaptive_batching
+
 echo "==> hot-path bench + allocation budget (check mode)"
 BENCH_CHECK=1 cargo bench -q -p rapilog-bench --bench hotpaths
 
