@@ -1,0 +1,360 @@
+//! Ablation F: parallel crash recovery and fuzzy checkpoints.
+//!
+//! Two questions, one binary:
+//!
+//! 1. **Does the recovery pipeline pay for itself?** Build one write-heavy
+//!    crash image — 2 000 rows, a checkpoint, then an update storm that is
+//!    never checkpointed — on a 4-channel `ssd-nvme`, and recover the same
+//!    image in [`RecoveryMode::Serial`] and [`RecoveryMode::Parallel`].
+//!    The windowed scan keeps `queue_depth` chunk reads in flight and
+//!    partitioned redo overlaps its page reads across channels, so the
+//!    scan+redo phases must come back at least **2× faster** — while the
+//!    [`RecoveryReport`] counters stay identical (the modes may only move
+//!    time, never outcomes).
+//!
+//! 2. **Do fuzzy checkpoints bound the redo horizon?** Run sustained write
+//!    pressure (two clients, bursty updates over 40 pages) with the
+//!    checkpointer at a fixed 25 ms interval, crash mid-load, and recover.
+//!    A sharp checkpoint chases the pool until it is clean — under this
+//!    load the chase never converges, the checkpoint never completes, and
+//!    the superblock never advances, so recovery rescans the whole log. A
+//!    fuzzy checkpoint flushes one snapshot of the dirty-page table and
+//!    records the remainder, so it always completes and redo starts at
+//!    `min(recLSN)` near the log tail. The gate demands the fuzzy image's
+//!    `scanned_records` be at least **3× smaller** at the same interval.
+//!
+//! Every cell is one closed deterministic simulation, fanned out over host
+//! threads (`RAPILOG_BENCH_THREADS`). `QUICK=1` shrinks the storm and the
+//! load window. A summary row goes into `BENCH_sweeps.json`; exit status is
+//! non-zero if either gate fails, so this binary doubles as a CI gate.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+use std::time::Instant;
+
+use rapilog_bench::table::{f1, TextTable};
+use rapilog_bench::{run_parallel, thread_count, Json};
+use rapilog_dbengine::{Database, DbConfig, RecoveryMode, RecoveryReport, TableDef};
+use rapilog_simcore::{DomainId, Sim, SimDuration, SimTime};
+use rapilog_simdisk::{specs, BlockDevice, Disk, DiskSpec, SECTOR_SIZE};
+
+const TABLE_ROWS: u64 = 2_000;
+
+/// Deterministic multiplier-increment generator: every cell replays
+/// bit-identically, so the serial and parallel cells rebuild the *same*
+/// crash image independently.
+struct Rng(u64);
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        self.0 >> 11
+    }
+}
+
+fn defs() -> Vec<TableDef> {
+    vec![TableDef {
+        name: "t".to_string(),
+        slot_size: 64,
+        max_rows: TABLE_ROWS,
+    }]
+}
+
+fn nvme4(bytes: u64) -> DiskSpec {
+    specs::ssd_nvme(bytes).with_channels(4)
+}
+
+/// The durable media contents, cache excluded — what a crash leaves behind.
+fn media_image(d: &Disk) -> Vec<u8> {
+    let mut buf = vec![0u8; (d.spec().sectors * SECTOR_SIZE as u64) as usize];
+    d.peek_media(0, &mut buf);
+    buf
+}
+
+/// Builds the write-heavy crash image: all rows inserted and checkpointed,
+/// then an update storm whose records all sit above the redo horizon.
+fn storm_images(quick: bool) -> (Vec<u8>, Vec<u8>) {
+    let mut sim = Sim::new(41);
+    let ctx = sim.ctx();
+    let data = Disk::new(&ctx, nvme4(32 << 20));
+    let log = Disk::new(&ctx, nvme4(32 << 20));
+    let d2 = data.clone();
+    let l2 = log.clone();
+    let c2 = ctx.clone();
+    let done = Rc::new(RefCell::new(false));
+    let dn = Rc::clone(&done);
+    sim.spawn(async move {
+        let cfg = DbConfig {
+            // No background checkpoints: the storm stays unflushed.
+            checkpoint_interval: SimDuration::from_secs(3600),
+            ..Default::default()
+        };
+        let db = Database::create(
+            &c2,
+            cfg,
+            &defs(),
+            Rc::new(d2) as Rc<dyn BlockDevice>,
+            Rc::new(l2) as Rc<dyn BlockDevice>,
+            DomainId::ROOT,
+        )
+        .await
+        .unwrap();
+        let t = db.table("t").unwrap();
+        let txn = db.begin().await.unwrap();
+        for k in 0..TABLE_ROWS {
+            db.insert(txn, t, k, b"initial-row-image-000")
+                .await
+                .unwrap();
+        }
+        db.commit(txn).await.unwrap();
+        db.checkpoint().await.unwrap();
+        let mut rng = Rng(41);
+        let batches = if quick { 600 } else { 1600 };
+        for _ in 0..batches {
+            let txn = db.begin().await.unwrap();
+            for _ in 0..50 {
+                let k = rng.next() % TABLE_ROWS;
+                db.update(txn, t, k, b"updated-row-image-after-the-checkpoint")
+                    .await
+                    .unwrap();
+            }
+            db.commit(txn).await.unwrap();
+        }
+        db.wal().kick();
+        db.wal().wait_durable(db.wal().end()).await.unwrap();
+        db.stop();
+        *dn.borrow_mut() = true;
+    });
+    sim.run_until(SimTime::from_secs(600));
+    assert!(*done.borrow(), "storm workload completed");
+    (media_image(&data), media_image(&log))
+}
+
+/// Recovers a crash image in a fresh simulation and returns the report.
+fn recover_image(
+    spec: DiskSpec,
+    images: &(Vec<u8>, Vec<u8>),
+    mode: RecoveryMode,
+    fuzzy: bool,
+) -> RecoveryReport {
+    let mut sim = Sim::new(7);
+    let ctx = sim.ctx();
+    let data = Disk::new(&ctx, spec.clone());
+    let log = Disk::new(&ctx, spec);
+    data.poke_media(0, &images.0);
+    log.poke_media(0, &images.1);
+    let out: Rc<RefCell<Option<RecoveryReport>>> = Rc::new(RefCell::new(None));
+    let o2 = Rc::clone(&out);
+    let c2 = ctx.clone();
+    sim.spawn(async move {
+        let cfg = DbConfig {
+            recovery: mode,
+            fuzzy_checkpoints: fuzzy,
+            ..Default::default()
+        };
+        let (db, report) = Database::open(
+            &c2,
+            cfg,
+            Rc::new(data.clone()) as Rc<dyn BlockDevice>,
+            Rc::new(log.clone()) as Rc<dyn BlockDevice>,
+            DomainId::ROOT,
+        )
+        .await
+        .expect("recovery");
+        db.stop();
+        *o2.borrow_mut() = Some(report);
+    });
+    sim.run_until(SimTime::from_secs(600));
+    let report = out.borrow_mut().take().expect("recovery completed");
+    report
+}
+
+/// Runs sustained write pressure with the checkpointer at a fixed interval,
+/// crashes mid-load, and recovers. Returns the recovery report.
+fn ckpt_cell(fuzzy: bool, quick: bool) -> RecoveryReport {
+    let mut sim = Sim::new(23);
+    let ctx = sim.ctx();
+    let spec = specs::ssd_sata(64 << 20);
+    let data = Disk::new(&ctx, spec.clone());
+    let log = Disk::new(&ctx, spec.clone());
+    let d2 = data.clone();
+    let l2 = log.clone();
+    let c2 = ctx.clone();
+    sim.spawn(async move {
+        let cfg = DbConfig {
+            fuzzy_checkpoints: fuzzy,
+            // The fixed checkpoint interval under test.
+            checkpoint_interval: SimDuration::from_millis(25),
+            ..Default::default()
+        };
+        let db = Database::create(
+            &c2,
+            cfg,
+            &defs(),
+            Rc::new(d2) as Rc<dyn BlockDevice>,
+            Rc::new(l2) as Rc<dyn BlockDevice>,
+            DomainId::ROOT,
+        )
+        .await
+        .unwrap();
+        let t = db.table("t").unwrap();
+        let txn = db.begin().await.unwrap();
+        for k in 0..TABLE_ROWS {
+            db.insert(txn, t, k, b"initial-row-image-000")
+                .await
+                .unwrap();
+        }
+        db.commit(txn).await.unwrap();
+        // Two clients on disjoint key ranges (no lock conflicts): bursts of
+        // 50 updates per commit keep re-dirtying the whole 40-page working
+        // set faster than a chasing flush can clean it.
+        for c in 0..2u64 {
+            let db = db.clone();
+            let mut rng = Rng(100 + c);
+            let lo = c * (TABLE_ROWS / 2);
+            c2.spawn_in(DomainId::ROOT, async move {
+                loop {
+                    let txn = db.begin().await.unwrap();
+                    for _ in 0..50 {
+                        let k = lo + rng.next() % (TABLE_ROWS / 2);
+                        db.update(txn, t, k, b"sustained-write-pressure-row")
+                            .await
+                            .unwrap();
+                    }
+                    db.commit(txn).await.unwrap();
+                }
+            });
+        }
+    });
+    // Crash mid-load: whatever the media holds at the cut is the image.
+    let horizon = SimTime::from_millis(if quick { 250 } else { 500 });
+    sim.run_until(horizon);
+    let images = (media_image(&data), media_image(&log));
+    recover_image(spec, &images, RecoveryMode::Parallel, fuzzy)
+}
+
+enum Job {
+    Speedup(RecoveryMode),
+    Ckpt { fuzzy: bool },
+}
+
+fn main() {
+    let quick = std::env::var("QUICK").is_ok();
+    let threads = thread_count();
+    println!(
+        "Ablation F: parallel recovery vs serial, fuzzy checkpoints vs sharp \
+         ({threads} threads{})\n",
+        if quick { ", QUICK" } else { "" }
+    );
+
+    let wall_start = Instant::now();
+    let jobs = vec![
+        Job::Speedup(RecoveryMode::Serial),
+        Job::Speedup(RecoveryMode::Parallel),
+        Job::Ckpt { fuzzy: true },
+        Job::Ckpt { fuzzy: false },
+    ];
+    let n_jobs = jobs.len();
+    let reports = run_parallel(jobs, threads, move |job| match job {
+        Job::Speedup(mode) => {
+            let images = storm_images(quick);
+            recover_image(nvme4(32 << 20), &images, mode, true)
+        }
+        Job::Ckpt { fuzzy } => ckpt_cell(fuzzy, quick),
+    });
+    let wall = wall_start.elapsed();
+    let (serial, parallel, fuzzy, sharp) = (&reports[0], &reports[1], &reports[2], &reports[3]);
+
+    let mut t = TextTable::new(&[
+        "recovery mode",
+        "scanned",
+        "applied",
+        "scan ms",
+        "redo ms",
+        "undo ms",
+        "total ms",
+    ]);
+    for (label, r) in [("serial", serial), ("parallel", parallel)] {
+        t.row(&[
+            label.to_string(),
+            r.scanned_records.to_string(),
+            r.redo_applied.to_string(),
+            f1(r.scan_time.as_millis_f64()),
+            f1(r.redo_time.as_millis_f64()),
+            f1(r.undo_time.as_millis_f64()),
+            f1(r.duration.as_millis_f64()),
+        ]);
+    }
+    println!("{}", t.render());
+    let phase = |r: &RecoveryReport| r.scan_time.as_micros() + r.redo_time.as_micros();
+    let speedup = phase(serial) as f64 / phase(parallel).max(1) as f64;
+    let total_speedup =
+        serial.duration.as_micros() as f64 / parallel.duration.as_micros().max(1) as f64;
+    println!(
+        "scan+redo speedup: {speedup:.2}x (gate: >= 2.00x); end-to-end: {total_speedup:.2}x\n"
+    );
+
+    let mut t = TextTable::new(&[
+        "checkpoints",
+        "scanned",
+        "applied",
+        "skipped clean",
+        "recovery ms",
+    ]);
+    for (label, r) in [("fuzzy", fuzzy), ("sharp", sharp)] {
+        t.row(&[
+            label.to_string(),
+            r.scanned_records.to_string(),
+            r.redo_applied.to_string(),
+            r.redo_skipped_clean.to_string(),
+            f1(r.duration.as_millis_f64()),
+        ]);
+    }
+    println!("{}", t.render());
+    let scan_cut = sharp.scanned_records as f64 / fuzzy.scanned_records.max(1) as f64;
+    println!("fuzzy scan cut at a fixed 25 ms interval: {scan_cut:.2}x (gate: >= 3.00x)");
+    println!("Expected shape: the sharp checkpoint chases a pool it can never clean, so its");
+    println!("superblock never advances and recovery rescans the whole log; fuzzy completes");
+    println!("every interval and redo starts near the tail.");
+
+    let row = Json::obj([
+        ("bench", Json::str("abl_recovery")),
+        ("quick", Json::Bool(quick)),
+        ("threads", Json::int(threads as u64)),
+        ("trials", Json::int(n_jobs as u64)),
+        ("speedup_scan_redo", Json::Num(speedup)),
+        ("speedup_total", Json::Num(total_speedup)),
+        ("scan_cut_fuzzy", Json::Num(scan_cut)),
+        ("serial_scanned", Json::int(serial.scanned_records)),
+        ("sharp_scanned", Json::int(sharp.scanned_records)),
+        ("fuzzy_scanned", Json::int(fuzzy.scanned_records)),
+        ("wall_ms", Json::int(wall.as_millis() as u64)),
+        (
+            "trials_per_sec",
+            Json::Num(n_jobs as f64 / wall.as_secs_f64()),
+        ),
+    ]);
+    rapilog_bench::json::upsert_line("BENCH_sweeps.json", &row).expect("write BENCH_sweeps.json");
+
+    let mut failed = false;
+    if serial.counters() != parallel.counters() {
+        println!("\nFAIL: serial and parallel recovery disagree on the same crash image");
+        failed = true;
+    }
+    if speedup < 2.0 {
+        println!(
+            "\nFAIL: parallel recovery must be >= 2x faster over scan+redo (got {speedup:.2}x)"
+        );
+        failed = true;
+    }
+    if scan_cut < 3.0 {
+        println!("\nFAIL: fuzzy checkpoints must cut scanned records >= 3x (got {scan_cut:.2}x)");
+        failed = true;
+    }
+    if failed {
+        std::process::exit(1);
+    }
+    println!("\nRECOVERY_ABLATION_OK speedup={speedup:.2}x scan_cut={scan_cut:.2}x");
+}

@@ -60,8 +60,9 @@ fn summarize(report: &FailoverReport) {
         report.refused_after_promotion
     );
     println!(
-        "  recovery:  max={:.1} ms avg={:.1} ms",
+        "  recovery:  max={:.1} ms p99={:.1} ms avg={:.1} ms",
         report.recovery_us_max as f64 / 1000.0,
+        report.recovery_us.percentile(99.0) as f64 / 1000.0,
         report.recovery_us_total as f64 / report.trials.max(1) as f64 / 1000.0
     );
     if report.commit_latency.count() > 0 {
@@ -150,6 +151,10 @@ fn main() {
             Json::int(report.commit_latency.percentile(99.0)),
         ),
         ("recovery_max_us", Json::int(report.recovery_us_max)),
+        (
+            "recovery_p99_us",
+            Json::int(report.recovery_us.percentile(99.0)),
+        ),
         ("wall_ms", Json::int(wall.as_millis() as u64)),
         ("trials_per_sec", Json::Num(trials_per_sec)),
     ]);

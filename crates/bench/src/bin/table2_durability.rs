@@ -85,7 +85,8 @@ fn main() {
         "acked commits",
         "violating trials",
         "acked lost",
-        "mean recovery (ms)",
+        "recovery ms mean/p99/max",
+        "phase ms scan/redo/undo",
         "p99 commit (us)",
         "p999 commit (us)",
     ]);
@@ -120,6 +121,10 @@ fn main() {
         let mut violating = 0u64;
         let mut lost = 0u64;
         let mut recovery_ms = 0.0f64;
+        let mut recovery_us = rapilog_simcore::stats::Histogram::new();
+        let mut scan_ms = 0.0f64;
+        let mut redo_ms = 0.0f64;
+        let mut undo_ms = 0.0f64;
         let mut latency = rapilog_simcore::stats::Histogram::new();
         for r in &results {
             total_acked += r.total_acked;
@@ -132,14 +137,31 @@ fn main() {
                 }
             }
             recovery_ms += r.recovery.duration.as_millis_f64();
+            recovery_us.record(r.recovery.duration.as_micros());
+            scan_ms += r.recovery.scan_time.as_millis_f64();
+            redo_ms += r.recovery.redo_time.as_millis_f64();
+            undo_ms += r.recovery.undo_time.as_millis_f64();
         }
+        let p99_recovery_ms = recovery_us.percentile(99.0) as f64 / 1000.0;
+        let max_recovery_ms = recovery_us.max() as f64 / 1000.0;
         t.row(&[
             row.label.to_string(),
             trials.to_string(),
             total_acked.to_string(),
             violating.to_string(),
             lost.to_string(),
-            f1(recovery_ms / trials as f64),
+            format!(
+                "{}/{}/{}",
+                f1(recovery_ms / trials as f64),
+                f1(p99_recovery_ms),
+                f1(max_recovery_ms)
+            ),
+            format!(
+                "{}/{}/{}",
+                f1(scan_ms / trials as f64),
+                f1(redo_ms / trials as f64),
+                f1(undo_ms / trials as f64)
+            ),
             latency.percentile(99.0).to_string(),
             latency.percentile(99.9).to_string(),
         ]);
@@ -150,6 +172,11 @@ fn main() {
             ("violating_trials", Json::int(violating)),
             ("acked_lost", Json::int(lost)),
             ("mean_recovery_ms", Json::Num(recovery_ms / trials as f64)),
+            ("p99_recovery_ms", Json::Num(p99_recovery_ms)),
+            ("max_recovery_ms", Json::Num(max_recovery_ms)),
+            ("mean_scan_ms", Json::Num(scan_ms / trials as f64)),
+            ("mean_redo_ms", Json::Num(redo_ms / trials as f64)),
+            ("mean_undo_ms", Json::Num(undo_ms / trials as f64)),
             ("p99_commit_us", Json::int(latency.percentile(99.0))),
             ("p999_commit_us", Json::int(latency.percentile(99.9))),
         ]));

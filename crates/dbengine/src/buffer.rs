@@ -10,14 +10,15 @@ use std::cell::RefCell;
 use std::collections::VecDeque;
 use std::rc::Rc;
 
+use rapilog_simcore::bytes::SectorBuf;
 use rapilog_simcore::hash::FastMap;
 use rapilog_simcore::sync::Event;
-use rapilog_simdisk::BlockDevice;
+use rapilog_simdisk::{BlockDevice, IoReq};
 
 use crate::error::{DbError, DbResult};
-use crate::page::{Page, PageLoad, PAGE_SECTORS, PAGE_SIZE};
-use crate::types::{PageId, TableId};
-use crate::wal::Wal;
+use crate::page::{Page, PageLoad, PAGE_SECTORS};
+use crate::types::{Lsn, PageId, TableId};
+use crate::wal::{Record, Wal};
 
 /// A resident page plus its dirty flag.
 pub struct Frame {
@@ -25,6 +26,11 @@ pub struct Frame {
     pub page: Page,
     /// True if the in-memory page is newer than the device copy.
     pub dirty: bool,
+    /// recLSN: the LSN of the first log record covering this page since it
+    /// was last clean on media. `None` once the page is written back. Fuzzy
+    /// checkpoints snapshot these into the dirty-page table; recovery's
+    /// redo scan must start no later than `min(recLSN)`.
+    pub rec_lsn: Option<Lsn>,
 }
 
 /// Shared handle to a resident frame; holding it pins the page.
@@ -154,9 +160,13 @@ impl BufferPool {
         tolerate_corrupt: bool,
     ) -> DbResult<FrameRef> {
         self.make_room().await?;
-        let mut buf = vec![0u8; PAGE_SIZE];
-        self.inner.dev.read(pid.0 * PAGE_SECTORS, &mut buf).await?;
-        let page = match Page::load(&buf) {
+        let token = self.inner.dev.submit(IoReq::Read {
+            sector: pid.0 * PAGE_SECTORS,
+            sectors: PAGE_SECTORS,
+        });
+        let data = self.inner.dev.wait(token).await?;
+        let data = data.expect("read completion must carry data");
+        let page = match Page::load(data.as_slice()) {
             PageLoad::Valid(p) => p,
             PageLoad::Fresh => Page::new(table, slot_size),
             PageLoad::Corrupt if tolerate_corrupt => Page::new(table, slot_size),
@@ -164,7 +174,11 @@ impl BufferPool {
                 return Err(DbError::Corrupt(format!("page {pid:?} failed its CRC")))
             }
         };
-        Ok(Rc::new(RefCell::new(Frame { page, dirty: false })))
+        Ok(Rc::new(RefCell::new(Frame {
+            page,
+            dirty: false,
+            rec_lsn: None,
+        })))
     }
 
     async fn make_room(&self) -> DbResult<()> {
@@ -219,12 +233,60 @@ impl BufferPool {
         }
         // WAL-before-data: the log must cover the page's changes first.
         self.inner.wal.flush_to(lsn).await?;
-        self.inner
-            .dev
-            .write(pid.0 * PAGE_SECTORS, &bytes, false)
-            .await?;
-        frame.borrow_mut().dirty = false;
+        let token = self.inner.dev.submit(IoReq::Write {
+            sector: pid.0 * PAGE_SECTORS,
+            segments: vec![SectorBuf::from_vec(bytes)],
+            fua: false,
+        });
+        self.inner.dev.wait(token).await?;
+        let restamped_image = {
+            let mut f = frame.borrow_mut();
+            if f.page.lsn() == lsn {
+                f.dirty = false;
+                f.rec_lsn = None;
+                None
+            } else {
+                // The page was re-stamped while the write was in flight —
+                // the media image only covers `lsn`, so the frame must stay
+                // dirty. Its old recLSN is still correct but would pin the
+                // redo horizon forever on a page that never comes clean
+                // under sustained writes. Log a fresh full-page image below
+                // and advance recLSN to it: the image carries every delta
+                // the old recLSN protected, and a redo scan starting at the
+                // new recLSN replays the image first, so torn-page repair
+                // still holds.
+                Some(f.page.image().to_vec())
+            }
+        };
+        if let Some(image) = restamped_image {
+            let (fpw, _) = self
+                .inner
+                .wal
+                .append(&Record::FullPage { page: pid, image })?;
+            frame.borrow_mut().rec_lsn = Some(fpw);
+        }
         self.inner.st.borrow_mut().stats.writebacks += 1;
+        Ok(())
+    }
+
+    /// Writes back the listed pages if still resident and dirty — one pass,
+    /// no chasing. Fuzzy checkpoints call this on a snapshot of the
+    /// dirty-page table; pages dirtied during the pass ride the next one.
+    pub async fn flush_pages(&self, pages: &[(PageId, Lsn)]) -> DbResult<()> {
+        for &(pid, _) in pages {
+            let frame = { self.inner.st.borrow().frames.get(&pid).map(Rc::clone) };
+            if let Some(frame) = frame {
+                self.write_frame(pid, &frame).await?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Device cache barrier: every previously acknowledged cached write is
+    /// on stable media once this returns.
+    pub async fn barrier(&self) -> DbResult<()> {
+        let token = self.inner.dev.submit(IoReq::Flush);
+        self.inner.dev.wait(token).await?;
         Ok(())
     }
 
@@ -241,20 +303,54 @@ impl BufferPool {
             let Some((pid, frame)) = next else { break };
             self.write_frame(pid, &frame).await?;
         }
-        self.inner.dev.flush().await?;
+        let token = self.inner.dev.submit(IoReq::Flush);
+        self.inner.dev.wait(token).await?;
         Ok(())
     }
 
+    /// Snapshot of the dirty-page table: every resident page that may be
+    /// newer in memory than on media, with its recLSN. Sorted by page id so
+    /// checkpoint records are deterministic regardless of map order.
+    pub fn dirty_page_table(&self) -> Vec<(PageId, Lsn)> {
+        let st = self.inner.st.borrow();
+        let mut dpt: Vec<(PageId, Lsn)> = st
+            .frames
+            .iter()
+            .filter_map(|(pid, f)| f.borrow().rec_lsn.map(|l| (*pid, l)))
+            .collect();
+        dpt.sort_unstable_by_key(|&(pid, _)| pid.0);
+        dpt
+    }
+
     /// Marks a frame dirty (callers mutate the page through the frame).
+    /// Captures the page's freshly stamped LSN as recLSN on the clean→dirty
+    /// transition, unless [`note_rec_lsn`](Self::note_rec_lsn) already
+    /// pinned an earlier one (the full-page-write case).
     pub fn mark_dirty(frame: &FrameRef) {
-        frame.borrow_mut().dirty = true;
+        let mut f = frame.borrow_mut();
+        f.dirty = true;
+        if f.rec_lsn.is_none() {
+            f.rec_lsn = Some(f.page.lsn());
+        }
+    }
+
+    /// Pins `lsn` as the frame's recLSN if it does not have one. The engine
+    /// calls this when it appends a full-page image for the frame: the FPW
+    /// record precedes the delta in the log, so redo starting at
+    /// `min(recLSN)` must not skip past it — torn-page repair depends on
+    /// replaying the image.
+    pub fn note_rec_lsn(frame: &FrameRef, lsn: Lsn) {
+        let mut f = frame.borrow_mut();
+        if f.rec_lsn.is_none() {
+            f.rec_lsn = Some(lsn);
+        }
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::types::Lsn;
+    use crate::page::PAGE_SIZE;
     use crate::wal::CommitPolicy;
     use rapilog_simcore::{DomainId, Sim};
     use rapilog_simdisk::{specs, Disk};

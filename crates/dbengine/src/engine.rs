@@ -10,15 +10,17 @@ use std::cell::{Cell, RefCell};
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::rc::Rc;
 
-use rapilog_simcore::hash::{FastMap, FastSet};
+use rapilog_simcore::bytes::SectorBuf;
+use rapilog_simcore::hash::FastMap;
 use rapilog_simcore::sync::Event;
 use rapilog_simcore::{DomainId, SimCtx, SimDuration};
-use rapilog_simdisk::BlockDevice;
+use rapilog_simdisk::{BlockDevice, IoReq};
 
 use crate::buffer::{BufferPool, FrameRef};
 use crate::error::{DbError, DbResult};
 use crate::page::{slots_per_page, PAGE_SECTORS, PAGE_SIZE};
 use crate::profile::EngineProfile;
+use crate::recovery::RecoveryMode;
 use crate::retry::RetryingDevice;
 use crate::txn::LockTable;
 use crate::types::{Key, Lsn, PageId, TableId, TxnId};
@@ -54,6 +56,15 @@ pub struct DbConfig {
     pub io_retries: u32,
     /// Pause between transient-error retries.
     pub io_retry_delay: SimDuration,
+    /// Crash-recovery pipeline mode (see [`crate::recovery`]): `Serial` is
+    /// the pinned read-one-replay-one reference, `Parallel` overlaps the
+    /// windowed log scan with decode and partitions redo by page.
+    pub recovery: RecoveryMode,
+    /// Fuzzy checkpoints: one writeback pass over a snapshot of the
+    /// dirty-page table instead of chasing dirty pages until the pool is
+    /// clean; the checkpoint record carries the remaining table and redo
+    /// starts at `min(recLSN)` over it.
+    pub fuzzy_checkpoints: bool,
 }
 
 impl Default for DbConfig {
@@ -66,6 +77,8 @@ impl Default for DbConfig {
             lock_timeout: SimDuration::from_millis(500),
             io_retries: 5,
             io_retry_delay: SimDuration::from_millis(2),
+            recovery: RecoveryMode::Parallel,
+            fuzzy_checkpoints: true,
         }
     }
 }
@@ -131,7 +144,6 @@ pub(crate) struct DbSt {
     active: FastMap<TxnId, TxnState>,
     pub(crate) index: BTreeMap<(TableId, Key), SlotAddr>,
     pub(crate) free: Vec<FreeSpace>,
-    fpw_done: FastSet<PageId>,
 }
 
 /// A running database instance. Clone freely; clones share the instance.
@@ -258,7 +270,12 @@ impl Database {
                 last
             )));
         }
-        data_dev.write(0, &encode_catalog(&tables), true).await?;
+        let token = data_dev.submit(IoReq::Write {
+            sector: 0,
+            segments: vec![SectorBuf::from_vec(encode_catalog(&tables))],
+            fua: true,
+        });
+        data_dev.wait(token).await?;
         Superblock {
             checkpoint: Lsn::ZERO,
             recovery_start: Lsn::ZERO,
@@ -273,7 +290,10 @@ impl Database {
             Lsn::ZERO,
             domain,
         );
-        let (_, end) = wal.append(&Record::Checkpoint { active: Vec::new() })?;
+        let (_, end) = wal.append(&Record::Checkpoint {
+            active: Vec::new(),
+            dirty: Vec::new(),
+        })?;
         wal.kick();
         wal.wait_durable(end).await?;
         let pool = BufferPool::new(data_dev, wal.clone(), cfg.pool_pages);
@@ -318,7 +338,6 @@ impl Database {
                     active: FastMap::default(),
                     index: BTreeMap::new(),
                     free,
-                    fpw_done: FastSet::default(),
                 }),
                 stopped: Cell::new(false),
                 shutdown: Event::new(),
@@ -328,9 +347,13 @@ impl Database {
 
     /// Reads the catalog page from a data device.
     pub(crate) async fn read_catalog(data_dev: &dyn BlockDevice) -> DbResult<Vec<TableMeta>> {
-        let mut buf = vec![0u8; PAGE_SIZE];
-        data_dev.read(0, &mut buf).await?;
-        decode_catalog(&buf)
+        let token = data_dev.submit(IoReq::Read {
+            sector: 0,
+            sectors: (PAGE_SIZE / rapilog_simdisk::SECTOR_SIZE) as u64,
+        });
+        let data = data_dev.wait(token).await?;
+        let data = data.expect("read completion must carry data");
+        decode_catalog(data.as_slice())
     }
 
     /// Starts the periodic checkpointer in `domain`. It exits promptly on
@@ -555,26 +578,23 @@ impl Database {
     }
 
     /// Fetches and prepares a page for modification: logs a full-page
-    /// image on the first touch since the last checkpoint.
+    /// image on the clean→dirty transition. The image precedes the
+    /// upcoming delta in the log and becomes the frame's recLSN, so a redo
+    /// scan starting at `min(recLSN)` over the dirty-page table always
+    /// covers the image a torn-page repair needs.
     async fn fetch_for_write(&self, meta: &TableMeta, pid: PageId) -> DbResult<FrameRef> {
         let frame = self
             .inner
             .pool
             .fetch(pid, meta.id, meta.slot_size, false)
             .await?;
-        let need_fpw = {
-            let mut st = self.inner.st.borrow_mut();
-            st.fpw_done.insert(pid)
-        };
+        let need_fpw = !frame.borrow().dirty;
         if need_fpw {
             let (lsn, _) = self.inner.wal.append(&Record::FullPage {
                 page: pid,
                 image: frame.borrow().page.image().to_vec(),
             })?;
-            // The image precedes the upcoming delta; stamping the page is
-            // unnecessary (the delta will), but harmless bookkeeping for
-            // the audit trail.
-            let _ = lsn;
+            BufferPool::note_rec_lsn(&frame, lsn);
         }
         Ok(frame)
     }
@@ -893,37 +913,65 @@ impl Database {
         Ok(())
     }
 
-    /// Takes a checkpoint: flushes every dirty page (WAL-first), logs the
-    /// checkpoint record, and persists the superblock. Bounds both
+    /// Takes a checkpoint and persists the superblock, bounding both
     /// recovery time and the log region in use.
+    ///
+    /// Sharp mode (`fuzzy_checkpoints = false`) chases dirty pages until
+    /// the pool is clean, so redo can start at the LSN the checkpoint began
+    /// at. Fuzzy mode makes one writeback pass over a snapshot of the
+    /// dirty-page table — pages dirtied during the pass ride the next
+    /// checkpoint — then records the remaining table in the checkpoint
+    /// record; redo starts at `min(recLSN)` over it, which under
+    /// write-heavy load stays far closer to the log tail than a chasing
+    /// flush allows.
     pub async fn checkpoint(&self) -> DbResult<()> {
         self.check_live()?;
-        // Capture the redo horizon and re-arm full-page protection in one
-        // synchronous step, so no modification sneaks between them.
-        let redo_start = {
-            let mut st = self.inner.st.borrow_mut();
-            st.fpw_done.clear();
-            self.inner.wal.end()
-        };
-        self.inner.pool.flush_all().await?;
-        let (active, undo_horizon) = {
+        let begin = self.inner.wal.end();
+        if self.inner.cfg.fuzzy_checkpoints {
+            let snapshot = self.inner.pool.dirty_page_table();
+            self.inner.pool.flush_pages(&snapshot).await?;
+            // Cache barrier: every earlier cached write — this pass and any
+            // prior evictions — is on stable media after this, so a page
+            // absent from the table recorded below is current on media.
+            self.inner.pool.barrier().await?;
+        } else {
+            self.inner.pool.flush_all().await?;
+        }
+        // Capture the record contents and append in one synchronous step,
+        // so no modification sneaks between capture and append.
+        let (end, active_min, dirty_min) = {
             let st = self.inner.st.borrow();
             let active: Vec<(TxnId, Lsn)> =
                 st.active.iter().map(|(t, s)| (*t, s.last_lsn)).collect();
-            let horizon = st
-                .active
-                .values()
-                .map(|s| s.begin_lsn)
+            let active_min = st.active.values().map(|s| s.begin_lsn).min();
+            let dirty = self.inner.pool.dirty_page_table();
+            let ckpt_lsn = self.inner.wal.end();
+            let dirty_min = dirty
+                .iter()
+                .map(|&(_, l)| l)
                 .min()
-                .unwrap_or(redo_start)
-                .min(redo_start);
-            (active, horizon)
+                .unwrap_or(ckpt_lsn)
+                .min(ckpt_lsn);
+            let (_, end) = self
+                .inner
+                .wal
+                .append(&Record::Checkpoint { active, dirty })?;
+            (end, active_min, dirty_min)
         };
-        let (_, end) = self.inner.wal.append(&Record::Checkpoint { active })?;
         self.inner.wal.kick();
         self.inner.wal.wait_durable(end).await?;
+        // Redo start: fuzzy trusts the dirty-page table; sharp also bounds
+        // by the LSN the chasing flush began at (a page re-stamped while
+        // its writeback was in flight keeps its old recLSN, so `dirty_min`
+        // may reach below `begin`).
+        let redo = if self.inner.cfg.fuzzy_checkpoints {
+            dirty_min
+        } else {
+            begin.min(dirty_min)
+        };
+        let undo_horizon = active_min.unwrap_or(redo).min(redo);
         Superblock {
-            checkpoint: redo_start,
+            checkpoint: redo,
             recovery_start: undo_horizon,
         }
         .write(&*self.inner.log_dev)

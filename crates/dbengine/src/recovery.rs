@@ -1,27 +1,46 @@
-//! ARIES-style crash recovery: analysis, redo, undo.
+//! ARIES-style crash recovery: pipelined scan, analysis, partitioned
+//! redo, undo.
 //!
 //! [`Database::open`] brings a database back after any crash:
 //!
 //! 1. **Scan** the log from the superblock's checkpoint position,
 //!    validating CRC and LSN continuity; the first invalid frame is the
-//!    torn tail — the durable end of the log.
+//!    torn tail — the durable end of the log. In
+//!    [`RecoveryMode::Parallel`] the scan keeps up to
+//!    `Geometry::queue_depth` chunk reads in flight through the queued
+//!    device API, overlapping CRC validation and frame decode with media
+//!    latency.
 //! 2. **Analysis** classifies transactions into committed, aborted and
 //!    *losers* (active at the crash), seeding the loser set from the
-//!    checkpoint record's active-transaction table.
-//! 3. **Redo** replays every page-touching record whose LSN is newer than
-//!    the page's LSN, restoring full-page images first where pages were
-//!    torn.
+//!    checkpoint record's active-transaction table, and picks up the
+//!    checkpoint's dirty-page table: records older than the checkpoint
+//!    touching pages that were clean on media when it was taken (absent
+//!    from the table, or below their recLSN) need no redo at all.
+//! 3. **Redo** replays every surviving page-touching record whose LSN is
+//!    newer than the page's LSN. Replay order only has to respect the
+//!    per-page LSN order — the same dependency argument the drain uses
+//!    for sector-overlap edges — so parallel mode partitions the records
+//!    into per-page chains and replays the chains as concurrent tasks,
+//!    overlapping their page reads across device channels.
 //! 4. **Undo** rolls every loser back through its `prev` chain, writing
 //!    compensation records, and closes it with an abort record.
 //!
+//! Serial mode is the pinned reference: it consumes the same filtered
+//! record list in log order, and must produce counter-identical reports
+//! and byte-identical media images — the property
+//! `serial_and_parallel_recovery_agree` verifies across random crash
+//! points.
+//!
 //! Recovery ends with a checkpoint, and reports the work it did — the
 //! recovery-time figures in EXPERIMENTS.md come straight from
-//! [`RecoveryReport`].
+//! [`RecoveryReport`], including the per-phase scan/redo/undo split.
 
+use std::cell::{Cell, RefCell};
 use std::collections::BTreeMap;
 use std::rc::Rc;
 
 use rapilog_simcore::hash::{FastMap, FastSet};
+use rapilog_simcore::sync::Event;
 use rapilog_simcore::{DomainId, SimCtx, SimDuration};
 use rapilog_simdisk::{BlockDevice, SECTOR_SIZE};
 
@@ -29,7 +48,19 @@ use crate::buffer::BufferPool;
 use crate::engine::{Database, DbConfig, TableMeta};
 use crate::error::{DbError, DbResult};
 use crate::types::{Lsn, PageId, TxnId};
-use crate::wal::{read_stream, ClrAction, Record, Superblock, Wal, RECORD_HEADER};
+use crate::wal::{read_stream, ClrAction, Record, StreamReader, Superblock, Wal, RECORD_HEADER};
+
+/// How [`Database::open`] drives the scan and redo phases.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecoveryMode {
+    /// Read one chunk, decode it, read the next; replay records one at a
+    /// time in log order. The pinned reference mode.
+    Serial,
+    /// Windowed scan reads up to `Geometry::queue_depth` chunks ahead;
+    /// redo partitions records into per-page chains replayed as
+    /// concurrent tasks. Counter- and media-identical to `Serial`.
+    Parallel,
+}
 
 /// What recovery found and did.
 #[derive(Debug, Clone, Default)]
@@ -38,6 +69,10 @@ pub struct RecoveryReport {
     pub scanned_records: u64,
     /// Page-touching records actually applied during redo.
     pub redo_applied: u64,
+    /// Page-touching records skipped without a page read because the
+    /// checkpoint's dirty-page table proved their page already current on
+    /// media.
+    pub redo_skipped_clean: u64,
     /// Transactions rolled back (active at the crash).
     pub losers_undone: u64,
     /// Commit records seen in the scan range.
@@ -47,9 +82,32 @@ pub struct RecoveryReport {
     /// Virtual time the whole recovery took (scan + redo + undo +
     /// index rebuild + final checkpoint).
     pub duration: SimDuration,
+    /// Virtual time in the scan phase (log reads, CRC, decode, analysis).
+    pub scan_time: SimDuration,
+    /// Virtual time in the redo phase (page reads + replay).
+    pub redo_time: SimDuration,
+    /// Virtual time in the undo phase (loser rollback + CLR appends).
+    pub undo_time: SimDuration,
     /// Committed transaction ids seen in the scan range (the durability
     /// auditor intersects this with the client-side ack journal).
     pub committed_txns: Vec<TxnId>,
+}
+
+impl RecoveryReport {
+    /// The mode-independent counters: every field that must be identical
+    /// between serial and parallel recovery of the same log (durations are
+    /// exactly what the modes are allowed to change).
+    pub fn counters(&self) -> (u64, u64, u64, u64, u64, Lsn, Vec<TxnId>) {
+        (
+            self.scanned_records,
+            self.redo_applied,
+            self.redo_skipped_clean,
+            self.losers_undone,
+            self.committed_seen,
+            self.log_end,
+            self.committed_txns.clone(),
+        )
+    }
 }
 
 fn meta_for_page(tables: &[TableMeta], page: PageId) -> DbResult<&TableMeta> {
@@ -149,12 +207,23 @@ impl Database {
         // record: a drain memmoves the whole remainder, which turns a scan
         // of n small records into O(n·CHUNK) byte shuffling. Consumed bytes
         // are reclaimed in one amortised drain per chunk instead.
+        //
+        // Reads go through a windowed `StreamReader`: in parallel mode up
+        // to `queue_depth` chunk reads are in flight while this loop
+        // decodes, so validation overlaps media latency. The torn-tail
+        // decision depends only on the bytes, so serial and parallel scans
+        // land on the same record list.
+        let window = match cfg.recovery {
+            RecoveryMode::Serial => 1,
+            RecoveryMode::Parallel => (log_dev.geometry().queue_depth as usize).max(1),
+        };
+        const CHUNK: usize = 256 * 1024;
+        let mut reader = StreamReader::new(&*log_dev, region_sectors, sb.checkpoint, CHUNK, window);
         let mut records: Vec<(Lsn, Record)> = Vec::new();
         let mut buf: Vec<u8> = Vec::new();
         let mut off = 0usize;
         let mut pos = sb.checkpoint;
-        const CHUNK: usize = 256 * 1024;
-        loop {
+        'scan: loop {
             if pos.0 - sb.checkpoint.0 >= region_bytes {
                 break; // wrapped the whole region: cannot happen in a sane log
             }
@@ -164,14 +233,9 @@ impl Database {
             }
             // Ensure a frame header, then the whole frame, is buffered.
             while buf.len() - off < RECORD_HEADER {
-                let more = read_stream(
-                    &*log_dev,
-                    region_sectors,
-                    Lsn(pos.0 + (buf.len() - off) as u64),
-                    CHUNK,
-                )
-                .await?;
-                buf.extend_from_slice(&more);
+                if reader.fill(&mut buf).await? == 0 {
+                    break 'scan; // region exhausted mid-frame: torn tail
+                }
             }
             let total =
                 u32::from_le_bytes([buf[off], buf[off + 1], buf[off + 2], buf[off + 3]]) as usize;
@@ -179,14 +243,9 @@ impl Database {
                 break; // torn tail / end of log
             }
             while buf.len() - off < total {
-                let more = read_stream(
-                    &*log_dev,
-                    region_sectors,
-                    Lsn(pos.0 + (buf.len() - off) as u64),
-                    CHUNK,
-                )
-                .await?;
-                buf.extend_from_slice(&more);
+                if reader.fill(&mut buf).await? == 0 {
+                    break 'scan;
+                }
             }
             match Record::decode(&buf[off..off + total], pos) {
                 Some((rec, n)) => {
@@ -197,21 +256,28 @@ impl Database {
                 None => break, // CRC/LSN failure: torn tail
             }
         }
+        // Claim whatever the readahead window still has in flight.
+        reader.abandon().await;
         let log_end = pos;
 
         // --- 2. Analysis --------------------------------------------------
         let mut committed: Vec<TxnId> = Vec::new();
         let mut ended: FastSet<TxnId> = FastSet::default();
         let mut last_lsn: BTreeMap<TxnId, Lsn> = BTreeMap::new();
+        // The newest checkpoint's position and dirty-page table (page →
+        // recLSN). Records older than the checkpoint touching pages that
+        // were clean on media when it was taken need no redo.
+        let mut ckpt: Option<(Lsn, FastMap<PageId, Lsn>)> = None;
         for (lsn, rec) in &records {
             match rec {
-                Record::Checkpoint { active } => {
+                Record::Checkpoint { active, dirty } => {
                     for (txn, l) in active {
                         if !ended.contains(txn) {
                             let e = last_lsn.entry(*txn).or_insert(*l);
                             *e = (*e).max(*l);
                         }
                     }
+                    ckpt = Some((*lsn, dirty.iter().copied().collect()));
                 }
                 Record::Commit { txn } => {
                     committed.push(*txn);
@@ -232,6 +298,7 @@ impl Database {
                 }
             }
         }
+        let scan_done = ctx.now();
 
         // --- Reconstruct the WAL manager at the durable end ---------------
         let wal = Wal::new(
@@ -256,12 +323,99 @@ impl Database {
         let pool = BufferPool::new(Rc::clone(&data_dev), wal.clone(), cfg.pool_pages);
 
         // --- 3. Redo -------------------------------------------------------
-        let mut redo_applied = 0u64;
-        for (lsn, rec) in &records {
-            if apply_page_record(&pool, &tables, *lsn, rec).await? {
-                redo_applied += 1;
+        // Partition the page-touching records into per-page chains (scan
+        // order within a chain, so per-page LSN order is preserved — the
+        // only ordering redo actually needs). The dirty-page-table filter
+        // runs here, identically in both modes: a record older than the
+        // newest checkpoint whose page is absent from the table (or below
+        // its recLSN) describes a change that was already on stable media
+        // when the checkpoint's cache barrier completed.
+        let records = Rc::new(records);
+        let mut chains: Vec<(PageId, Vec<usize>)> = Vec::new();
+        let mut chain_of: FastMap<PageId, usize> = FastMap::default();
+        let mut survives = vec![false; records.len()];
+        let mut redo_skipped_clean = 0u64;
+        for (idx, (lsn, rec)) in records.iter().enumerate() {
+            let page = match rec {
+                Record::FullPage { page, .. }
+                | Record::Insert { page, .. }
+                | Record::Update { page, .. }
+                | Record::Delete { page, .. }
+                | Record::Clr { page, .. } => *page,
+                _ => continue,
+            };
+            if let Some((ckpt_lsn, dpt)) = &ckpt {
+                if lsn < ckpt_lsn && dpt.get(&page).is_none_or(|rec_lsn| lsn < rec_lsn) {
+                    redo_skipped_clean += 1;
+                    continue;
+                }
             }
+            survives[idx] = true;
+            let slot = *chain_of.entry(page).or_insert_with(|| {
+                chains.push((page, Vec::new()));
+                chains.len() - 1
+            });
+            chains[slot].1.push(idx);
         }
+        let redo_applied = match cfg.recovery {
+            RecoveryMode::Serial => {
+                // The pinned reference: replay the surviving records one at
+                // a time in log order.
+                let mut applied = 0u64;
+                for (idx, (lsn, rec)) in records.iter().enumerate() {
+                    if survives[idx] && apply_page_record(&pool, &tables, *lsn, rec).await? {
+                        applied += 1;
+                    }
+                }
+                applied
+            }
+            RecoveryMode::Parallel => {
+                // One task per page chain: chains touch disjoint pages, so
+                // they replay concurrently, and their page reads overlap
+                // across the device's channels. Joined via a countdown so
+                // recovery proceeds only once every chain is done.
+                let tables_rc = Rc::new(tables.clone());
+                let applied = Rc::new(Cell::new(0u64));
+                let pending = Rc::new(Cell::new(chains.len()));
+                let failed: Rc<RefCell<Option<DbError>>> = Rc::new(RefCell::new(None));
+                let all_done = Event::new();
+                if pending.get() == 0 {
+                    all_done.set();
+                }
+                for (_, chain) in chains.iter().cloned() {
+                    let records = Rc::clone(&records);
+                    let tables = Rc::clone(&tables_rc);
+                    let pool = pool.clone();
+                    let applied = Rc::clone(&applied);
+                    let pending = Rc::clone(&pending);
+                    let failed = Rc::clone(&failed);
+                    let all_done = all_done.clone();
+                    ctx.spawn_in(domain, async move {
+                        for idx in chain {
+                            let (lsn, rec) = &records[idx];
+                            match apply_page_record(&pool, &tables, *lsn, rec).await {
+                                Ok(true) => applied.set(applied.get() + 1),
+                                Ok(false) => {}
+                                Err(e) => {
+                                    failed.borrow_mut().get_or_insert(e);
+                                    break;
+                                }
+                            }
+                        }
+                        pending.set(pending.get() - 1);
+                        if pending.get() == 0 {
+                            all_done.set();
+                        }
+                    });
+                }
+                all_done.wait().await;
+                if let Some(e) = failed.borrow_mut().take() {
+                    return Err(e);
+                }
+                applied.get()
+            }
+        };
+        let redo_done = ctx.now();
 
         // --- 4. Undo -------------------------------------------------------
         let losers: Vec<(TxnId, Lsn)> = last_lsn.into_iter().collect();
@@ -352,6 +506,7 @@ impl Database {
             wal.append(&Record::Abort { txn })?;
         }
         wal.kick();
+        let undo_done = ctx.now();
 
         // --- Rebuild the derived state (index, free lists) ----------------
         let db = Database::assemble(ctx, cfg, tables, wal, pool, Rc::clone(&log_dev));
@@ -363,10 +518,14 @@ impl Database {
         let report = RecoveryReport {
             scanned_records: records.len() as u64,
             redo_applied,
+            redo_skipped_clean,
             losers_undone: losers.len() as u64,
             committed_seen: committed.len() as u64,
             log_end,
             duration: ctx.now() - t0,
+            scan_time: scan_done - t0,
+            redo_time: redo_done - scan_done,
+            undo_time: undo_done - redo_done,
             committed_txns: committed,
         };
         Ok((db, report))
@@ -891,6 +1050,311 @@ mod checkpoint_spanning_tests {
             d2.set(true);
         });
         sim.run_until(rapilog_simcore::SimTime::from_secs(30));
+        assert!(done.get());
+    }
+}
+
+#[cfg(test)]
+mod parity_tests {
+    use super::*;
+    use crate::engine::TableDef;
+    use rapilog_simcore::Sim;
+    use rapilog_simdisk::{specs, Disk, DiskSpec};
+    use std::cell::Cell as StdCell;
+
+    /// Deterministic multiplier-increment generator so every trial replays
+    /// bit-identically from its seed.
+    struct Rng(u64);
+    impl Rng {
+        fn next(&mut self) -> u64 {
+            self.0 = self
+                .0
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            self.0 >> 11
+        }
+    }
+
+    fn nvme(bytes: u64) -> DiskSpec {
+        specs::ssd_nvme(bytes).with_channels(4)
+    }
+
+    /// The durable media contents, cache excluded — exactly what a crash
+    /// leaves behind.
+    fn media_image(d: &Disk) -> Vec<u8> {
+        let mut buf = vec![0u8; (d.spec().sectors * SECTOR_SIZE as u64) as usize];
+        d.peek_media(0, &mut buf);
+        buf
+    }
+
+    /// One random workload → crash → recover the **same** media snapshot
+    /// under both modes, then compare report counters and the media images
+    /// both recoveries leave behind.
+    fn parity_trial(seed: u64) {
+        let mut sim = Sim::new(seed);
+        let ctx = sim.ctx();
+        let done = Rc::new(StdCell::new(false));
+        let d2 = Rc::clone(&done);
+        let c2 = ctx.clone();
+        sim.spawn(async move {
+            let mut rng = Rng(seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1));
+            let cfg = DbConfig {
+                // Cover both checkpoint flavours across the trial set.
+                fuzzy_checkpoints: seed.is_multiple_of(2),
+                ..Default::default()
+            };
+            let data = Disk::new(&c2, nvme(4 << 20));
+            let log = Disk::new(&c2, nvme(4 << 20));
+            let defs = vec![TableDef {
+                name: "t".to_string(),
+                slot_size: 64,
+                max_rows: 2_000,
+            }];
+            let db = Database::create(
+                &c2,
+                cfg.clone(),
+                &defs,
+                Rc::new(data.clone()) as Rc<dyn BlockDevice>,
+                Rc::new(log.clone()) as Rc<dyn BlockDevice>,
+                DomainId::ROOT,
+            )
+            .await
+            .unwrap();
+            let t = db.table("t").unwrap();
+            let mut alive: Vec<u64> = Vec::new();
+            let mut next_key = 0u64;
+            let txn = db.begin().await.unwrap();
+            for _ in 0..30 {
+                db.insert(txn, t, next_key, format!("base{next_key}").as_bytes())
+                    .await
+                    .unwrap();
+                alive.push(next_key);
+                next_key += 1;
+            }
+            db.commit(txn).await.unwrap();
+            let ops = 40 + rng.next() % 60;
+            // Half the trials crash without any mid-run checkpoint.
+            let ckpt_at = rng.next() % (ops * 2);
+            for i in 0..ops {
+                if i == ckpt_at {
+                    db.checkpoint().await.unwrap();
+                }
+                let txn = db.begin().await.unwrap();
+                match rng.next() % 3 {
+                    0 => {
+                        db.insert(txn, t, next_key, format!("i{seed}-{i}").as_bytes())
+                            .await
+                            .unwrap();
+                        alive.push(next_key);
+                        next_key += 1;
+                    }
+                    1 => {
+                        let k = alive[rng.next() as usize % alive.len()];
+                        db.update(txn, t, k, format!("u{seed}-{i}").as_bytes())
+                            .await
+                            .unwrap();
+                    }
+                    _ => {
+                        let k = alive.swap_remove(rng.next() as usize % alive.len());
+                        db.delete(txn, t, k).await.unwrap();
+                    }
+                }
+                db.commit(txn).await.unwrap();
+            }
+            // Leave a few losers open at the crash (distinct keys, so they
+            // never deadlock each other).
+            for j in 0..(rng.next() % 3) as usize {
+                if j >= alive.len() {
+                    break;
+                }
+                let loser = db.begin().await.unwrap();
+                db.update(loser, t, alive[j], b"loser-dirt").await.unwrap();
+            }
+            db.wal().kick();
+            if rng.next().is_multiple_of(2) {
+                db.wal().wait_durable(db.wal().end()).await.unwrap();
+            }
+            db.stop();
+            // Crash: the buffer pool and staged WAL tail die with the
+            // process; only the durable media survives. Snapshot it and
+            // recover the same image under each mode.
+            let data_img = media_image(&data);
+            let log_img = media_image(&log);
+            let mut outcomes = Vec::new();
+            for mode in [RecoveryMode::Serial, RecoveryMode::Parallel] {
+                let rdata = Disk::new(&c2, nvme(4 << 20));
+                let rlog = Disk::new(&c2, nvme(4 << 20));
+                rdata.poke_media(0, &data_img);
+                rlog.poke_media(0, &log_img);
+                let mut rcfg = cfg.clone();
+                rcfg.recovery = mode;
+                let (rdb, report) = Database::open(
+                    &c2,
+                    rcfg,
+                    Rc::new(rdata.clone()) as Rc<dyn BlockDevice>,
+                    Rc::new(rlog.clone()) as Rc<dyn BlockDevice>,
+                    DomainId::ROOT,
+                )
+                .await
+                .expect("recovery");
+                rdb.stop();
+                outcomes.push((report.counters(), media_image(&rdata), media_image(&rlog)));
+            }
+            assert_eq!(
+                outcomes[0].0, outcomes[1].0,
+                "seed {seed}: report counters diverge between serial and parallel recovery"
+            );
+            assert!(
+                outcomes[0].1 == outcomes[1].1,
+                "seed {seed}: recovered data media images diverge"
+            );
+            assert!(
+                outcomes[0].2 == outcomes[1].2,
+                "seed {seed}: recovered log media images diverge"
+            );
+            d2.set(true);
+        });
+        sim.run_until(rapilog_simcore::SimTime::from_secs(120));
+        assert!(done.get(), "seed {seed}: trial completed");
+    }
+
+    /// Serial and parallel recovery of the same crash image are
+    /// indistinguishable — counter-identical reports, byte-identical media —
+    /// across random crash points (random op mixes, checkpoint positions,
+    /// open losers, and torn vs durable log tails).
+    #[test]
+    fn serial_and_parallel_recovery_agree() {
+        for seed in [2, 3, 17, 42, 71, 104] {
+            parity_trial(seed);
+        }
+    }
+
+    /// A dirty-page-table entry goes stale when its page reaches media
+    /// *after* the checkpoint record was written. Redo must rescan that
+    /// page's records (they survive the DPT filter) but apply none of them
+    /// — and records under clean pages in the same scan window are skipped
+    /// without even a page read.
+    #[test]
+    fn stale_dirty_page_table_entry_is_skipped_by_redo() {
+        let mut sim = Sim::new(5);
+        let ctx = sim.ctx();
+        let done = Rc::new(StdCell::new(false));
+        let d2 = Rc::clone(&done);
+        let c2 = ctx.clone();
+        sim.spawn(async move {
+            let cfg = DbConfig::default(); // fuzzy checkpoints on
+            let data = Disk::new(&c2, nvme(8 << 20));
+            let log = Disk::new(&c2, nvme(8 << 20));
+            let defs = vec![TableDef {
+                name: "t".to_string(),
+                slot_size: 64,
+                max_rows: 2_000,
+            }];
+            let db = Database::create(
+                &c2,
+                cfg.clone(),
+                &defs,
+                Rc::new(data.clone()) as Rc<dyn BlockDevice>,
+                Rc::new(log.clone()) as Rc<dyn BlockDevice>,
+                DomainId::ROOT,
+            )
+            .await
+            .unwrap();
+            let t = db.table("t").unwrap();
+            let meta = db.table_meta(t).unwrap();
+            let spp = meta.spp as u64;
+            // Slots are allocated sequentially, so key k lands on page
+            // k / spp. Populate pages 0..=7; key B sits alone on page 7.
+            let b_key = 7 * spp;
+            let txn = db.begin().await.unwrap();
+            for k in 0..=b_key {
+                db.insert(txn, t, k, format!("init{k}").as_bytes())
+                    .await
+                    .unwrap();
+            }
+            db.commit(txn).await.unwrap();
+            // First checkpoint: everything clean on media.
+            db.checkpoint().await.unwrap();
+            // Dirty pages 0..=5 (the checkpoint below must have real work,
+            // so a concurrent update can land inside its flush window).
+            let c_key = 6 * spp - 1; // last slot of page 5: flushed last
+            let txn = db.begin().await.unwrap();
+            for k in 0..=c_key {
+                db.update(txn, t, k, format!("v1-{k}").as_bytes())
+                    .await
+                    .unwrap();
+            }
+            db.commit(txn).await.unwrap();
+            // While the fuzzy checkpoint flushes its snapshot, a client
+            // dirties page 7 (key B: clean → dirty, enters the DPT) and
+            // re-dirties page 5 (key C: flushed later in the same pass, so
+            // it is clean again when the DPT is captured).
+            let window_done = Event::new();
+            let dbw = db.clone();
+            let wd = window_done.clone();
+            let cw = c2.clone();
+            c2.spawn_in(DomainId::ROOT, async move {
+                cw.sleep(SimDuration::from_micros(5)).await;
+                let txn = dbw.begin().await.unwrap();
+                dbw.update(txn, t, b_key, b"b1").await.unwrap();
+                dbw.update(txn, t, c_key, b"c1").await.unwrap();
+                dbw.commit(txn).await.unwrap();
+                wd.set();
+            });
+            db.checkpoint().await.unwrap();
+            window_done.wait().await;
+            // The checkpoint record's DPT must have caught page 7 dirty —
+            // otherwise this test exercises nothing.
+            let dirty = db.inner.pool.dirty_page_table();
+            assert_eq!(
+                dirty.len(),
+                1,
+                "exactly page 7 (key B) stayed dirty through the fuzzy checkpoint: {dirty:?}"
+            );
+            assert_eq!(dirty[0].0, PageId(meta.base_page + 7));
+            // Now make that DPT entry stale: flush page 7 to durable media
+            // *after* the checkpoint record was written.
+            db.inner.pool.flush_pages(&dirty).await.unwrap();
+            db.inner.pool.barrier().await.unwrap();
+            db.wal().kick();
+            db.wal().wait_durable(db.wal().end()).await.unwrap();
+            db.stop();
+            // Crash and recover from the durable image alone.
+            let data_img = media_image(&data);
+            let log_img = media_image(&log);
+            let rdata = Disk::new(&c2, nvme(8 << 20));
+            let rlog = Disk::new(&c2, nvme(8 << 20));
+            rdata.poke_media(0, &data_img);
+            rlog.poke_media(0, &log_img);
+            let (rdb, report) = Database::open(
+                &c2,
+                cfg,
+                Rc::new(rdata.clone()) as Rc<dyn BlockDevice>,
+                Rc::new(rlog.clone()) as Rc<dyn BlockDevice>,
+                DomainId::ROOT,
+            )
+            .await
+            .expect("recovery");
+            // Page B's records survive the DPT filter (its entry says
+            // dirty), but the page's on-media LSN is already current, so
+            // redo applies nothing.
+            assert_eq!(
+                report.redo_applied, 0,
+                "the stale entry's page was flushed after the checkpoint — nothing to replay"
+            );
+            // Page C's pre-checkpoint update was proven clean by the DPT
+            // and skipped without a page read.
+            assert!(
+                report.redo_skipped_clean >= 1,
+                "the clean page's scanned records were skipped: {report:?}"
+            );
+            assert_eq!(rdb.get(t, b_key).await.unwrap(), Some(b"b1".to_vec()));
+            assert_eq!(rdb.get(t, c_key).await.unwrap(), Some(b"c1".to_vec()));
+            assert_eq!(rdb.get(t, 0).await.unwrap(), Some(b"v1-0".to_vec()));
+            rdb.stop();
+            d2.set(true);
+        });
+        sim.run_until(rapilog_simcore::SimTime::from_secs(60));
         assert!(done.get());
     }
 }

@@ -19,13 +19,14 @@
 //! `synchronous_commit = off` configuration used as an ablation.
 
 use std::cell::RefCell;
+use std::collections::VecDeque;
 use std::rc::Rc;
 
 use rapilog_simcore::bytes::{SectorBuf, SectorPool};
 use rapilog_simcore::sync::Notify;
 use rapilog_simcore::trace::{Layer, Payload, Tracer};
 use rapilog_simcore::{SimCtx, SimDuration};
-use rapilog_simdisk::{BlockDevice, IoResult, SECTOR_SIZE};
+use rapilog_simdisk::{BlockDevice, IoReq, IoResult, ReqToken, SECTOR_SIZE};
 
 use crate::error::{DbError, DbResult};
 use crate::types::{Lsn, PageId, TableId, TxnId};
@@ -131,11 +132,17 @@ pub enum Record {
         /// What to do to the slot.
         action: ClrAction,
     },
-    /// Fuzzy-free checkpoint: all dirty pages were flushed before this
-    /// record was written. Redo starts here.
+    /// Fuzzy checkpoint: records the transactions active at the checkpoint
+    /// and the buffer pool's dirty-page table (page → recLSN, the LSN of the
+    /// first record that dirtied the page since it was last clean). Redo must
+    /// start at `min(recLSN)` over the table (the superblock stores that
+    /// bound); pages absent from the table were clean on media when the
+    /// checkpoint was taken.
     Checkpoint {
         /// Transactions active at the checkpoint with their last LSN.
         active: Vec<(TxnId, Lsn)>,
+        /// Dirty-page table: pages not yet flushed, with their recLSN.
+        dirty: Vec<(PageId, Lsn)>,
     },
     /// Full-page image (first modification after a checkpoint); makes torn
     /// data pages recoverable, as PostgreSQL's `full_page_writes` does.
@@ -255,11 +262,16 @@ impl Record {
                     }
                 }
             }
-            Record::Checkpoint { active } => {
+            Record::Checkpoint { active, dirty } => {
                 put_u32(buf, active.len() as u32);
                 for (txn, lsn) in active {
                     put_u64(buf, txn.0);
                     put_u64(buf, lsn.0);
+                }
+                put_u32(buf, dirty.len() as u32);
+                for (page, rec_lsn) in dirty {
+                    put_u64(buf, page.0);
+                    put_u64(buf, rec_lsn.0);
                 }
             }
             Record::FullPage { page, image } => {
@@ -327,7 +339,12 @@ impl Record {
                 for _ in 0..n {
                     active.push((TxnId(c.u64()?), Lsn(c.u64()?)));
                 }
-                Record::Checkpoint { active }
+                let d = c.u32()? as usize;
+                let mut dirty = Vec::with_capacity(d);
+                for _ in 0..d {
+                    dirty.push((PageId(c.u64()?), Lsn(c.u64()?)));
+                }
+                Record::Checkpoint { active, dirty }
             }
             9 => Record::FullPage {
                 page: PageId(c.u64()?),
@@ -660,8 +677,10 @@ pub async fn read_stream(
     let first_sector_stream = from.0 / SECTOR_SIZE as u64;
     let offset = (from.0 % SECTOR_SIZE as u64) as usize;
     let total_sectors = (offset + len).div_ceil(SECTOR_SIZE) as u64;
-    let mut out = vec![0u8; (total_sectors as usize) * SECTOR_SIZE];
-    // Read in contiguous device runs (the circular mapping may wrap).
+    let mut out = Vec::with_capacity((total_sectors as usize) * SECTOR_SIZE);
+    // Submit every contiguous device run up front (the circular mapping may
+    // wrap), then claim the completions in stream order.
+    let mut tokens: Vec<ReqToken> = Vec::with_capacity(2);
     let mut done = 0u64;
     while done < total_sectors {
         let stream_sector = first_sector_stream + done;
@@ -669,14 +688,140 @@ pub async fn read_stream(
         // Contiguous until the region end.
         let until_wrap = region_sectors - stream_sector % region_sectors;
         let n = (total_sectors - done).min(until_wrap);
-        let a = (done as usize) * SECTOR_SIZE;
-        let b = a + (n as usize) * SECTOR_SIZE;
-        dev.read(dev_sector, &mut out[a..b]).await?;
+        tokens.push(dev.submit(IoReq::Read {
+            sector: dev_sector,
+            sectors: n,
+        }));
         done += n;
+    }
+    let mut err = None;
+    for token in tokens {
+        match dev.wait(token).await {
+            Ok(data) if err.is_none() => {
+                let data = data.expect("read completion must carry data");
+                out.extend_from_slice(data.as_slice());
+            }
+            Ok(_) => {}
+            Err(e) if err.is_none() => err = Some(e),
+            Err(_) => {}
+        }
+    }
+    if let Some(e) = err {
+        return Err(e);
     }
     out.drain(..offset);
     out.truncate(len);
     Ok(out)
+}
+
+/// Windowed log-stream reader used by recovery's scan phase: keeps up to
+/// `window` chunk reads in flight through the queued device API, so CRC
+/// validation and frame decode of one chunk overlap the media latency of
+/// the next. `window = 1` degenerates to the serial read-one-decode-one
+/// loop; `window = Geometry::queue_depth` fills every device channel.
+pub struct StreamReader<'a> {
+    dev: &'a dyn BlockDevice,
+    region_sectors: u64,
+    /// Next stream sector a read will be submitted for.
+    next_stream_sector: u64,
+    /// Stream sectors not yet submitted (at most one full region circle).
+    unsubmitted: u64,
+    /// Bytes dropped from the front of the first completed chunk (the scan
+    /// may start mid-sector).
+    skip: usize,
+    /// In-flight chunks, oldest first; a chunk split by the circular wrap
+    /// carries one token per contiguous device run.
+    inflight: VecDeque<Vec<ReqToken>>,
+    chunk_sectors: u64,
+    window: usize,
+}
+
+impl<'a> StreamReader<'a> {
+    /// Starts a reader at stream position `from`, covering at most one full
+    /// circle of the `region_sectors`-sector circular log region.
+    pub fn new(
+        dev: &'a dyn BlockDevice,
+        region_sectors: u64,
+        from: Lsn,
+        chunk_bytes: usize,
+        window: usize,
+    ) -> Self {
+        assert!(window >= 1, "stream reader window must be at least 1");
+        assert!(chunk_bytes >= SECTOR_SIZE, "chunk must cover a sector");
+        StreamReader {
+            dev,
+            region_sectors,
+            next_stream_sector: from.0 / SECTOR_SIZE as u64,
+            unsubmitted: region_sectors,
+            skip: (from.0 % SECTOR_SIZE as u64) as usize,
+            inflight: VecDeque::new(),
+            chunk_sectors: (chunk_bytes / SECTOR_SIZE) as u64,
+            window,
+        }
+    }
+
+    fn top_up(&mut self) {
+        while self.inflight.len() < self.window && self.unsubmitted > 0 {
+            let mut n = self.chunk_sectors.min(self.unsubmitted);
+            self.unsubmitted -= n;
+            let mut tokens = Vec::with_capacity(2);
+            while n > 0 {
+                let at = self.next_stream_sector % self.region_sectors;
+                let run = n.min(self.region_sectors - at);
+                tokens.push(self.dev.submit(IoReq::Read {
+                    sector: LOG_BASE_SECTOR + at,
+                    sectors: run,
+                }));
+                self.next_stream_sector += run;
+                n -= run;
+            }
+            self.inflight.push_back(tokens);
+        }
+    }
+
+    /// Appends the next chunk's stream bytes to `out` and tops the window
+    /// back up. Returns the number of bytes appended; `Ok(0)` once one full
+    /// region circle has been consumed.
+    pub async fn fill(&mut self, out: &mut Vec<u8>) -> IoResult<usize> {
+        self.top_up();
+        let Some(tokens) = self.inflight.pop_front() else {
+            return Ok(0);
+        };
+        let before = out.len();
+        let mut err = None;
+        for token in tokens {
+            match self.dev.wait(token).await {
+                Ok(data) if err.is_none() => {
+                    let data = data.expect("read completion must carry data");
+                    let skip = std::mem::take(&mut self.skip);
+                    out.extend_from_slice(&data.as_slice()[skip..]);
+                }
+                Ok(_) => {}
+                Err(e) if err.is_none() => err = Some(e),
+                Err(_) => {}
+            }
+        }
+        match err {
+            Some(e) => {
+                self.abandon().await;
+                Err(e)
+            }
+            None => Ok(out.len() - before),
+        }
+    }
+
+    /// Claims every in-flight completion, discarding the results. Must be
+    /// called before dropping the reader mid-stream (e.g. once the torn
+    /// tail is found): tokens are claimed exactly once, and the readahead
+    /// window usually runs past the point the scan stops at.
+    pub async fn abandon(&mut self) {
+        self.unsubmitted = 0;
+        for tokens in std::mem::take(&mut self.inflight) {
+            for token in tokens {
+                let _ = self.dev.wait(token).await;
+            }
+        }
+    }
 }
 
 /// The superblock stored in sector 0 of the log device.
@@ -723,14 +868,23 @@ impl Superblock {
 
     /// Writes the superblock durably (FUA).
     pub async fn write(&self, dev: &dyn BlockDevice) -> IoResult<()> {
-        dev.write(0, &self.encode(), true).await
+        let token = dev.submit(IoReq::Write {
+            sector: 0,
+            segments: vec![SectorBuf::from_vec(self.encode())],
+            fua: true,
+        });
+        dev.wait(token).await.map(|_| ())
     }
 
     /// Reads and parses the superblock.
     pub async fn read(dev: &dyn BlockDevice) -> IoResult<Option<Superblock>> {
-        let mut buf = vec![0u8; SECTOR_SIZE];
-        dev.read(0, &mut buf).await?;
-        Ok(Superblock::decode(&buf))
+        let token = dev.submit(IoReq::Read {
+            sector: 0,
+            sectors: 1,
+        });
+        let data = dev.wait(token).await?;
+        let data = data.expect("read completion must carry data");
+        Ok(Superblock::decode(data.as_slice()))
     }
 }
 
@@ -907,6 +1061,7 @@ mod tests {
             },
             Record::Checkpoint {
                 active: vec![(TxnId(1), Lsn(100)), (TxnId(2), Lsn(200))],
+                dirty: vec![(PageId(7), Lsn(90)), (PageId(11), Lsn(150))],
             },
             Record::FullPage {
                 page: PageId(11),

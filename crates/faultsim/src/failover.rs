@@ -622,6 +622,8 @@ pub struct FailoverReport {
     pub recovery_us_max: u64,
     /// Summed fault→promotion time (µs), for averaging over `trials`.
     pub recovery_us_total: u64,
+    /// Per-trial fault→promotion time (µs), for tail percentiles.
+    pub recovery_us: Histogram,
     /// Client ack latency (µs) merged over every trial's pre-fault load.
     pub commit_latency: Histogram,
     /// Grid points that violated an invariant.
@@ -659,6 +661,7 @@ impl FailoverReport {
         let rec_us = r.recovery_time.as_micros();
         self.recovery_us_max = self.recovery_us_max.max(rec_us);
         self.recovery_us_total += rec_us;
+        self.recovery_us.record(rec_us);
         self.commit_latency.merge(&r.commit_latency);
         if !r.ok {
             self.counterexamples.push(FailoverCounterexample {

@@ -25,6 +25,9 @@ echo "==> failover sweep (replicated pair: sync/async x 4 failure kinds)"
 echo "==> adaptive batching ablation (saturation + tail-latency gates, QUICK)"
 QUICK=1 ./target/release/abl_adaptive_batching
 
+echo "==> parallel recovery ablation (speedup + fuzzy scan-cut gates, QUICK)"
+QUICK=1 ./target/release/abl_recovery
+
 echo "==> hot-path bench + allocation budget (check mode)"
 BENCH_CHECK=1 cargo bench -q -p rapilog-bench --bench hotpaths
 
